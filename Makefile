@@ -1,0 +1,24 @@
+# Convenience targets for the repro project.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples clean loc
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for f in examples/*.py; do echo "=== $$f"; $(PYTHON) $$f || exit 1; done
+
+loc:
+	@find src tests benchmarks examples -name "*.py" | xargs wc -l | tail -1
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

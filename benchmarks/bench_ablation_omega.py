@@ -1,0 +1,65 @@
+"""Ablation: scheduling-overhead (omega) sweep.
+
+The whole VGC story hinges on the per-barrier scheduling cost: with a
+free scheduler (omega -> 0) the plain online peel and Julienne would be
+fine on sparse graphs; as omega grows, the algorithms with fewer
+synchronizations win by ever larger margins.  This sweep varies the
+simulated barrier cost and locates the crossover, quantifying how much
+of our advantage is synchronization avoidance (the paper's Sec. 6.2.5
+conclusion).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.core.baselines.julienne import julienne_kcore
+from repro.core.parallel_kcore import ParallelKCore
+from repro.generators import suite
+from repro.runtime.cost_model import CostModelOverrides, nanos_to_millis
+
+OMEGAS = (0.0, 100.0, 500.0, 2_000.0, 10_000.0)
+
+
+def sweep(graph_name: str = "GRID"):
+    graph = suite.load(graph_name)
+    rows = []
+    for omega_time in OMEGAS:
+        model = CostModelOverrides().with_fields(omega_time=omega_time)
+        ours = ParallelKCore(model=model).decompose(graph)
+        jul = julienne_kcore(graph, model)
+        rows.append(
+            (
+                omega_time,
+                nanos_to_millis(ours.time_on(96)),
+                nanos_to_millis(jul.metrics.time_on(96, model)),
+            )
+        )
+    return rows
+
+
+def _render(rows) -> str:
+    table = [
+        [omega, ours, jul, jul / ours] for omega, ours, jul in rows
+    ]
+    return render_table(
+        ("omega_time", "ours (ms)", "julienne (ms)", "ratio"),
+        table,
+        title="Ablation: barrier-cost sweep on GRID",
+    )
+
+
+def test_ablation_omega(benchmark, emit):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("ablation_omega", _render(rows))
+
+    ratios = {omega: jul / ours for omega, ours, jul in rows}
+    # With a free scheduler the two algorithms are close...
+    assert ratios[0.0] < 6.0
+    # ...and our advantage grows monotonically with the barrier cost.
+    ordered = [ratios[o] for o in OMEGAS]
+    assert all(b >= a * 0.95 for a, b in zip(ordered, ordered[1:]))
+    assert ratios[10_000.0] > 2 * ratios[0.0]
+
+
+if __name__ == "__main__":
+    print(_render(sweep()))

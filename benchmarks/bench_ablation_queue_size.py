@@ -1,0 +1,67 @@
+"""Ablation: VGC local-queue size sweep.
+
+Paper claim (Sec. 4.2): "performance remains relatively stable across
+queue sizes ranging from hundreds to thousands"; the implementation fixes
+128.  We sweep the queue budget on the sparse adversaries and check the
+plateau — and that a queue of 1 (no absorption) degenerates to the plain
+subround count.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.core.parallel_kcore import ParallelKCore
+from repro.generators import suite
+from repro.runtime.cost_model import nanos_to_millis
+
+QUEUE_SIZES = (1, 8, 32, 128, 512, 2048)
+GRAPHS = ("GRID", "AF-S", "TRCE-S")
+
+
+def sweep() -> dict[str, list[tuple[int, float, int]]]:
+    out: dict[str, list[tuple[int, float, int]]] = {}
+    for name in GRAPHS:
+        graph = suite.load(name)
+        series = []
+        for q in QUEUE_SIZES:
+            solver = ParallelKCore(
+                sampling=False, vgc=True, buckets="1", queue_size=q
+            )
+            result = solver.decompose(graph)
+            series.append(
+                (q, nanos_to_millis(result.time_on(96)), result.rho)
+            )
+        out[name] = series
+    return out
+
+
+def _render(data: dict) -> str:
+    rows = []
+    for name, series in data.items():
+        for q, ms, rho in series:
+            rows.append([name, q, ms, rho])
+    return render_table(
+        ("graph", "queue", "t96 (ms)", "rho'"),
+        rows,
+        title="Ablation: VGC queue-size sweep",
+    )
+
+
+def test_ablation_queue_size(benchmark, emit):
+    data = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("ablation_queue_size", _render(data))
+
+    for name, series in data.items():
+        times = {q: ms for q, ms, _ in series}
+        rhos = {q: rho for q, _, rho in series}
+        # Hundreds-to-thousands plateau: 128 within 40% of 2048.
+        assert times[128] <= 1.4 * times[2048], name
+        assert times[512] <= 1.4 * times[128], name
+        # Queue of 1 cannot absorb chains: many more subrounds.
+        assert rhos[1] > rhos[128], name
+        # Larger queues never increase the subround count.
+        assert rhos[2048] <= rhos[8], name
+
+
+if __name__ == "__main__":
+    print(_render(sweep()))

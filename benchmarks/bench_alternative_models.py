@@ -1,0 +1,88 @@
+"""Extension bench: alternative computation models for k-core.
+
+Compares the paper's shared-memory peeling against the two classic
+alternative regimes its related work cites: the distributed-style
+H-index iteration (rounds of purely local updates, ref [58]) and the
+semi-external streaming algorithm (one edge-file pass per round,
+refs [15, 39, 75]).  The interesting quantity is the *round count*:
+all three models need information to travel across the graph, so the
+grid's O(sqrt(n)) waves afflict every one of them — evidence that the
+paper's scheduling problem is intrinsic to the dependence structure,
+and VGC attacks the per-round cost rather than the round count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core.external import semi_external_coreness, write_edge_file
+from repro.core.locality import hindex_coreness
+from repro.core.parallel_kcore import ParallelKCore
+from repro.core.verify import reference_coreness
+from repro.generators import suite
+
+GRAPHS = ("LJ-S", "AF-S", "GL5-S", "GRID")
+
+
+def sweep(tmp_dir: str = "benchmark_results"):
+    import os
+    import tempfile
+
+    rows = []
+    with tempfile.TemporaryDirectory() as scratch:
+        for name in GRAPHS:
+            graph = suite.load(name)
+            ref = reference_coreness(graph)
+
+            peel = ParallelKCore.plain().decompose(graph)
+            assert np.array_equal(peel.coreness, ref)
+
+            hindex = hindex_coreness(graph)
+            assert np.array_equal(hindex.coreness, ref)
+
+            path = os.path.join(scratch, f"{name}.bin")
+            write_edge_file(graph, path)
+            external = semi_external_coreness(path, graph.n)
+            assert np.array_equal(external.coreness, ref)
+
+            rows.append(
+                [
+                    name,
+                    peel.rho,
+                    hindex.metrics.rounds,
+                    external.passes,
+                ]
+            )
+    return rows
+
+
+def _render(rows) -> str:
+    return render_table(
+        ("graph", "peeling subrounds", "H-index rounds",
+         "streaming passes"),
+        rows,
+        title="Alternative models: synchronization/IO rounds to exactness",
+    )
+
+
+def test_alternative_models(benchmark, emit):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("alternative_models", _render(rows))
+
+    by_name = {row[0]: row for row in rows}
+    for name, rho, hindex_rounds, passes in rows:
+        # Convergence rounds never exceed the peeling complexity by more
+        # than the final confirming pass: an H-index round lowers every
+        # vertex that a peeling subround would have removed.
+        assert hindex_rounds <= rho + 1, name
+        assert passes <= rho + 2, name
+        assert passes >= 2
+    # On the grid, information travels one hop per round in EVERY model:
+    # the locality iteration inherits the O(sqrt(n)) rounds, showing the
+    # alternative models do not rescue the scheduling problem VGC solves.
+    assert by_name["GRID"][2] >= by_name["GRID"][1] - 1
+
+
+if __name__ == "__main__":
+    print(_render(sweep()))

@@ -1,0 +1,70 @@
+"""Extension bench: approximate decomposition accuracy/cost tradeoff.
+
+Sweeps eps on dense and sparse graphs and reports the subround reduction
+(geometric phases instead of one round per coreness value) against the
+realized estimation error — the tradeoff the approximate-k-core line of
+work (paper Sec. 7) trades on.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.core.approximate import approximate_coreness
+from repro.core.parallel_kcore import ParallelKCore
+from repro.core.verify import reference_coreness
+from repro.generators import suite
+from repro.runtime.cost_model import nanos_to_millis
+
+GRAPHS = ("SD-S", "HCNS", "GRID")
+EPS_VALUES = (0.1, 0.5, 1.0)
+
+
+def sweep():
+    rows = []
+    for name in GRAPHS:
+        graph = suite.load(name)
+        exact_result = ParallelKCore().decompose(graph)
+        exact = reference_coreness(graph)
+        nonzero = exact > 0
+        for eps in EPS_VALUES:
+            approx = approximate_coreness(graph, eps=eps)
+            err = (
+                approx.coreness[nonzero] / exact[nonzero]
+            )
+            rows.append(
+                [
+                    name,
+                    eps,
+                    exact_result.rho,
+                    approx.rho,
+                    float(err.max()) if err.size else 1.0,
+                    nanos_to_millis(approx.time_on(96)),
+                ]
+            )
+    return rows
+
+
+def _render(rows) -> str:
+    return render_table(
+        ("graph", "eps", "rho exact", "rho approx", "max est/exact",
+         "t96 (ms)"),
+        rows,
+        title="Approximate decomposition: phases vs accuracy",
+    )
+
+
+def test_approximate(benchmark, emit):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("approximate", _render(rows))
+
+    for name, eps, rho_exact, rho_approx, max_ratio, _ in rows:
+        # Guarantee holds with slack for integer rounding.
+        assert max_ratio < 1 + eps + 1e-9, (name, eps)
+    # On the high-coreness adversary the subround savings are massive.
+    hcns_rows = [r for r in rows if r[0] == "HCNS"]
+    for _, eps, rho_exact, rho_approx, _, _ in hcns_rows:
+        assert rho_approx < rho_exact / 5, eps
+
+
+if __name__ == "__main__":
+    print(_render(sweep()))

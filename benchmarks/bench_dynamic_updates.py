@@ -1,0 +1,78 @@
+"""Extension bench: dynamic maintenance vs recomputation.
+
+The paper's Sec. 7 points to dynamic k-core maintenance as the natural
+companion problem.  This bench applies a batch of edge updates to a
+suite graph and compares the locality of the subcore-based maintenance
+(vertices touched per update) against the cost of full recomputation —
+the measurement that motivates dynamic algorithms in the first place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core.dynamic import DynamicKCore
+from repro.core.verify import reference_coreness
+from repro.generators import suite
+from repro.graphs.transform import all_edges
+
+# Graphs with a graded coreness distribution keep subcores small; a
+# uniform-coreness graph (AF-S: almost everything has coreness 2) is the
+# traversal algorithm's known worst case — its subcore spans most of the
+# graph, which is why later work introduced tighter candidate sets.
+GRAPHS = ("LJ-S", "OK-S", "SD-S", "AF-S")
+UPDATES = 200
+
+
+def run_updates(graph_name: str):
+    graph = suite.load(graph_name)
+    rng = np.random.default_rng(7)
+    dyn = DynamicKCore(graph)
+    edges = all_edges(graph)
+    delete_picks = rng.choice(edges.shape[0], size=UPDATES // 2, replace=False)
+    inserts = rng.integers(0, graph.n, size=(UPDATES // 2, 2))
+    for u, v in edges[delete_picks]:
+        dyn.delete_edge(int(u), int(v))
+    for u, v in inserts:
+        dyn.insert_edge(int(u), int(v))
+    # Exactness after the whole batch.
+    assert np.array_equal(
+        dyn.coreness, reference_coreness(dyn.snapshot())
+    )
+    touched_per_update = dyn.touched_vertices / max(dyn.updates, 1)
+    return graph.n, dyn.updates, touched_per_update
+
+
+def sweep():
+    rows = []
+    for name in GRAPHS:
+        n, updates, touched = run_updates(name)
+        rows.append([name, n, updates, touched, touched / n])
+    return rows
+
+
+def _render(rows) -> str:
+    return render_table(
+        ("graph", "n", "updates", "touched/update", "fraction of n"),
+        rows,
+        title="Dynamic maintenance: locality of subcore updates "
+        "(full recompute touches n every time)",
+    )
+
+
+def test_dynamic_updates(benchmark, emit):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("dynamic_updates", _render(rows))
+
+    fractions = {row[0]: row[4] for row in rows}
+    # Graded-coreness graphs stay local, far below a full recompute...
+    for name in ("LJ-S", "OK-S", "SD-S"):
+        assert fractions[name] < 0.5, name
+    # ...while the uniform-coreness road network is the documented worst
+    # case of the traversal algorithm (subcore ~ the whole 2-core).
+    assert fractions["AF-S"] <= 1.0
+
+
+if __name__ == "__main__":
+    print(_render(sweep()))

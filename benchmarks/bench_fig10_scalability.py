@@ -1,0 +1,49 @@
+"""Fig. 10: self-relative speedup versus thread count.
+
+Paper shape: near-linear scaling into tens of cores, larger graphs scale
+further, and the hyperthreaded point ("96h" = 192 threads) adds a
+sub-linear extra gain.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import fig10_scalability, render_table
+from repro.runtime.scheduler import SCALABILITY_THREADS
+
+#: Two dense and two sparse graphs, mirroring the paper's two panels.
+GRAPHS = ("LJ-S", "TW-S", "GRID", "EU-S")
+
+
+def _render(data: dict) -> str:
+    rows = []
+    for name, curve in data.items():
+        rows.append([name] + [speedup for _, speedup in curve])
+    headers = ("graph",) + tuple(
+        "96h" if t == 192 else str(t) for t in SCALABILITY_THREADS
+    )
+    return render_table(
+        headers, rows,
+        title="Fig. 10: self-relative speedup vs thread count",
+    )
+
+
+def test_fig10_scalability(benchmark, emit):
+    data = benchmark.pedantic(
+        lambda: fig10_scalability(GRAPHS), rounds=1, iterations=1
+    )
+    emit("fig10_scalability", _render(data))
+
+    for name, curve in data.items():
+        speedups = [s for _, s in curve]
+        # Monotone non-decreasing in the thread count.
+        assert all(b >= a * 0.999 for a, b in zip(speedups, speedups[1:])), name
+        # Meaningful parallelism at 96 threads.
+        at96 = dict(curve)[96]
+        assert at96 > 3, (name, at96)
+        # Hyperthreading ("96h") helps, sub-linearly.
+        at192 = dict(curve)[192]
+        assert at96 <= at192 < 2 * at96, name
+
+
+if __name__ == "__main__":
+    print(_render(fig10_scalability(GRAPHS)))

@@ -1,0 +1,44 @@
+"""Fig. 11: running time with and without sampling, trigger graphs only.
+
+Paper shape: of the eight graphs that trigger sampling, all but HCNS get
+faster with it (up to 4.3x); HCNS regresses (~24% in the paper) because
+its validation sweeps touch half the vertex set every round.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import fig11_sampling, render_table
+from repro.generators import SAMPLING_TRIGGER
+
+
+def _render(data: dict) -> str:
+    rows = [
+        [name, without, with_s, without / with_s]
+        for name, (without, with_s) in data.items()
+    ]
+    return render_table(
+        ("graph", "no sampling (ms)", "sampling (ms)", "speedup"),
+        rows,
+        title="Fig. 11: effect of sampling on its trigger graphs",
+    )
+
+
+def test_fig11_sampling(benchmark, emit):
+    data = benchmark.pedantic(fig11_sampling, rounds=1, iterations=1)
+    emit("fig11_sampling", _render(data))
+
+    helped = [
+        name
+        for name, (without, with_s) in data.items()
+        if without / with_s > 1.0
+    ]
+    # Most trigger graphs benefit...
+    assert len(helped) >= len(SAMPLING_TRIGGER) - 2, helped
+    # ...the hub-heavy ones strongly...
+    assert data["TW-S"][0] / data["TW-S"][1] > 1.5
+    # ...and HCNS pays more than it gains.
+    assert data["HCNS"][0] / data["HCNS"][1] < 1.05
+
+
+if __name__ == "__main__":
+    print(_render(fig11_sampling()))

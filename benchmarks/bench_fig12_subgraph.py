@@ -1,0 +1,46 @@
+"""Fig. 12: max k-core subgraph extraction vs the Galois-style baseline.
+
+Paper shape: on the two social networks (OK, TW) and k from small to
+large, our adapted framework beats Galois by 1.6-6.2x, with the gap
+growing once real peeling happens (large hubs = contention for Galois).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import fig12_subgraph, render_table
+
+GRAPHS = ("OK-S", "TW-S")
+K_VALUES = (8, 16, 32, 64, 128)
+
+
+def _render(data: dict) -> str:
+    rows = []
+    for name, series in data.items():
+        for k, ours_ms, galois_ms in series:
+            rows.append([name, k, ours_ms, galois_ms, galois_ms / ours_ms])
+    return render_table(
+        ("graph", "k", "ours (ms)", "galois (ms)", "speedup"),
+        rows,
+        title="Fig. 12: max k-core subgraph, ours vs Galois-style",
+    )
+
+
+def test_fig12_subgraph(benchmark, emit):
+    data = benchmark.pedantic(
+        lambda: fig12_subgraph(GRAPHS, K_VALUES), rounds=1, iterations=1
+    )
+    emit("fig12_subgraph", _render(data))
+
+    for name, series in data.items():
+        speedups = [galois / ours for _, ours, galois in series]
+        # Ours wins clearly once peeling is non-trivial; at k values where
+        # nothing (or everything in one wave) peels, the two are tied and
+        # our sampler initialization can even cost a little, so only the
+        # best point and the hub-heavy graph are asserted strongly.
+        assert max(speedups) > 1.3, name
+    tw = [galois / ours for _, ours, galois in data["TW-S"]]
+    assert min(tw) > 1.5 and max(tw) > 4.0
+
+
+if __name__ == "__main__":
+    print(_render(fig12_subgraph(GRAPHS, K_VALUES)))

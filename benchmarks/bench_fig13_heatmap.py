@@ -1,0 +1,54 @@
+"""Fig. 13: heatmap view of the Table 3 combination data.
+
+Same data as Table 3 (shared through a session fixture), rendered as a
+coarse character heatmap: '#' = at the per-graph best, progressively
+lighter glyphs for slower combinations — the textual analogue of the
+paper's green-to-red gradient.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import TABLE3_COLUMNS, normalize_row
+
+#: Relative-time thresholds for the heat glyphs.
+GLYPHS = ((1.05, "#"), (1.5, "+"), (3.0, "-"), (10.0, "."), (float("inf"), " "))
+
+
+def _glyph(value: float) -> str:
+    for bound, glyph in GLYPHS:
+        if value <= bound:
+            return glyph
+    return " "
+
+
+def render_heatmap(data: dict) -> str:
+    width = max(len(g) for g in data)
+    lines = [
+        "Fig. 13: combination heatmap ('#' = best, ' ' = >10x slower)",
+        " " * (width + 2)
+        + " ".join(c[:7].center(7) for c in TABLE3_COLUMNS),
+    ]
+    for graph, row in data.items():
+        norm = normalize_row(row)
+        cells = " ".join(
+            _glyph(norm[c]).center(7) for c in TABLE3_COLUMNS
+        )
+        lines.append(f"{graph.ljust(width)}  {cells}")
+    return "\n".join(lines)
+
+
+def test_fig13_heatmap(benchmark, emit, table3_data):
+    data = benchmark.pedantic(table3_data, rounds=1, iterations=1)
+    emit("fig13_heatmap", render_heatmap(data))
+
+    # Every graph has at least one '#' (its best combination) and every
+    # combination column is best somewhere or at least competitive.
+    norm = {g: normalize_row(row) for g, row in data.items()}
+    for g in norm:
+        assert any(norm[g][c] <= 1.05 for c in TABLE3_COLUMNS), g
+
+
+if __name__ == "__main__":
+    from repro.analysis import table3
+
+    print(render_heatmap(table3()))

@@ -1,0 +1,47 @@
+"""Fig. 15: running-time speedup over Julienne, with and without VGC.
+
+Paper shape: the time speedups track the burdened-span speedups of Fig. 9
+— the graphs with the largest VGC burdened-span gains (TRCE, BBL, GRID)
+also show the largest time gains, confirming that synchronization
+overhead is what separates the algorithms.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    fig9_burdened_span,
+    fig15_time_vs_julienne,
+    render_table,
+)
+
+
+def _render(data: dict) -> str:
+    rows = [
+        [name, no_vgc, with_vgc]
+        for name, (no_vgc, with_vgc) in data.items()
+    ]
+    return render_table(
+        ("graph", "ours (no VGC)", "ours (VGC)"),
+        rows,
+        title="Fig. 15: running-time speedup over Julienne (higher is better)",
+    )
+
+
+def test_fig15_time_vs_julienne(benchmark, emit):
+    data = benchmark.pedantic(
+        fig15_time_vs_julienne, rounds=1, iterations=1
+    )
+    emit("fig15_time_vs_julienne", _render(data))
+
+    # VGC's time gains land on the same graphs as its span gains.
+    span = fig9_burdened_span(graph_names=("GRID", "TRCE-S", "LJ-S"))
+    for name in ("GRID", "TRCE-S"):
+        assert data[name][1] > data[name][0], name  # VGC helps the time
+        assert span[name][1] > span[name][0], name  # and the span
+    # Ours with VGC beats Julienne everywhere.
+    for name, (_, with_vgc) in data.items():
+        assert with_vgc > 1.0, name
+
+
+if __name__ == "__main__":
+    print(_render(fig15_time_vs_julienne()))

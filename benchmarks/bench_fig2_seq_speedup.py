@@ -1,0 +1,43 @@
+"""Fig. 2: speedup over the best sequential time, representative graphs.
+
+Paper shape: every baseline drops below 1x (slower than sequential) on
+some graph — Julienne on GRID, ParK/PKC on hub graphs — while our
+algorithm stays above 1x everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import fig2_seq_speedup, render_table
+from repro.generators import REPRESENTATIVE
+
+
+def _render(data: dict) -> str:
+    rows = [
+        [name] + [data[name][a] for a in ("ours", "julienne", "park", "pkc")]
+        for name in data
+    ]
+    return render_table(
+        ("graph", "ours", "julienne", "park", "pkc"),
+        rows,
+        title="Fig. 2: speedup over best sequential (higher is better)",
+    )
+
+
+def test_fig2_seq_speedup(benchmark, cache, emit):
+    data = benchmark.pedantic(
+        lambda: fig2_seq_speedup(cache=cache), rounds=1, iterations=1
+    )
+    emit("fig2_seq_speedup", _render(data))
+
+    # Ours is never slower than sequential on the representative set.
+    for name in REPRESENTATIVE:
+        assert data[name]["ours"] > 0.9, name
+    # Each baseline has at least one sub-sequential graph.
+    for baseline in ("julienne", "park", "pkc"):
+        assert any(
+            data[name][baseline] < 1.0 for name in REPRESENTATIVE
+        ), baseline
+
+
+if __name__ == "__main__":
+    print(_render(fig2_seq_speedup()))

@@ -1,0 +1,49 @@
+"""Fig. 5: baseline running time normalized to ours, all graphs.
+
+Paper shape: the red dotted line at 1.0 is our algorithm; every baseline
+shows multi-x slowdowns on its adversarial family, and the worst cases
+differ per baseline.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import fig5_relative_time, geometric_mean, render_table
+
+
+def _render(data: dict) -> str:
+    rows = [
+        [name] + [data[name][a] for a in ("julienne", "park", "pkc")]
+        for name in data
+    ]
+    rows.append(
+        ["geomean"]
+        + [
+            geometric_mean([data[g][a] for g in data])
+            for a in ("julienne", "park", "pkc")
+        ]
+    )
+    return render_table(
+        ("graph", "julienne", "park", "pkc"),
+        rows,
+        title="Fig. 5: baseline time / our time (1.0 = ours; higher = worse)",
+    )
+
+
+def test_fig5_relative_time(benchmark, cache, emit):
+    data = benchmark.pedantic(
+        lambda: fig5_relative_time(cache=cache), rounds=1, iterations=1
+    )
+    emit("fig5_relative_time", _render(data))
+
+    # On geometric mean, ours is the fastest algorithm.
+    for baseline in ("julienne", "park", "pkc"):
+        gm = geometric_mean([data[g][baseline] for g in data])
+        assert gm > 1.0, baseline
+    # Baseline-specific worst cases, as in the paper.
+    assert data["GRID"]["julienne"] > 4.0  # offline collapses on grids
+    assert data["TW-S"]["park"] > 2.0  # contention hurts ParK on hubs
+    assert data["TW-S"]["pkc"] > 1.5
+
+
+if __name__ == "__main__":
+    print(_render(fig5_relative_time()))

@@ -1,0 +1,43 @@
+"""Fig. 6: speedup of VGC, sampling, and both over the plain version.
+
+Paper shape: sampling helps the dense hub graphs, VGC helps the sparse
+graphs, nearly every graph benefits from at least one, and HCNS is the
+one adversary where sampling costs more than it saves.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import fig6_ablation, render_table
+
+
+def _render(points) -> str:
+    rows = [
+        [p.graph, p.vgc_speedup, p.sampling_speedup, p.both_speedup]
+        for p in points
+    ]
+    return render_table(
+        ("graph", "VGC", "sampling", "both"),
+        rows,
+        title="Fig. 6: speedup over the plain version (higher is better)",
+    )
+
+
+def test_fig6_vgc_sampling(benchmark, emit):
+    points = benchmark.pedantic(fig6_ablation, rounds=1, iterations=1)
+    emit("fig6_vgc_sampling", _render(points))
+
+    by_name = {p.graph: p for p in points}
+    # VGC shines on the sparse families.
+    for name in ("GRID", "AF-S", "NA-S", "TRCE-S", "BBL-S"):
+        assert by_name[name].vgc_speedup > 1.5, name
+    # Sampling shines on the hub-heavy dense graphs.
+    for name in ("TW-S", "HPL"):
+        assert by_name[name].sampling_speedup > 1.3, name
+    # HCNS: sampling is a net cost (the paper's ~24% overhead).
+    assert by_name["HCNS"].sampling_speedup < 1.0
+    # No dramatic regression from VGC anywhere.
+    assert all(p.vgc_speedup > 0.7 for p in points)
+
+
+if __name__ == "__main__":
+    print(_render(fig6_ablation()))

@@ -1,0 +1,38 @@
+"""Fig. 7: peeling subrounds with and without VGC (rho vs rho').
+
+Paper shape: VGC reduces the number of subrounds by 5-40x; road networks
+go from hundreds of subrounds to a handful per round.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import fig7_subrounds, render_table
+
+
+def _render(data: dict) -> str:
+    rows = [
+        [name, without, with_vgc, without / max(with_vgc, 1)]
+        for name, (without, with_vgc) in data.items()
+    ]
+    return render_table(
+        ("graph", "rho (no VGC)", "rho' (VGC)", "reduction"),
+        rows,
+        title="Fig. 7: subrounds without vs with VGC",
+    )
+
+
+def test_fig7_subrounds(benchmark, emit):
+    data = benchmark.pedantic(fig7_subrounds, rounds=1, iterations=1)
+    emit("fig7_subrounds", _render(data))
+
+    # VGC never increases the subround count...
+    for name, (without, with_vgc) in data.items():
+        assert with_vgc <= without, name
+    # ...and collapses it on the chain-heavy graphs.
+    for name in ("GRID", "AF-S", "EU-S", "TRCE-S"):
+        without, with_vgc = data[name]
+        assert without / max(with_vgc, 1) > 4, name
+
+
+if __name__ == "__main__":
+    print(_render(fig7_subrounds()))

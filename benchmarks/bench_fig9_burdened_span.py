@@ -1,0 +1,45 @@
+"""Figs. 9 / 14: burdened-span speedup over Julienne, with and without VGC.
+
+Paper shape: even without VGC the online peel beats Julienne's burdened
+span by a constant factor (fewer synchronizations per subround); VGC
+multiplies the gap on sparse graphs (up to ~150x in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import fig9_burdened_span, render_table
+
+
+def _render(data: dict) -> str:
+    rows = [
+        [name, no_vgc, with_vgc]
+        for name, (no_vgc, with_vgc) in data.items()
+    ]
+    return render_table(
+        ("graph", "ours (no VGC)", "ours (VGC)"),
+        rows,
+        title=(
+            "Fig. 9: burdened-span speedup over Julienne "
+            "(1.0 = Julienne; higher is better)"
+        ),
+    )
+
+
+def test_fig9_burdened_span(benchmark, emit):
+    data = benchmark.pedantic(fig9_burdened_span, rounds=1, iterations=1)
+    emit("fig9_burdened_span", _render(data))
+
+    for name, (no_vgc, with_vgc) in data.items():
+        # The online peel never has a worse burdened span than Julienne...
+        assert no_vgc >= 0.9, name
+        # ...and VGC only improves it.
+        assert with_vgc >= no_vgc * 0.95, name
+    # Large VGC gains on the sparse adversaries (paper: up to ~147x; the
+    # scaled graphs compress the factors but keep GRID far in front).
+    assert data["GRID"][1] > 10.0
+    for name in ("TRCE-S", "BBL-S"):
+        assert data[name][1] > 3.0, name
+
+
+if __name__ == "__main__":
+    print(_render(fig9_burdened_span()))

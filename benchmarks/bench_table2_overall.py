@@ -1,0 +1,35 @@
+"""Table 2: overall running times of all algorithms on the full suite.
+
+Paper shape to reproduce: our algorithm is the fastest parallel solution
+on nearly every graph; each baseline falls behind a sequential run on at
+least one family (Julienne on grids/meshes, ParK and PKC on hub-heavy
+graphs and on HCNS).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table2, table2
+
+
+def test_table2_overall(benchmark, cache, emit):
+    rows = benchmark.pedantic(
+        lambda: table2(cache=cache), rounds=1, iterations=1
+    )
+    emit("table2", render_table2(rows))
+
+    # Shape assertions (who wins where).
+    by_name = {r.graph: r for r in rows}
+    wins = sum(1 for r in rows if r.best_algorithm() == "ours")
+    assert wins >= len(rows) * 0.6, f"ours wins only {wins}/{len(rows)}"
+    # Our algorithm beats the best sequential time on every graph family
+    # representative (Fig. 2's headline).
+    for name in ("LJ-S", "AF-S", "GL5-S", "GRID"):
+        row = by_name[name]
+        seq_best = min(row.bz_ms, row.ours_seq_ms)
+        assert row.ours_par_ms < seq_best, name
+
+
+if __name__ == "__main__":
+    from repro.analysis import ExperimentCache
+
+    print(render_table2(table2(cache=ExperimentCache())))

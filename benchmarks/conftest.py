@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks regenerate the paper's tables and figures.  Heavyweight runs
+are shared through a session-scoped :class:`ExperimentCache`, and every
+bench both prints its paper-shaped output and appends it to
+``benchmark_results/`` so EXPERIMENTS.md can be refreshed from one run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis import ExperimentCache
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "benchmark_results")
+
+
+@pytest.fixture(scope="session")
+def cache() -> ExperimentCache:
+    """One shared run cache across all benchmark files."""
+    return ExperimentCache()
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a rendered table/series and persist it for EXPERIMENTS.md."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print()
+        print(text)
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def table3_data():
+    """Table 3 raw data, shared between the Table 3 and Fig. 13 benches."""
+    from repro.analysis import table3
+
+    holder: dict[str, dict] = {}
+
+    def _get() -> dict:
+        if "data" not in holder:
+            holder["data"] = table3()
+        return holder["data"]
+
+    return _get

@@ -1,0 +1,50 @@
+"""Dense-subgraph discovery with maximum k-core extraction (Appendix B).
+
+Community detection and anomaly detection pipelines frequently need "the
+maximal subgraph where everyone has at least k connections" — the maximum
+k-core.  The paper adapts its framework to this task and beats Galois by
+1.6-6.2x on social networks.
+
+This example sweeps k on a scaled Orkut-like graph, reports how the core
+shrinks, extracts one core as a standalone graph, and compares against the
+Galois-style worklist baseline.
+
+Run:  python examples/dense_subgraph_discovery.py
+"""
+
+from repro import generators, max_kcore_subgraph
+from repro.core.baselines import galois_max_kcore
+from repro.graphs import graph_stats
+from repro.runtime.cost_model import nanos_to_millis
+
+
+def main() -> None:
+    graph = generators.load("OK-S")
+    print(graph_stats(graph).describe())
+
+    print(f"\n{'k':>4s} {'core size':>10s} {'core edges':>11s} "
+          f"{'ours (ms)':>10s} {'galois (ms)':>12s} {'speedup':>8s}")
+    extracted = None
+    for k in (8, 16, 20, 24, 32):
+        ours = max_kcore_subgraph(graph, k)
+        galois = galois_max_kcore(graph, k)
+        assert (ours.members == galois.members).all()
+        t_ours = nanos_to_millis(ours.metrics.time_on(96))
+        t_galois = nanos_to_millis(galois.metrics.time_on(96))
+        core = ours.extract(graph) if ours.size else None
+        edges = core.num_edges if core is not None else 0
+        print(f"{k:>4d} {ours.size:>10,} {edges:>11,} "
+              f"{t_ours:>10.3f} {t_galois:>12.3f} "
+              f"{t_galois / t_ours:>7.2f}x")
+        if core is not None and core.n:
+            extracted = (k, core)
+
+    if extracted is not None:
+        k, core = extracted
+        print(f"\nextracted the {k}-core as a standalone graph: "
+              f"n={core.n:,}, edges={core.num_edges:,}, "
+              f"min degree {core.degrees.min()} (>= {k} by construction)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Peeling simulation meshes: the TRCE / BBL scenario.
+
+The paper evaluates on meshes taken from frames of 2-D adaptive numerical
+simulations (TRCE, BBL): planar graphs with coreness 2-3 but thousands of
+peeling subrounds, which bring batch-synchronous peelers to their knees.
+This example generates a sequence of "simulation frames" (Delaunay meshes
+of a moving, refining point cloud), decomposes each, and tracks how the
+technique ablation behaves frame over frame — the kind of repeated
+analysis an in-situ pipeline would run.
+
+Run:  python examples/mesh_simulation_frames.py
+"""
+
+from repro import ParallelKCore, generators
+from repro.runtime.cost_model import nanos_to_millis
+
+
+def main() -> None:
+    frames = [
+        generators.delaunay_mesh(12_000, seed=100 + t, name=f"frame-{t}")
+        for t in range(4)
+    ]
+
+    plain = ParallelKCore.plain()
+    full = ParallelKCore()
+
+    print(f"{'frame':<10s} {'n':>7s} {'edges':>8s} {'kmax':>5s} "
+          f"{'rho plain':>10s} {'rho VGC':>8s} "
+          f"{'plain ms':>9s} {'ours ms':>8s} {'gain':>6s}")
+    for frame in frames:
+        r_plain = plain.decompose(frame)
+        r_full = full.decompose(frame)
+        t_plain = nanos_to_millis(r_plain.time_on(96))
+        t_full = nanos_to_millis(r_full.time_on(96))
+        print(f"{frame.name:<10s} {frame.n:>7,} {frame.num_edges:>8,} "
+              f"{r_full.kmax:>5d} {r_plain.rho:>10d} {r_full.rho:>8d} "
+              f"{t_plain:>9.3f} {t_full:>8.3f} "
+              f"{t_plain / t_full:>5.2f}x")
+
+    print("\nEvery frame peels in a fraction of the plain version's time: "
+          "the local searches absorb the mesh's long peeling chains.")
+
+
+if __name__ == "__main__":
+    main()

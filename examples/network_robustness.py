@@ -1,0 +1,113 @@
+"""k-core robustness analysis: targeted attacks on a network's core.
+
+The paper's introduction motivates k-core with system-robustness studies
+(Burleson-Lesser et al. 2020; Sun et al. 2020) and critical-user
+detection (Zhang et al. 2017).  This example compares three attack
+strategies on a community-structured network:
+
+* random vertex removal,
+* highest-degree removal,
+* the greedy *collapsed k-core* attack (critical users),
+
+measuring how fast each destroys the k-core — the classic finding being
+that degree is a poor proxy for structural criticality.
+
+Run:  python examples/network_robustness.py
+"""
+
+import numpy as np
+
+from repro.core.anchored import anchored_kcore
+from repro.core.collapse import collapse_kcore_greedy
+from repro.core.verify import reference_coreness
+from repro.generators import cycle_graph
+from repro.graphs.csr import CSRGraph
+from repro.graphs.transform import (
+    all_edges,
+    disjoint_union,
+    remove_edges,
+    remove_vertices,
+)
+
+
+def build_network(seed: int = 11) -> CSRGraph:
+    """Fragile ring communities plus a robust high-degree clique.
+
+    The rings are 2-cores that unravel entirely when any member leaves;
+    the 10-clique members have the highest degrees but their community
+    survives any few removals — degree is not criticality.
+    """
+    graph = cycle_graph(30)
+    for _ in range(7):
+        graph = disjoint_union(graph, cycle_graph(30))
+    edges = [tuple(e) for e in all_edges(graph)]
+    # Sparse bridges between ring communities.
+    for c in range(7):
+        edges.append((c * 30 + 3, (c + 1) * 30 + 5))
+    # A celebrity clique: max degree, structurally redundant.
+    n = graph.n
+    clique = [(n + a, n + b) for a in range(10) for b in range(a + 1, 10)]
+    anchors = [(n, 3), (n + 1, 40)]
+    return CSRGraph.from_edges(
+        n + 10, edges + clique + anchors, name="robust-sim"
+    )
+
+
+def core_size_after(graph: CSRGraph, removed, k: int) -> int:
+    survivor = remove_vertices(graph, list(removed))
+    return int((reference_coreness(survivor) >= k).sum())
+
+
+def main() -> None:
+    k = 2
+    budget = 4
+    graph = build_network()
+    base = int((reference_coreness(graph) >= k).sum())
+    print(f"network: n={graph.n}, {k}-core size {base}")
+
+    rng = np.random.default_rng(4)
+    random_picks = rng.choice(graph.n, size=budget, replace=False)
+    random_core = core_size_after(graph, random_picks, k)
+
+    by_degree = np.argsort(graph.degrees)[-budget:]
+    degree_core = core_size_after(graph, by_degree, k)
+
+    greedy = collapse_kcore_greedy(graph, k, budget)
+    greedy_core = greedy.core_sizes[-1]
+
+    print(f"\nafter removing {budget} vertices:")
+    print(f"  random removal:        {k}-core -> {random_core} "
+          f"(-{base - random_core})")
+    print(f"  highest-degree attack: {k}-core -> {degree_core} "
+          f"(-{base - degree_core})")
+    print(f"  collapsed-k-core:      {k}-core -> {greedy_core} "
+          f"(-{base - greedy_core})")
+    print(f"\ncritical users found: {greedy.removed} "
+          f"(cascades of {greedy.followers} followers)")
+    print("The clique members have the highest degree but removing them "
+          "barely dents the core; the greedy finds the ring vertices "
+          "whose loss unravels whole communities.")
+
+    # Repair: anchoring the two ring-neighbors of each departed critical
+    # user pins the broken chain's endpoints, and the whole ring re-joins
+    # (the anchored k-core — the defensive dual of the attack).  Note the
+    # anchors only work in *pairs*: the one-at-a-time greedy cannot find
+    # them (the known myopia of greedy anchoring).
+    incident = [
+        (int(v), int(u))
+        for v in greedy.removed
+        for u in graph.neighbors(v)
+    ]
+    damaged = remove_edges(graph, incident)  # ids preserved
+    plain_core = int((reference_coreness(damaged) >= k).sum())
+    repair_anchors = sorted(
+        {u for v, u in incident if u not in greedy.removed}
+    )
+    repaired = int(anchored_kcore(damaged, k, repair_anchors).sum())
+    print(f"\nrepair by anchoring the {len(repair_anchors)} neighbors "
+          f"of the departed users: {k}-core {plain_core} -> {repaired} "
+          f"(+{repaired - plain_core} members won back)")
+
+
+if __name__ == "__main__":
+    main()

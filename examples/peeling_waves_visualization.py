@@ -1,0 +1,42 @@
+"""Visualizing the peeling waves of Fig. 3 — why grids hurt, how VGC helps.
+
+On a grid, synchronous peeling proceeds as diagonal waves from the
+corners: O(sqrt(n)) subrounds, each a tiny frontier — a scheduling
+nightmare.  VGC's local searches chase the waves inside a single task,
+collapsing them to a handful of subrounds.
+
+This example prints the subround index of every grid cell (mod 10) with
+and without VGC: the left picture shows the classic concentric rings,
+the right one shows a few large blobs.
+
+Run:  python examples/peeling_waves_visualization.py
+"""
+
+from repro.analysis.peeling import peeling_profile, render_wave_grid
+from repro.generators import grid_2d
+
+ROWS, COLS = 14, 28
+
+
+def main() -> None:
+    graph = grid_2d(ROWS, COLS)
+
+    plain = peeling_profile(graph, vgc=False)
+    vgc = peeling_profile(graph, vgc=True, queue_size=64)
+
+    print(f"{ROWS}x{COLS} grid — subround of each cell (mod 10)\n")
+    print(f"without VGC: {plain.subrounds} subrounds")
+    print(render_wave_grid(plain, ROWS, COLS))
+    print(f"\nwith VGC:    {vgc.subrounds} subrounds "
+          f"({plain.subrounds / max(vgc.subrounds, 1):.1f}x fewer)")
+    print(render_wave_grid(vgc, ROWS, COLS))
+
+    sizes = plain.frontier_sizes
+    print(f"\nfrontier sizes without VGC: min={min(sizes)}, "
+          f"median={sorted(sizes)[len(sizes) // 2]}, max={max(sizes)}")
+    print("Tiny frontiers x many subrounds = barrier cost dominates; "
+          "that is the whole story of the paper's Fig. 2 GRID column.")
+
+
+if __name__ == "__main__":
+    main()

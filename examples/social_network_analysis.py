@@ -1,0 +1,77 @@
+"""Identifying influential spreaders in a social network via k-core.
+
+The paper's introduction motivates k-core decomposition with social-network
+analysis: Kitsak et al. (Nature Physics 2010) showed that a vertex's
+*coreness* predicts its spreading power better than its degree — celebrity
+accounts with huge follower counts can sit in shallow cores, while modest
+accounts embedded in dense communities drive cascades.
+
+This example builds a Twitter-like graph (power law plus celebrity hubs),
+decomposes it with the full algorithm, and contrasts the top vertices by
+degree with the top vertices by coreness.  It also shows why this graph
+family is exactly where the sampling technique earns its keep.
+
+Run:  python examples/social_network_analysis.py
+"""
+
+import numpy as np
+
+from repro import ParallelKCore, generators
+from repro.runtime.cost_model import nanos_to_millis
+
+
+def main() -> None:
+    graph = generators.power_law_with_hub(
+        20_000, 8, hub_count=5, hub_degree=5_000, seed=42,
+        name="social-sim", attach_min=2, hub_targets="fresh",
+    )
+    print(f"graph: n={graph.n:,} vertices, {graph.num_edges:,} edges, "
+          f"max degree {graph.max_degree:,}")
+
+    solver = ParallelKCore()
+    result = solver.decompose(graph)
+    coreness = result.coreness
+    degrees = graph.degrees
+
+    print(f"k_max = {result.kmax}; "
+          f"innermost core holds {result.core_members(result.kmax).size} "
+          f"vertices")
+
+    # Degree picks the celebrity hubs; coreness picks the dense community.
+    top_by_degree = np.argsort(degrees)[-5:][::-1]
+    top_by_coreness = result.core_members(result.kmax)[:5]
+    print("\ntop-5 by degree (celebrities):")
+    for v in top_by_degree:
+        print(f"  vertex {v}: degree={degrees[v]:,} "
+              f"coreness={coreness[v]}")
+    print("top-5 of the innermost core (dense community):")
+    for v in top_by_coreness:
+        print(f"  vertex {v}: degree={degrees[v]:,} "
+              f"coreness={coreness[v]}")
+
+    hubs_outside_core = sum(
+        1 for v in top_by_degree if coreness[v] < result.kmax
+    )
+    core = result.core_members(result.kmax)
+    print(f"\n{hubs_outside_core}/5 of the highest-degree celebrities sit "
+          f"outside the innermost core, while the core holds "
+          f"{core.size} vertices of median degree "
+          f"{int(np.median(degrees[core]))} — degree is not spreading "
+          f"power (Kitsak et al. 2010).")
+
+    # Why sampling matters here: the hubs receive thousands of concurrent
+    # degree decrements; sampling collapses that contention.
+    plain = ParallelKCore(sampling=False, vgc=True, buckets="adaptive")
+    t_plain = plain.decompose(graph).time_on(96)
+    t_sampled = result.time_on(96)
+    print(f"\nsimulated 96-thread time: "
+          f"without sampling {nanos_to_millis(t_plain):.3f} ms, "
+          f"with sampling {nanos_to_millis(t_sampled):.3f} ms "
+          f"({t_plain / t_sampled:.2f}x)")
+    print(f"max contention without sampling: "
+          f"{plain.decompose(graph).metrics.max_contention}, "
+          f"with: {result.metrics.max_contention}")
+
+
+if __name__ == "__main__":
+    main()

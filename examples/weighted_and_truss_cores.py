@@ -1,0 +1,70 @@
+"""Beyond plain k-core: weighted cores and k-truss communities.
+
+The peeling machinery generalizes: Batagelj–Zaversnik's *generalized
+cores* replace degree with any monotone vertex function (here: edge-
+weight sums — "s-cores"), and the *k-truss* peels edges by triangle
+support, yielding tighter communities than the k-core.
+
+This example builds a collaboration-style network (weighted by repeat
+interactions, with an embedded dense team), then contrasts what the
+three notions of "dense group" recover.
+
+Run:  python examples/weighted_and_truss_cores.py
+"""
+
+import numpy as np
+
+from repro import ParallelKCore, generators
+from repro.core.generalized import symmetric_arc_weights, weighted_coreness
+from repro.core.truss import ktruss_subgraph, truss_decomposition
+from repro.graphs.csr import CSRGraph
+from repro.graphs.transform import all_edges
+
+
+def build_collaboration_graph(seed: int = 5):
+    """An interaction graph with an embedded 9-person team."""
+    rng = np.random.default_rng(seed)
+    # Background dense enough that its top k-core rivals the team's.
+    background = generators.erdos_renyi(400, 14.0, seed=seed)
+    team = [(u, v) for u in range(9) for v in range(u + 1, 9)]
+    edges = np.concatenate([all_edges(background), np.array(team)])
+    return CSRGraph.from_edges(400, edges, name="collab")
+
+
+def main() -> None:
+    graph = build_collaboration_graph()
+    print(f"collaboration graph: n={graph.n}, edges={graph.num_edges}")
+
+    # 1. Plain k-core: the dense background outranks the small team.
+    result = ParallelKCore().decompose(graph)
+    core = result.core_members(result.kmax)
+    team_in_core = int(np.isin(np.arange(9), core).sum())
+    print(f"\nk-core ({result.kmax}-core): {core.size} members, "
+          f"only {team_in_core}/9 of the team")
+
+    # 2. Weighted cores: team edges carry weight 5 (repeat interactions).
+    weights = symmetric_arc_weights(
+        graph, lambda u, v: 5.0 if u < 9 and v < 9 else 1.0
+    )
+    s_core = weighted_coreness(graph, weights)
+    top_level = s_core.max()
+    s_members = np.nonzero(s_core >= top_level)[0]
+    print(f"weighted s-core (level {top_level:.0f}): "
+          f"{s_members.size} members "
+          f"({'exactly the team' if set(s_members.tolist()) == set(range(9)) else 'mixed'})")
+
+    # 3. k-truss: triangles, not just degrees.
+    _, trussness = truss_decomposition(graph)
+    tmax = int(trussness.max())
+    truss = ktruss_subgraph(graph, tmax)
+    members = np.nonzero(truss.degrees > 0)[0]
+    print(f"max k-truss ({tmax}-truss): {members.size} members "
+          f"({'exactly the team' if set(members.tolist()) == set(range(9)) else 'mixed'})")
+
+    print("\nThe k-core is fooled by incidental degree; weighting by "
+          "interaction strength or requiring triangle support recovers "
+          "the planted team cleanly.")
+
+
+if __name__ == "__main__":
+    main()

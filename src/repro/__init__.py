@@ -1,0 +1,70 @@
+"""repro — a reproduction of *Parallel k-Core Decomposition: Theory and
+Practice* (SIGMOD 2025).
+
+Quickstart::
+
+    from repro import ParallelKCore, generators
+
+    graph = generators.load("LJ-S")          # scaled LiveJournal analogue
+    result = ParallelKCore().decompose(graph)
+    print(result.kmax, result.time_on(96))   # coreness + simulated time
+
+The package layers:
+
+* :mod:`repro.graphs` — CSR graphs, I/O, statistics;
+* :mod:`repro.generators` — every graph family of the paper's Table 2;
+* :mod:`repro.runtime` — the simulated parallel machine (work / span /
+  burdened span / contention), substituting for real shared-memory
+  parallelism that Python's GIL forbids;
+* :mod:`repro.primitives`, :mod:`repro.structures` — parallel building
+  blocks (pack, histogram, hash bag, bucketing structures including the
+  paper's hierarchical bucketing structure);
+* :mod:`repro.core` — the work-efficient framework, the sampling and VGC
+  techniques, the flagship :class:`ParallelKCore`, and the ParK / PKC /
+  Julienne / Galois baselines;
+* :mod:`repro.analysis` — the experiment harness regenerating every table
+  and figure of the paper's evaluation.
+"""
+
+from repro import generators, graphs, primitives, runtime, structures
+from repro.core import (
+    CorenessResult,
+    FrameworkConfig,
+    ParallelKCore,
+    SamplingConfig,
+    SubgraphResult,
+    bz_core,
+    check_coreness,
+    decompose,
+    degeneracy,
+    degeneracy_order,
+    kcore,
+    max_kcore_subgraph,
+    reference_coreness,
+)
+from repro.graphs import CSRGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSRGraph",
+    "CorenessResult",
+    "FrameworkConfig",
+    "ParallelKCore",
+    "SamplingConfig",
+    "SubgraphResult",
+    "__version__",
+    "bz_core",
+    "check_coreness",
+    "decompose",
+    "degeneracy",
+    "degeneracy_order",
+    "generators",
+    "graphs",
+    "kcore",
+    "max_kcore_subgraph",
+    "primitives",
+    "reference_coreness",
+    "runtime",
+    "structures",
+]

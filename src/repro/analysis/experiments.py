@@ -1,0 +1,150 @@
+"""Experiment harness: run algorithms on suite graphs, collect records.
+
+Every benchmark regenerating a paper table or figure goes through this
+module: it knows the standard algorithm roster (ours + the three parallel
+baselines + the sequential BZ), executes a run, and condenses it into a
+:class:`RunRecord` holding the simulated times and the peeling statistics
+the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.baselines import julienne_kcore, park_kcore, pkc_kcore
+from repro.core.parallel_kcore import ParallelKCore
+from repro.core.result import CorenessResult
+from repro.core.sequential import bz_core
+from repro.generators import suite
+from repro.graphs.csr import CSRGraph
+from repro.runtime.cost_model import (
+    CostModel,
+    DEFAULT_COST_MODEL,
+    nanos_to_millis,
+)
+
+#: Thread count of the paper's evaluation machine.
+PAPER_THREADS = 96
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Condensed result of one algorithm execution on one graph."""
+
+    algorithm: str
+    graph: str
+    n: int
+    m: int
+    kmax: int
+    rho: int
+    time_ms: float  # simulated time on PAPER_THREADS
+    seq_ms: float  # simulated time on one thread (the work)
+    burdened_span: float
+    max_contention: int
+    restarts: int
+
+    @property
+    def self_speedup(self) -> float:
+        """``T_1 / T_96`` (Table 2's "spd." column)."""
+        if self.time_ms == 0:
+            return float("inf")
+        return self.seq_ms / self.time_ms
+
+
+def record_from_result(
+    result: CorenessResult, graph: CSRGraph, threads: int = PAPER_THREADS
+) -> RunRecord:
+    """Condense a :class:`CorenessResult` into a :class:`RunRecord`."""
+    return RunRecord(
+        algorithm=result.algorithm,
+        graph=graph.name,
+        n=graph.n,
+        m=graph.m,
+        kmax=result.kmax,
+        rho=result.metrics.subrounds,
+        time_ms=nanos_to_millis(result.time_on(threads)),
+        seq_ms=nanos_to_millis(result.time_on(1)),
+        burdened_span=result.metrics.burdened_span,
+        max_contention=result.metrics.max_contention,
+        restarts=result.metrics.restarts,
+    )
+
+
+Runner = Callable[[CSRGraph, CostModel], CorenessResult]
+
+
+def _ours(graph: CSRGraph, model: CostModel) -> CorenessResult:
+    return ParallelKCore(model=model).decompose(graph)
+
+
+def _ours_plain(graph: CSRGraph, model: CostModel) -> CorenessResult:
+    return ParallelKCore(
+        sampling=False, vgc=False, buckets="1", model=model
+    ).decompose(graph)
+
+
+#: The roster of the paper's Table 2 (ours + three parallel baselines +
+#: the sequential BZ).
+ALGORITHMS: dict[str, Runner] = {
+    "ours": _ours,
+    "ours-plain": _ours_plain,
+    "julienne": julienne_kcore,
+    "park": park_kcore,
+    "pkc": pkc_kcore,
+    "bz": bz_core,
+}
+
+#: Parallel algorithms only (Fig. 5's roster).
+PARALLEL_ALGORITHMS = ("ours", "julienne", "park", "pkc")
+
+
+def run(
+    algorithm: str,
+    graph_name: str,
+    model: CostModel = DEFAULT_COST_MODEL,
+    threads: int = PAPER_THREADS,
+) -> RunRecord:
+    """Run one named algorithm on one suite graph."""
+    graph = suite.load(graph_name)
+    return run_on(algorithm, graph, model=model, threads=threads)
+
+
+def run_on(
+    algorithm: str,
+    graph: CSRGraph,
+    model: CostModel = DEFAULT_COST_MODEL,
+    threads: int = PAPER_THREADS,
+) -> RunRecord:
+    """Run one named algorithm on an arbitrary graph."""
+    try:
+        runner = ALGORITHMS[algorithm]
+    except KeyError:
+        known = ", ".join(ALGORITHMS)
+        raise KeyError(f"unknown algorithm {algorithm!r}; known: {known}")
+    result = runner(graph, model)
+    return record_from_result(result, graph, threads=threads)
+
+
+@dataclass
+class ExperimentCache:
+    """Memoizes RunRecords so multi-figure benchmark sessions reuse runs."""
+
+    model: CostModel = field(default_factory=lambda: DEFAULT_COST_MODEL)
+    threads: int = PAPER_THREADS
+    _records: dict[tuple[str, str], RunRecord] = field(default_factory=dict)
+
+    def get(self, algorithm: str, graph_name: str) -> RunRecord:
+        """Run (or fetch) ``algorithm`` on ``graph_name``."""
+        key = (algorithm, graph_name)
+        if key not in self._records:
+            self._records[key] = run(
+                algorithm, graph_name, model=self.model, threads=self.threads
+            )
+        return self._records[key]
+
+    def best_sequential_ms(self, graph_name: str) -> float:
+        """min(BZ, our one-thread work) — the paper's sequential reference."""
+        bz = self.get("bz", graph_name).seq_ms
+        ours = self.get("ours", graph_name).seq_ms
+        return min(bz, ours)

@@ -1,0 +1,88 @@
+"""Exporters: experiment records to JSON / CSV / Markdown.
+
+The benchmark harness produces :class:`~repro.analysis.experiments.RunRecord`
+objects and table/figure data; downstream consumers (plotting notebooks,
+CI dashboards, the EXPERIMENTS.md refresh) want them in standard formats.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from dataclasses import asdict
+from typing import Iterable, Sequence
+
+from repro.analysis.experiments import RunRecord
+
+
+def records_to_json(
+    records: Iterable[RunRecord], path: str | os.PathLike
+) -> None:
+    """Write run records as a JSON array."""
+    payload = [asdict(record) for record in records]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def records_from_json(path: str | os.PathLike) -> list[RunRecord]:
+    """Read run records written by :func:`records_to_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return [RunRecord(**entry) for entry in payload]
+
+
+def records_to_csv(
+    records: Sequence[RunRecord], path: str | os.PathLike
+) -> None:
+    """Write run records as CSV with a header row."""
+    if not records:
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            handle.write("")
+        return
+    fields = list(asdict(records[0]).keys())
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fields)
+        writer.writeheader()
+        for record in records:
+            writer.writerow(asdict(record))
+
+
+def markdown_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render a GitHub-flavoured Markdown table."""
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(fmt(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def records_to_markdown(records: Sequence[RunRecord]) -> str:
+    """Markdown comparison table of run records."""
+    headers = (
+        "graph", "algorithm", "t96 (ms)", "t1 (ms)", "speedup", "rho",
+        "max contention",
+    )
+    rows = [
+        (
+            r.graph,
+            r.algorithm,
+            r.time_ms,
+            r.seq_ms,
+            r.self_speedup,
+            r.rho,
+            r.max_contention,
+        )
+        for r in records
+    ]
+    return markdown_table(headers, rows)

@@ -1,0 +1,296 @@
+"""Regenerators for the paper's figures (data series, printed as text).
+
+Every function returns plain data (dicts / lists of points) so benchmarks
+and tests can assert on the series, and the benches print them via
+:mod:`repro.analysis.reporting`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.experiments import ExperimentCache, PARALLEL_ALGORITHMS
+from repro.core.baselines import galois_max_kcore
+from repro.core.baselines.julienne import julienne_kcore
+from repro.core.parallel_kcore import ParallelKCore
+from repro.core.subgraph import max_kcore_subgraph
+from repro.generators import suite
+from repro.runtime.cost_model import (
+    CostModel,
+    DEFAULT_COST_MODEL,
+    nanos_to_millis,
+)
+from repro.runtime.scheduler import SCALABILITY_THREADS, speedup_curve
+
+
+# ----------------------------------------------------------------------
+# Fig. 2: speedup over the best sequential time, representative graphs
+# ----------------------------------------------------------------------
+def fig2_seq_speedup(
+    cache: ExperimentCache | None = None,
+    graph_names: tuple[str, ...] = suite.REPRESENTATIVE,
+) -> dict[str, dict[str, float]]:
+    """graph -> {algorithm -> speedup over best sequential}."""
+    cache = cache if cache is not None else ExperimentCache()
+    out: dict[str, dict[str, float]] = {}
+    for name in graph_names:
+        seq = cache.best_sequential_ms(name)
+        out[name] = {
+            algo: seq / cache.get(algo, name).time_ms
+            for algo in PARALLEL_ALGORITHMS
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fig. 5: baseline running time normalized to ours, all graphs
+# ----------------------------------------------------------------------
+def fig5_relative_time(
+    cache: ExperimentCache | None = None,
+    graph_names: tuple[str, ...] | None = None,
+) -> dict[str, dict[str, float]]:
+    """graph -> {baseline -> time / ours_time} (1.0 is our algorithm)."""
+    cache = cache if cache is not None else ExperimentCache()
+    names = graph_names if graph_names is not None else tuple(suite.SUITE)
+    out: dict[str, dict[str, float]] = {}
+    for name in names:
+        ours = cache.get("ours", name).time_ms
+        out[name] = {
+            algo: cache.get(algo, name).time_ms / ours
+            for algo in ("julienne", "park", "pkc")
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fig. 6 + Fig. 11: speedup of VGC / sampling / both over plain
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AblationPoint:
+    """Ablation times (ms) on one graph."""
+
+    graph: str
+    plain_ms: float
+    vgc_ms: float
+    sampling_ms: float
+    both_ms: float
+
+    @property
+    def vgc_speedup(self) -> float:
+        return self.plain_ms / self.vgc_ms
+
+    @property
+    def sampling_speedup(self) -> float:
+        return self.plain_ms / self.sampling_ms
+
+    @property
+    def both_speedup(self) -> float:
+        return self.plain_ms / self.both_ms
+
+
+def fig6_ablation(
+    graph_names: tuple[str, ...] | None = None,
+    model: CostModel = DEFAULT_COST_MODEL,
+    threads: int = 96,
+) -> list[AblationPoint]:
+    """VGC / sampling ablation over the plain version (paper Fig. 6)."""
+    names = graph_names if graph_names is not None else tuple(suite.SUITE)
+    points = []
+    for name in names:
+        graph = suite.load(name)
+
+        def time_of(sampling: bool, vgc: bool) -> float:
+            solver = ParallelKCore(
+                sampling=sampling, vgc=vgc, buckets="1", model=model
+            )
+            return nanos_to_millis(
+                solver.decompose(graph).time_on(threads)
+            )
+
+        points.append(
+            AblationPoint(
+                graph=name,
+                plain_ms=time_of(False, False),
+                vgc_ms=time_of(False, True),
+                sampling_ms=time_of(True, False),
+                both_ms=time_of(True, True),
+            )
+        )
+    return points
+
+
+def fig11_sampling(
+    graph_names: tuple[str, ...] = suite.SAMPLING_TRIGGER,
+    model: CostModel = DEFAULT_COST_MODEL,
+    threads: int = 96,
+) -> dict[str, tuple[float, float]]:
+    """graph -> (time without sampling, time with sampling), full config.
+
+    The paper's Fig. 11 compares the final algorithm with and without
+    sampling on the eight graphs that trigger it.
+    """
+    out: dict[str, tuple[float, float]] = {}
+    for name in graph_names:
+        graph = suite.load(name)
+        without = ParallelKCore(
+            sampling=False, vgc=True, buckets="adaptive", model=model
+        ).decompose(graph)
+        with_s = ParallelKCore(
+            sampling=True, vgc=True, buckets="adaptive", model=model
+        ).decompose(graph)
+        out[name] = (
+            nanos_to_millis(without.time_on(threads)),
+            nanos_to_millis(with_s.time_on(threads)),
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fig. 7: number of subrounds with and without VGC
+# ----------------------------------------------------------------------
+def fig7_subrounds(
+    graph_names: tuple[str, ...] | None = None,
+    model: CostModel = DEFAULT_COST_MODEL,
+) -> dict[str, tuple[int, int]]:
+    """graph -> (subrounds without VGC, subrounds with VGC): rho vs rho'."""
+    names = graph_names if graph_names is not None else tuple(suite.SUITE)
+    out: dict[str, tuple[int, int]] = {}
+    for name in names:
+        graph = suite.load(name)
+        without = ParallelKCore(
+            sampling=False, vgc=False, buckets="1", model=model
+        ).decompose(graph)
+        with_vgc = ParallelKCore(
+            sampling=False, vgc=True, buckets="1", model=model
+        ).decompose(graph)
+        out[name] = (without.rho, with_vgc.rho)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fig. 8: bucketing strategies normalized to HBS
+# ----------------------------------------------------------------------
+def fig8_bucketing(
+    graph_names: tuple[str, ...] | None = None,
+    model: CostModel = DEFAULT_COST_MODEL,
+    threads: int = 96,
+) -> dict[str, dict[str, float]]:
+    """graph -> {strategy -> time / HBS time} for 1 / 16 / HBS buckets."""
+    names = graph_names if graph_names is not None else tuple(suite.SUITE)
+    out: dict[str, dict[str, float]] = {}
+    for name in names:
+        graph = suite.load(name)
+        times = {}
+        for label, buckets in (
+            ("1-bucket", "1"),
+            ("16-bucket", "16"),
+            ("hbs", "adaptive"),
+        ):
+            solver = ParallelKCore(
+                sampling=True, vgc=True, buckets=buckets, model=model
+            )
+            times[label] = nanos_to_millis(
+                solver.decompose(graph).time_on(threads)
+            )
+        out[name] = {k: v / times["hbs"] for k, v in times.items()}
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figs. 9 / 14: burdened-span speedup over Julienne; Fig. 15: time
+# ----------------------------------------------------------------------
+def fig9_burdened_span(
+    graph_names: tuple[str, ...] | None = None,
+    model: CostModel = DEFAULT_COST_MODEL,
+) -> dict[str, tuple[float, float]]:
+    """graph -> (ours-no-VGC speedup, ours-VGC speedup) over Julienne.
+
+    Speedups are burdened-span ratios (higher favours ours); the paper's
+    green dotted line at 1 is Julienne itself.
+    """
+    names = graph_names if graph_names is not None else tuple(suite.SUITE)
+    out: dict[str, tuple[float, float]] = {}
+    for name in names:
+        graph = suite.load(name)
+        jul = julienne_kcore(graph, model).metrics.burdened_span_under(model)
+        no_vgc = ParallelKCore(
+            sampling=True, vgc=False, buckets="16", model=model
+        ).decompose(graph).metrics.burdened_span_under(model)
+        with_vgc = ParallelKCore(
+            sampling=True, vgc=True, buckets="16", model=model
+        ).decompose(graph).metrics.burdened_span_under(model)
+        out[name] = (jul / no_vgc, jul / with_vgc)
+    return out
+
+
+def fig15_time_vs_julienne(
+    graph_names: tuple[str, ...] | None = None,
+    model: CostModel = DEFAULT_COST_MODEL,
+    threads: int = 96,
+) -> dict[str, tuple[float, float]]:
+    """graph -> (ours-no-VGC, ours-VGC) running-time speedup over Julienne."""
+    names = graph_names if graph_names is not None else tuple(suite.SUITE)
+    out: dict[str, tuple[float, float]] = {}
+    for name in names:
+        graph = suite.load(name)
+        jul = julienne_kcore(graph, model).time_on(threads)
+        no_vgc = ParallelKCore(
+            sampling=True, vgc=False, buckets="16", model=model
+        ).decompose(graph).time_on(threads)
+        with_vgc = ParallelKCore(
+            sampling=True, vgc=True, buckets="16", model=model
+        ).decompose(graph).time_on(threads)
+        out[name] = (jul / no_vgc, jul / with_vgc)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fig. 10: self-relative scalability
+# ----------------------------------------------------------------------
+def fig10_scalability(
+    graph_names: tuple[str, ...],
+    model: CostModel = DEFAULT_COST_MODEL,
+    threads: tuple[int, ...] = SCALABILITY_THREADS,
+) -> dict[str, list[tuple[int, float]]]:
+    """graph -> [(threads, self-relative speedup)] for the final algorithm."""
+    out: dict[str, list[tuple[int, float]]] = {}
+    for name in graph_names:
+        graph = suite.load(name)
+        result = ParallelKCore(model=model).decompose(graph)
+        curve = speedup_curve(result.metrics, threads=threads, model=model)
+        out[name] = [(p.threads, p.speedup) for p in curve]
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fig. 12: max k-core subgraph vs the Galois-style baseline
+# ----------------------------------------------------------------------
+def fig12_subgraph(
+    graph_names: tuple[str, ...] = ("OK-S", "TW-S"),
+    k_values: tuple[int, ...] = (4, 8, 16, 32, 64),
+    model: CostModel = DEFAULT_COST_MODEL,
+    threads: int = 96,
+) -> dict[str, list[tuple[int, float, float]]]:
+    """graph -> [(k, ours_ms, galois_ms)] for the subgraph-finding task.
+
+    The paper sweeps k = 16..2048 on the full OK / TW; the scaled graphs
+    support a proportionally scaled k range.
+    """
+    out: dict[str, list[tuple[int, float, float]]] = {}
+    for name in graph_names:
+        graph = suite.load(name)
+        series = []
+        for k in k_values:
+            ours = max_kcore_subgraph(graph, k, model=model)
+            galois = galois_max_kcore(graph, k, model=model)
+            series.append(
+                (
+                    k,
+                    nanos_to_millis(ours.metrics.time_on(threads, model)),
+                    nanos_to_millis(
+                        galois.metrics.time_on(threads, model)
+                    ),
+                )
+            )
+        out[name] = series
+    return out

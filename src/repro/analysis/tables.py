@@ -1,0 +1,178 @@
+"""Regenerators for the paper's tables (Table 2 and Table 3 / Fig. 13)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.experiments import ExperimentCache, record_from_result
+from repro.analysis.reporting import geometric_mean, render_table
+from repro.core.parallel_kcore import ParallelKCore
+from repro.generators import suite
+from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
+
+#: Column order of Table 3 (the paper's eight technique combinations).
+TABLE3_COLUMNS = (
+    "Plain",
+    "VGC",
+    "Sample",
+    "HBS",
+    "VGC+Sample",
+    "VGC+HBS",
+    "Sample+HBS",
+    "All",
+)
+
+
+@dataclass
+class Table2Row:
+    """One row of Table 2 (graph statistics + all running times in ms)."""
+
+    graph: str
+    family: str
+    n: int
+    m: int
+    kmax: int
+    rho: int
+    ours_seq_ms: float
+    ours_par_ms: float
+    self_speedup: float
+    bz_ms: float
+    julienne_ms: float
+    park_ms: float
+    pkc_ms: float
+
+    def best_algorithm(self) -> str:
+        """Name of the fastest parallel algorithm on this graph."""
+        times = {
+            "ours": self.ours_par_ms,
+            "julienne": self.julienne_ms,
+            "park": self.park_ms,
+            "pkc": self.pkc_ms,
+        }
+        return min(times, key=times.get)
+
+    def as_cells(self) -> list[object]:
+        return [
+            self.graph,
+            self.n,
+            self.m,
+            self.kmax,
+            self.rho,
+            self.ours_seq_ms,
+            self.ours_par_ms,
+            self.self_speedup,
+            self.bz_ms,
+            self.julienne_ms,
+            self.park_ms,
+            self.pkc_ms,
+        ]
+
+
+TABLE2_HEADERS = (
+    "graph", "n", "m", "kmax", "rho", "seq(ms)", "par(ms)", "spd",
+    "BZ(ms)", "Julienne", "ParK", "PKC",
+)
+
+
+def table2_row(cache: ExperimentCache, graph_name: str) -> Table2Row:
+    """Compute one Table 2 row.
+
+    ``rho`` follows the paper's definition — the peeling complexity of the
+    *plain* (subround-per-frontier) peel, not the VGC-compressed count.
+    """
+    ours = cache.get("ours", graph_name)
+    plain = cache.get("ours-plain", graph_name)
+    return Table2Row(
+        graph=graph_name,
+        family=suite.SUITE[graph_name].family,
+        n=ours.n,
+        m=ours.m,
+        kmax=ours.kmax,
+        rho=plain.rho,
+        ours_seq_ms=ours.seq_ms,
+        ours_par_ms=ours.time_ms,
+        self_speedup=ours.self_speedup,
+        bz_ms=cache.get("bz", graph_name).seq_ms,
+        julienne_ms=cache.get("julienne", graph_name).time_ms,
+        park_ms=cache.get("park", graph_name).time_ms,
+        pkc_ms=cache.get("pkc", graph_name).time_ms,
+    )
+
+
+def table2(
+    cache: ExperimentCache | None = None,
+    graph_names: tuple[str, ...] | None = None,
+) -> list[Table2Row]:
+    """All rows of Table 2 over the (scaled) suite."""
+    cache = cache if cache is not None else ExperimentCache()
+    names = graph_names if graph_names is not None else tuple(suite.SUITE)
+    return [table2_row(cache, name) for name in names]
+
+
+def render_table2(rows: list[Table2Row]) -> str:
+    """Format Table 2 with the paper's per-family geomean lines."""
+    out = [
+        render_table(
+            TABLE2_HEADERS, [r.as_cells() for r in rows],
+            title="Table 2: running times (simulated ms, 96 threads)",
+        )
+    ]
+    for family in ("social", "web", "road", "knn", "other"):
+        fam = [r for r in rows if r.family == family]
+        if not fam:
+            continue
+        out.append(
+            f"geomean[{family}]  ours={geometric_mean([r.ours_par_ms for r in fam]):.3f}  "
+            f"julienne={geometric_mean([r.julienne_ms for r in fam]):.3f}  "
+            f"park={geometric_mean([r.park_ms for r in fam]):.3f}  "
+            f"pkc={geometric_mean([r.pkc_ms for r in fam]):.3f}"
+        )
+    return "\n".join(out)
+
+
+# ----------------------------------------------------------------------
+# Table 3 / Fig. 13: the eight technique combinations
+# ----------------------------------------------------------------------
+def table3_row(
+    graph_name: str,
+    model: CostModel = DEFAULT_COST_MODEL,
+    threads: int = 96,
+) -> dict[str, float]:
+    """Running time (ms) of all eight combinations on one graph."""
+    graph = suite.load(graph_name)
+    row: dict[str, float] = {}
+    for label, solver in ParallelKCore.variants(model=model).items():
+        result = solver.decompose(graph)
+        row[label] = record_from_result(result, graph, threads).time_ms
+    return row
+
+
+def normalize_row(row: dict[str, float]) -> dict[str, float]:
+    """Normalize a Table 3 row to its minimum (the paper's heatmap)."""
+    best = min(row.values())
+    if best == 0:
+        return {k: 1.0 for k in row}
+    return {k: v / best for k, v in row.items()}
+
+
+def table3(
+    graph_names: tuple[str, ...] | None = None,
+    model: CostModel = DEFAULT_COST_MODEL,
+) -> dict[str, dict[str, float]]:
+    """Raw Table 3: graph -> {combination -> time_ms}."""
+    names = graph_names if graph_names is not None else tuple(suite.SUITE)
+    return {name: table3_row(name, model=model) for name in names}
+
+
+def render_table3(data: dict[str, dict[str, float]]) -> str:
+    """Format Table 3 normalized to the per-graph minimum (Fig. 13)."""
+    rows = []
+    for graph, row in data.items():
+        norm = normalize_row(row)
+        rows.append([graph] + [norm[c] for c in TABLE3_COLUMNS])
+    return render_table(
+        ("graph",) + TABLE3_COLUMNS,
+        rows,
+        title="Table 3 / Fig. 13: technique combinations "
+        "(normalized to per-graph best)",
+    )

@@ -1,0 +1,299 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``stats``     — structural statistics of a graph;
+* ``kcore``     — decompose and print the coreness histogram + timings;
+* ``subgraph``  — extract the maximum k-core subgraph;
+* ``compare``   — run all algorithms on one graph (a Table-2 row);
+* ``truss``     — k-truss decomposition / extraction;
+* ``hierarchy`` — print the core hierarchy tree;
+* ``suite``     — list the built-in benchmark suite;
+* ``generate``  — build a synthetic graph and save it.
+
+Graphs are referenced either by a suite name (``--suite-graph LJ-S``) or
+by a file (``--input graph.txt|.adj|.npz``, format by extension).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis import ALGORITHMS, run_on
+from repro.core.parallel_kcore import ParallelKCore
+from repro.core.hierarchy import core_hierarchy
+from repro.core.subgraph import max_kcore_subgraph
+from repro.core.truss import ktruss_subgraph, truss_decomposition
+from repro.generators import suite as suite_mod
+from repro.generators import (
+    barabasi_albert,
+    cube_3d,
+    erdos_renyi,
+    grid_2d,
+    hcns,
+    knn_graph,
+    rmat,
+    road_like,
+)
+from repro.graphs.csr import CSRGraph
+from repro.graphs.io import (
+    load_adjacency,
+    load_edge_list,
+    load_npz,
+    save_edge_list,
+    save_npz,
+)
+from repro.graphs.properties import graph_stats
+from repro.runtime.cost_model import nanos_to_millis
+from repro.runtime.profiler import profile, render_report
+
+__all__ = ["main", "build_parser"]
+
+#: Generator name -> (callable, kwargs builder from argparse Namespace).
+GENERATORS = {
+    "grid": lambda args: grid_2d(args.size, args.size),
+    "cube": lambda args: cube_3d(args.size, args.size, args.size),
+    "ba": lambda args: barabasi_albert(args.n, args.attach, seed=args.seed),
+    "rmat": lambda args: rmat(args.scale, args.edge_factor, seed=args.seed),
+    "er": lambda args: erdos_renyi(args.n, args.avg_degree, seed=args.seed),
+    "road": lambda args: road_like(args.n, seed=args.seed),
+    "knn": lambda args: knn_graph(args.n, args.k, seed=args.seed),
+    "hcns": lambda args: hcns(args.kmax),
+}
+
+
+def _load_graph(args: argparse.Namespace) -> CSRGraph:
+    if getattr(args, "suite_graph", None):
+        return suite_mod.load(args.suite_graph)
+    path = getattr(args, "input", None)
+    if not path:
+        raise SystemExit("need --suite-graph NAME or --input PATH")
+    if path.endswith(".npz"):
+        return load_npz(path)
+    if path.endswith(".adj"):
+        return load_adjacency(path)
+    return load_edge_list(path)
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--suite-graph", help="name of a built-in suite graph (see 'suite')"
+    )
+    parser.add_argument(
+        "--input", help="graph file (.txt edge list, .adj, or .npz)"
+    )
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Print structural statistics of the selected graph."""
+    graph = _load_graph(args)
+    stats = graph_stats(graph)
+    print(stats.describe())
+    print(f"  degree p99: {stats.degree_p99:.1f}")
+    return 0
+
+
+def cmd_kcore(args: argparse.Namespace) -> int:
+    """Decompose the graph and print histogram, timings, profile."""
+    graph = _load_graph(args)
+    solver = ParallelKCore(
+        sampling=not args.no_sampling,
+        vgc=not args.no_vgc,
+        buckets=args.buckets,
+    )
+    result = solver.decompose(graph)
+    print(f"k_max = {result.kmax}, subrounds = {result.rho}")
+    hist = result.coreness_histogram()
+    for k in range(hist.size):
+        if hist[k]:
+            print(f"  coreness {k}: {hist[k]} vertices")
+    t1 = nanos_to_millis(result.time_on(1))
+    tp = nanos_to_millis(result.time_on(args.threads))
+    print(
+        f"simulated time: 1 thread = {t1:.3f} ms, "
+        f"{args.threads} threads = {tp:.3f} ms ({t1 / tp:.1f}x)"
+    )
+    if args.profile:
+        print(render_report(profile(result.metrics), title="profile:"))
+    if args.output:
+        np.savetxt(args.output, result.coreness, fmt="%d")
+        print(f"coreness written to {args.output}")
+    return 0
+
+
+def cmd_subgraph(args: argparse.Namespace) -> int:
+    """Extract and optionally save the maximum k-core subgraph."""
+    graph = _load_graph(args)
+    result = max_kcore_subgraph(graph, args.k)
+    print(
+        f"{args.k}-core: {result.size} vertices "
+        f"({result.size / max(graph.n, 1):.1%} of the graph)"
+    )
+    if args.output and result.size:
+        core = result.extract(graph)
+        if args.output.endswith(".npz"):
+            save_npz(core, args.output)
+        else:
+            save_edge_list(core, args.output)
+        print(f"extracted subgraph written to {args.output}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Run every algorithm on the graph (one Table-2-style row)."""
+    graph = _load_graph(args)
+    print(graph_stats(graph).describe())
+    print(
+        f"{'algorithm':<12s} {'t96 (ms)':>10s} {'t1 (ms)':>10s} "
+        f"{'spd':>6s} {'rho':>6s}"
+    )
+    for algo in ALGORITHMS:
+        record = run_on(algo, graph)
+        print(
+            f"{algo:<12s} {record.time_ms:>10.3f} {record.seq_ms:>10.3f} "
+            f"{record.self_speedup:>6.1f} {record.rho:>6d}"
+        )
+    return 0
+
+
+def cmd_truss(args: argparse.Namespace) -> int:
+    """k-truss decomposition histogram, or one k-truss extraction."""
+    graph = _load_graph(args)
+    if args.k is not None:
+        sub = ktruss_subgraph(graph, args.k)
+        print(f"{args.k}-truss: {sub.num_edges} edges, "
+              f"{int((sub.degrees > 0).sum())} non-isolated vertices")
+        if args.output:
+            if args.output.endswith(".npz"):
+                save_npz(sub, args.output)
+            else:
+                save_edge_list(sub, args.output)
+            print(f"written to {args.output}")
+    else:
+        _, trussness = truss_decomposition(graph)
+        hist = np.bincount(trussness) if trussness.size else np.zeros(0)
+        print("trussness histogram:")
+        for k in range(hist.size):
+            if hist[k]:
+                print(f"  trussness {k}: {hist[k]} edges")
+    return 0
+
+
+def cmd_hierarchy(args: argparse.Namespace) -> int:
+    """Print the core hierarchy tree of the largest components."""
+    graph = _load_graph(args)
+    roots = core_hierarchy(graph)
+    print(f"core hierarchy: {len(roots)} root component(s)")
+
+    def show(node, indent):
+        print(f"{'  ' * indent}k={node.k}: {node.size} vertices")
+        for child in sorted(node.children, key=lambda c: -c.size):
+            show(child, indent + 1)
+
+    for root in sorted(roots, key=lambda r: -r.size)[: args.top]:
+        show(root, 1)
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    """List the built-in benchmark suite graphs."""
+    print(f"{'name':<8s} {'family':<8s} {'dense':<6s} paper dataset")
+    for spec in suite_mod.SUITE.values():
+        print(
+            f"{spec.name:<8s} {spec.family:<8s} "
+            f"{'yes' if spec.dense else 'no':<6s} {spec.paper_name}"
+        )
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """Build a synthetic graph and save it to a file."""
+    graph = GENERATORS[args.family](args)
+    print(graph_stats(graph).describe())
+    if args.output.endswith(".npz"):
+        save_npz(graph, args.output)
+    else:
+        save_edge_list(graph, args.output)
+    print(f"written to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel k-core decomposition (SIGMOD 2025 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="graph statistics")
+    _add_graph_arguments(p_stats)
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_kcore = sub.add_parser("kcore", help="k-core decomposition")
+    _add_graph_arguments(p_kcore)
+    p_kcore.add_argument("--no-sampling", action="store_true")
+    p_kcore.add_argument("--no-vgc", action="store_true")
+    p_kcore.add_argument(
+        "--buckets", default="adaptive",
+        choices=("1", "16", "hbs", "adaptive"),
+    )
+    p_kcore.add_argument("--threads", type=int, default=96)
+    p_kcore.add_argument("--profile", action="store_true")
+    p_kcore.add_argument("--output", help="write coreness to a text file")
+    p_kcore.set_defaults(func=cmd_kcore)
+
+    p_sub = sub.add_parser("subgraph", help="maximum k-core subgraph")
+    _add_graph_arguments(p_sub)
+    p_sub.add_argument("-k", type=int, required=True)
+    p_sub.add_argument("--output", help="write the extracted subgraph")
+    p_sub.set_defaults(func=cmd_subgraph)
+
+    p_cmp = sub.add_parser("compare", help="run all algorithms")
+    _add_graph_arguments(p_cmp)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_truss = sub.add_parser("truss", help="k-truss decomposition")
+    _add_graph_arguments(p_truss)
+    p_truss.add_argument("-k", type=int, help="extract one k-truss")
+    p_truss.add_argument("--output", help="write the extracted truss")
+    p_truss.set_defaults(func=cmd_truss)
+
+    p_hier = sub.add_parser("hierarchy", help="core hierarchy tree")
+    _add_graph_arguments(p_hier)
+    p_hier.add_argument("--top", type=int, default=3,
+                        help="show this many largest roots")
+    p_hier.set_defaults(func=cmd_hierarchy)
+
+    p_suite = sub.add_parser("suite", help="list built-in graphs")
+    p_suite.set_defaults(func=cmd_suite)
+
+    p_gen = sub.add_parser("generate", help="build a synthetic graph")
+    p_gen.add_argument("family", choices=sorted(GENERATORS))
+    p_gen.add_argument("--output", required=True)
+    p_gen.add_argument("--n", type=int, default=10_000)
+    p_gen.add_argument("--size", type=int, default=100)
+    p_gen.add_argument("--attach", type=int, default=8)
+    p_gen.add_argument("--scale", type=int, default=13)
+    p_gen.add_argument("--edge-factor", type=int, default=16)
+    p_gen.add_argument("--avg-degree", type=float, default=8.0)
+    p_gen.add_argument("--k", type=int, default=5)
+    p_gen.add_argument("--kmax", type=int, default=128)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.set_defaults(func=cmd_generate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,140 @@
+"""Anchored k-core: preventing community unraveling.
+
+The defensive dual of the collapsed k-core (both descend from the
+engagement-dynamics line the paper's introduction cites): pick ``b``
+*anchor* vertices that are kept in the community by fiat (incentives,
+pinned content); anchors count toward their neighbors' degrees even if
+their own degree is below ``k``, so each anchor can pull a cascade of
+*followers* back into the k-core.  Choosing anchors to maximize the
+anchored k-core is NP-hard (Bhawalkar et al. 2015); the standard
+baseline is the greedy that repeatedly anchors the vertex with the most
+followers.
+
+``anchored_kcore`` computes the anchored core for a fixed anchor set
+(a peel in which anchors are never removed); ``anchor_greedy`` runs the
+greedy selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+
+def anchored_kcore(
+    graph: CSRGraph, k: int, anchors: np.ndarray | list[int]
+) -> np.ndarray:
+    """Membership mask of the anchored k-core.
+
+    Peels non-anchor vertices with induced degree below ``k`` until a
+    fixed point; anchors always survive and keep supporting neighbors.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    n = graph.n
+    anchor_mask = np.zeros(n, dtype=bool)
+    anchor_idx = np.asarray(list(anchors), dtype=np.int64)
+    if anchor_idx.size and (
+        anchor_idx.min() < 0 or anchor_idx.max() >= n
+    ):
+        raise IndexError("anchor out of range")
+    anchor_mask[anchor_idx] = True
+
+    alive = np.ones(n, dtype=bool)
+    dtilde = graph.degrees.astype(np.int64).copy()
+    frontier = np.nonzero((~anchor_mask) & (dtilde < k))[0]
+    while frontier.size:
+        alive[frontier] = False
+        targets = graph.gather_neighbors(frontier)
+        if targets.size:
+            touched, counts = np.unique(targets, return_counts=True)
+            old = dtilde[touched]
+            dtilde[touched] = old - counts
+            frontier = touched[
+                alive[touched]
+                & (~anchor_mask[touched])
+                & (old >= k)
+                & (dtilde[touched] < k)
+            ]
+        else:
+            frontier = np.zeros(0, dtype=np.int64)
+    return alive
+
+
+@dataclass
+class AnchorResult:
+    """Output of the greedy anchor selection.
+
+    Attributes:
+        anchors: Chosen anchors in pick order.
+        core_sizes: Anchored-core size after each pick (index 0 = the
+            plain k-core size, no anchors).
+        followers: Non-anchor vertices gained per pick.
+    """
+
+    anchors: list[int] = field(default_factory=list)
+    core_sizes: list[int] = field(default_factory=list)
+    followers: list[int] = field(default_factory=list)
+
+    @property
+    def gained(self) -> int:
+        """Total community growth achieved by the anchors."""
+        if not self.core_sizes:
+            return 0
+        return self.core_sizes[-1] - self.core_sizes[0]
+
+
+def anchor_greedy(
+    graph: CSRGraph, k: int, budget: int
+) -> AnchorResult:
+    """Greedy anchored-k-core: pick ``budget`` anchors, best-follower first.
+
+    Candidates are restricted to vertices currently outside the anchored
+    core that have at least one neighbor inside it or one neighbor also
+    outside-but-adjacent (the only vertices whose anchoring can recruit
+    followers in one step); ties break to the smallest id.
+    """
+    if budget < 0:
+        raise ValueError(f"budget must be >= 0, got {budget}")
+    result = AnchorResult()
+    anchors: list[int] = []
+    current = anchored_kcore(graph, k, anchors)
+    result.core_sizes.append(int(current.sum()))
+
+    for _ in range(budget):
+        outside = np.nonzero(~current)[0]
+        if outside.size == 0:
+            break
+        # Candidate pruning: anchoring helps only where the anchor's
+        # neighborhood touches the survivors or near-survivors.
+        candidates = []
+        for v in outside:
+            nbrs = graph.neighbors(int(v))
+            if nbrs.size and current[nbrs].any():
+                candidates.append(int(v))
+        if not candidates:
+            candidates = [int(outside[0])]
+        best_v = -1
+        best_size = int(current.sum())
+        for v in candidates:
+            size = int(anchored_kcore(graph, k, anchors + [v]).sum())
+            if size > best_size:
+                best_size = size
+                best_v = v
+        if best_v == -1:
+            # No candidate recruits anyone; anchor the first candidate
+            # anyway (it joins alone).
+            best_v = candidates[0]
+            best_size = int(
+                anchored_kcore(graph, k, anchors + [best_v]).sum()
+            )
+        anchors.append(best_v)
+        previous = result.core_sizes[-1]
+        result.anchors.append(best_v)
+        result.core_sizes.append(best_size)
+        result.followers.append(best_size - previous - 1)
+        current = anchored_kcore(graph, k, anchors)
+    return result

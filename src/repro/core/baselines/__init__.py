@@ -1,0 +1,20 @@
+"""Reimplementations of the paper's baselines: Julienne, ParK, PKC, Galois."""
+
+from repro.core.baselines.galois_subgraph import (
+    GALOIS_ACTIVITY_OVERHEAD,
+    galois_max_kcore,
+)
+from repro.core.baselines.julienne import JULIENNE_CONFIG, julienne_kcore
+from repro.core.baselines.park import park_kcore
+from repro.structures.null_buckets import NullBuckets
+from repro.core.baselines.pkc import pkc_kcore
+
+__all__ = [
+    "GALOIS_ACTIVITY_OVERHEAD",
+    "JULIENNE_CONFIG",
+    "NullBuckets",
+    "galois_max_kcore",
+    "julienne_kcore",
+    "park_kcore",
+    "pkc_kcore",
+]

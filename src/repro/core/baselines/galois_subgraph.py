@@ -1,0 +1,39 @@
+"""Galois-style baseline for the max k-core subgraph task (Appendix B).
+
+Galois (Nguyen, Lenharth, Pingali 2014) solves this task with an
+asynchronous worklist: activities peel vertices with induced degree below
+``k`` and push the neighbors they drop under the threshold.  Relative to
+the paper's adapted framework, this baseline lacks the sampling scheme
+(full contention on high-degree vertices) and VGC (one scheduler activity
+per vertex), and its general-purpose priority worklist adds a per-activity
+constant.  We model it as the plain online subgraph peel plus that
+per-activity overhead.
+"""
+
+from __future__ import annotations
+
+from repro.core.subgraph import SubgraphResult, max_kcore_subgraph
+from repro.graphs.csr import CSRGraph
+from repro.runtime.cost_model import CostModel, CostModelOverrides, DEFAULT_COST_MODEL
+
+#: Extra work per processed vertex for Galois's general-purpose worklist
+#: (chunked FIFO push/pop, conflict detection bookkeeping).
+GALOIS_ACTIVITY_OVERHEAD = 8.0
+
+
+def galois_max_kcore(
+    graph: CSRGraph, k: int, model: CostModel = DEFAULT_COST_MODEL
+) -> SubgraphResult:
+    """Galois-like worklist extraction of the maximal k-core subgraph."""
+    galois_model = CostModelOverrides(model).with_fields(
+        vertex_op=model.vertex_op + GALOIS_ACTIVITY_OVERHEAD
+    )
+    result = max_kcore_subgraph(
+        graph,
+        k,
+        sampling=False,
+        vgc=False,
+        model=galois_model,
+        algorithm="galois",
+    )
+    return result

@@ -1,0 +1,29 @@
+"""Julienne baseline (Dhulipala, Blelloch, Shun 2017).
+
+Julienne's k-core is the offline (histogram-based, race-free) peel driven
+by a 16-bucket structure with an overflow bucket.  Under our framework this
+is exactly ``FrameworkConfig(peel="offline", buckets="16")`` — the paper's
+Sec. 3 analysis shows the simplified implementation is work-efficient, and
+this reimplementation inherits that.  Its weakness is the burdened span:
+several global synchronizations per subround make it collapse on graphs
+with many tiny subrounds (GRID, TRCE, BBL — paper Figs. 2 and 9).
+"""
+
+from __future__ import annotations
+
+from repro.core.framework import FrameworkConfig, decompose
+from repro.core.result import CorenessResult
+from repro.graphs.csr import CSRGraph
+from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
+
+#: The configuration equivalent to Julienne's implementation.
+JULIENNE_CONFIG = FrameworkConfig(
+    peel="offline", buckets="16", sampling=False, vgc=False, name="julienne"
+)
+
+
+def julienne_kcore(
+    graph: CSRGraph, model: CostModel = DEFAULT_COST_MODEL
+) -> CorenessResult:
+    """Run the Julienne baseline and return the coreness of every vertex."""
+    return decompose(graph, JULIENNE_CONFIG, model=model)

@@ -1,0 +1,113 @@
+"""PKC baseline (Kabir & Madduri 2017) — thread-local buffers.
+
+PKC is an online peeler that, like ParK, scans the full vertex array at the
+start of every round (``O(m + k_max * n)`` work, no active set).  Its
+distinguishing optimization is the *thread-local buffer*: the round's
+frontier is statically partitioned over the P threads and each thread
+peels its share **and every vertex its own decrements drop to k**
+sequentially, with no intermediate barrier — exactly one subround per
+round.  That eliminates synchronization but sacrifices load balance: a
+peeling chain stays on the thread that discovered it, so one thread can
+end up with nearly all the work (the paper's critique in Sec. 4.2).  The
+simulated step records per-thread work and takes the maximum as the span.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.result import CorenessResult
+from repro.graphs.csr import CSRGraph
+from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.runtime.simulator import SimRuntime
+
+
+def pkc_kcore(
+    graph: CSRGraph,
+    model: CostModel = DEFAULT_COST_MODEL,
+    threads: int | None = None,
+) -> CorenessResult:
+    """Run PKC and return the coreness of every vertex.
+
+    Args:
+        graph: Input graph.
+        model: Cost model (supplies the simulated thread count by default).
+        threads: Number of simulated threads owning local buffers.
+    """
+    runtime = SimRuntime(model)
+    p = threads if threads is not None else model.n_cores
+    n = graph.n
+    indptr, indices = graph.indptr, graph.indices
+    dtilde = graph.degrees.astype(np.int64).copy()
+    peeled = np.zeros(n, dtype=bool)
+    coreness = np.zeros(n, dtype=np.int64)
+    if n:
+        runtime.parallel_for(
+            model.scan_op, count=n, barriers=1, tag="init_degrees"
+        )
+
+    remaining = n
+    k = 0
+    while remaining:
+        runtime.begin_round()
+        runtime.parallel_for(
+            model.scan_op, count=n, barriers=1, tag="pkc_scan"
+        )
+        frontier = np.nonzero((~peeled) & (dtilde <= k))[0]
+        if frontier.size == 0:
+            k += 1
+            continue
+        runtime.begin_subround(int(frontier.size))
+        coreness[frontier] = k
+        peeled[frontier] = True
+        remaining -= int(frontier.size)
+
+        # Static partition of the frontier over the thread-local buffers;
+        # each thread drains its buffer sequentially, chains included.
+        thread_works = np.zeros(p, dtype=np.float64)
+        decrement_targets: list[int] = []
+        for tid in range(p):
+            buffer = [int(v) for v in frontier[tid::p]]
+            head = 0
+            work = 0.0
+            while head < len(buffer):
+                v = buffer[head]
+                head += 1
+                work += model.vertex_op
+                for u in indices[indptr[v] : indptr[v + 1]]:
+                    u = int(u)
+                    work += model.edge_op + model.atomic_op
+                    old = dtilde[u]
+                    dtilde[u] = old - 1
+                    decrement_targets.append(u)
+                    if old == k + 1 and not peeled[u]:
+                        # The atomic claim: the decrementing thread takes
+                        # the whole chain into its own buffer — the source
+                        # of PKC's load imbalance.
+                        peeled[u] = True
+                        coreness[u] = k
+                        remaining -= 1
+                        buffer.append(u)
+            thread_works[tid] = work
+
+        targets = np.asarray(decrement_targets, dtype=np.int64)
+        if targets.size:
+            _, counts = np.unique(targets, return_counts=True)
+            runtime.metrics.observe_contention(
+                int(counts.max()), int(counts.sum())
+            )
+            span_penalty = float(counts.max()) * model.contended_atomic_op
+        else:
+            span_penalty = 0.0
+        runtime.metrics.record_parallel(
+            work=float(thread_works.sum()),
+            span=float(thread_works.max()) + span_penalty,
+            barriers=1,
+            tag="pkc_round",
+        )
+        k += 1
+
+    return CorenessResult(
+        coreness=coreness, metrics=runtime.metrics, algorithm="pkc",
+        model=model,
+    )

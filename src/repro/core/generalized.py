@@ -1,0 +1,154 @@
+"""Generalized cores: peeling with arbitrary monotone vertex functions.
+
+Batagelj and Zaversnik — the authors of the paper's sequential baseline
+BZ — defined *generalized cores* (2002): replace the degree in the core
+condition with any vertex property function ``p(v, S)`` that is monotone
+in the vertex set ``S`` (shrinking ``S`` never increases ``p``).  The
+generalized core value of ``v`` is the largest ``t`` such that ``v``
+belongs to a maximal subgraph where every member has ``p >= t``.
+Ordinary coreness is ``p = |N(v) ∩ S|``; other classic instances are
+weighted degree (edge-weight sums) and neighbor-count-above-threshold.
+
+The peeling algorithm carries over verbatim: repeatedly remove a vertex
+of minimum current ``p``, with the monotone maximum trick assigning core
+values.  This module implements it for any user-supplied monotone
+function, plus the two standard instances, and the test suite checks
+that the degree instance reproduces coreness exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+
+class VertexFunction(Protocol):
+    """A monotone vertex property for generalized peeling."""
+
+    def initial(self, graph: CSRGraph) -> np.ndarray:
+        """p(v, V) for every vertex (the full-graph values)."""
+        ...
+
+    def on_remove(
+        self,
+        graph: CSRGraph,
+        removed: int,
+        alive: np.ndarray,
+        values: np.ndarray,
+    ) -> list[int]:
+        """Update ``values`` in place after ``removed`` leaves the set.
+
+        Returns the vertices whose value changed (for re-queueing).
+        Must never *increase* any value (monotonicity).
+        """
+        ...
+
+
+class DegreeFunction:
+    """p(v, S) = |N(v) ∩ S| — ordinary k-core."""
+
+    def initial(self, graph: CSRGraph) -> np.ndarray:
+        return graph.degrees.astype(np.float64)
+
+    def on_remove(self, graph, removed, alive, values):
+        changed = []
+        for u in graph.neighbors(removed):
+            u = int(u)
+            if alive[u]:
+                values[u] -= 1.0
+                changed.append(u)
+        return changed
+
+
+class WeightedDegreeFunction:
+    """p(v, S) = sum of weights of edges from v into S (s-cores).
+
+    Args:
+        weights: Positive weight per arc, aligned with ``graph.indices``.
+    """
+
+    def __init__(self, weights: np.ndarray) -> None:
+        self.weights = np.asarray(weights, dtype=np.float64)
+        if np.any(self.weights < 0):
+            raise ValueError("weights must be non-negative")
+
+    def initial(self, graph: CSRGraph) -> np.ndarray:
+        if self.weights.shape != (graph.m,):
+            raise ValueError("need one weight per arc")
+        out = np.zeros(graph.n, dtype=np.float64)
+        src = np.repeat(
+            np.arange(graph.n, dtype=np.int64), graph.degrees
+        )
+        np.add.at(out, src, self.weights)
+        return out
+
+    def on_remove(self, graph, removed, alive, values):
+        changed = []
+        start, end = graph.indptr[removed], graph.indptr[removed + 1]
+        for idx in range(start, end):
+            u = int(graph.indices[idx])
+            if alive[u]:
+                # The arc u -> removed carries the same weight as
+                # removed -> u in a symmetric weighting; find it on u's
+                # side for generality.
+                u_start, u_end = graph.indptr[u], graph.indptr[u + 1]
+                row = graph.indices[u_start:u_end]
+                pos = int(np.searchsorted(row, removed))
+                values[u] -= float(self.weights[u_start + pos])
+                changed.append(u)
+        return changed
+
+
+def generalized_cores(
+    graph: CSRGraph, func: VertexFunction
+) -> np.ndarray:
+    """Generalized core value of every vertex under ``func``.
+
+    The value of ``v`` is the largest level ``t`` (a value the function
+    actually attains during peeling) such that ``v`` survives in a
+    subgraph where every member's ``p`` is at least ``t``.
+    """
+    n = graph.n
+    values = func.initial(graph).astype(np.float64).copy()
+    alive = np.ones(n, dtype=bool)
+    core = np.zeros(n, dtype=np.float64)
+    heap = [(float(values[v]), v) for v in range(n)]
+    heapq.heapify(heap)
+    level = -np.inf
+    remaining = n
+    while remaining:
+        value, v = heapq.heappop(heap)
+        if not alive[v] or value != values[v]:
+            continue  # stale entry
+        level = max(level, value)
+        core[v] = level
+        alive[v] = False
+        remaining -= 1
+        for u in func.on_remove(graph, v, alive, values):
+            heapq.heappush(heap, (float(values[u]), u))
+    return core
+
+
+def weighted_coreness(
+    graph: CSRGraph, weights: np.ndarray
+) -> np.ndarray:
+    """s-core values: generalized cores under weighted degree."""
+    return generalized_cores(graph, WeightedDegreeFunction(weights))
+
+
+def symmetric_arc_weights(
+    graph: CSRGraph, edge_weight: Callable[[int, int], float]
+) -> np.ndarray:
+    """Build a per-arc weight array from a symmetric edge function."""
+    src = np.repeat(np.arange(graph.n, dtype=np.int64), graph.degrees)
+    return np.asarray(
+        [
+            edge_weight(int(u), int(v))
+            for u, v in zip(src, graph.indices)
+        ],
+        dtype=np.float64,
+    )

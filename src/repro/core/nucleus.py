@@ -1,0 +1,111 @@
+"""(3,4)-nucleus decomposition — peeling triangles by K4 support.
+
+The paper cites "theoretically and practically efficient parallel nucleus
+decomposition" (Shi, Dhulipala, Shun — its ref [67]) as a prime user of
+its bucketing machinery.  The (r, s)-nucleus generalizes cores and
+trusses: peel ``r``-cliques by their ``s``-clique support.  The instances
+form a hierarchy of ever-denser subgraphs:
+
+* (1, 2): vertices by edges — **k-core** (this library's subject);
+* (2, 3): edges by triangles — **k-truss** (:mod:`repro.core.truss`);
+* (3, 4): triangles by 4-cliques — this module.
+
+A triangle's *nucleus number* is the largest ``s`` such that it belongs
+to a maximal union of triangles, each contained in at least ``s``
+four-cliques all of whose triangles are in the union.  As with trusses,
+the standard algorithm peels triangles in increasing K4-support order
+with the monotone-max level trick.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import combinations
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+
+def enumerate_triangles(graph: CSRGraph) -> list[tuple[int, int, int]]:
+    """All triangles as sorted vertex triples (u < v < w)."""
+    triangles = []
+    adjacency = [set(graph.neighbors(v).tolist()) for v in range(graph.n)]
+    for u in range(graph.n):
+        higher_u = [w for w in adjacency[u] if w > u]
+        for v in higher_u:
+            common = adjacency[u] & adjacency[v]
+            for w in common:
+                if w > v:
+                    triangles.append((u, v, int(w)))
+    return triangles
+
+
+def nucleus_decomposition_34(
+    graph: CSRGraph,
+) -> dict[tuple[int, int, int], int]:
+    """Nucleus number of every triangle (the (3,4)-nucleus).
+
+    Returns a mapping from sorted triangle triples to their nucleus
+    numbers; triangles in no 4-clique get 0.
+    """
+    triangles = enumerate_triangles(graph)
+    index = {t: i for i, t in enumerate(triangles)}
+    m = len(triangles)
+    support = np.zeros(m, dtype=np.int64)
+    adjacency = [set(graph.neighbors(v).tolist()) for v in range(graph.n)]
+
+    # K4 support: for each triangle (u, v, w), count vertices x adjacent
+    # to all three.  Each K4 contributes to its four triangles.
+    def common_of(u, v, w):
+        return adjacency[u] & adjacency[v] & adjacency[w]
+
+    for i, (u, v, w) in enumerate(triangles):
+        support[i] = len(common_of(u, v, w))
+
+    alive = np.ones(m, dtype=bool)
+    value = np.zeros(m, dtype=np.int64)
+    heap = [(int(support[i]), i) for i in range(m)]
+    heapq.heapify(heap)
+    level = 0
+    removed = 0
+    while removed < m:
+        s, i = heapq.heappop(heap)
+        if not alive[i] or s != support[i]:
+            continue
+        level = max(level, s)
+        value[i] = level
+        alive[i] = False
+        removed += 1
+        u, v, w = triangles[i]
+        # Each surviving K4 through this triangle loses it: the other
+        # three triangles of that K4 drop one unit of support.
+        for x in common_of(u, v, w):
+            others = [
+                tuple(sorted(t))
+                for t in combinations((u, v, w, int(x)), 3)
+            ]
+            # Only count the K4 if all four triangles still exist as
+            # triangles of the graph (they do: edges are not removed) and
+            # the K4 is still "alive" — i.e. its other triangles are
+            # unpeeled; peeled ones already accounted for this K4's loss.
+            if any(
+                index.get(t) is not None and not alive[index[t]]
+                and t != (u, v, w)
+                for t in others
+            ):
+                continue
+            for t in others:
+                if t == (u, v, w):
+                    continue
+                j = index.get(t)
+                if j is not None and alive[j]:
+                    support[j] -= 1
+                    heapq.heappush(heap, (int(support[j]), j))
+    return {t: int(value[index[t]]) for t in triangles}
+
+
+def max_nucleus_34(graph: CSRGraph) -> int:
+    """The largest (3,4)-nucleus number present (0 if no triangles)."""
+    values = nucleus_decomposition_34(graph)
+    return max(values.values(), default=0)

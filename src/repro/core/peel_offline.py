@@ -1,0 +1,62 @@
+"""Offline peeling (paper Alg. 2) — the Julienne strategy.
+
+The offline peel is batch-synchronous and race-free: it concatenates the
+neighbor lists of the frontier into a list ``L``, counts the occurrences of
+each vertex with a semisort-based HISTOGRAM, applies all decrements at once,
+and packs the vertices that crossed the threshold into the next frontier.
+Each subround therefore needs several global synchronizations (gather,
+histogram phases, apply/pack), which is exactly why its burdened span is a
+constant factor worse than the online peel's and why it collapses on graphs
+with many tiny subrounds (the GRID adversary, paper Fig. 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.state import PeelState
+from repro.primitives.histogram import histogram
+
+
+class OfflinePeel:
+    """Offline (histogram-based) peel strategy."""
+
+    name = "offline"
+
+    def subround(
+        self, state: PeelState, frontier: np.ndarray, k: int
+    ) -> np.ndarray:
+        graph, runtime = state.graph, state.runtime
+        model = runtime.model
+
+        # Gather the concatenated neighbor list L (Alg. 2 line 3).
+        targets = graph.gather_neighbors(frontier)
+        task_costs = (
+            model.vertex_op
+            + model.edge_op
+            * (graph.indptr[frontier + 1] - graph.indptr[frontier])
+        ).astype(np.float64)
+        runtime.parallel_for(task_costs, barriers=1, tag="offline_gather")
+
+        if targets.size == 0:
+            return np.zeros(0, dtype=np.int64)
+
+        # HISTOGRAM via semisort (two phases) and batched application.
+        hist = histogram(targets, runtime=runtime, phases=2, tag="offline_hist")
+        old = state.dtilde[hist.keys]
+        new = old - hist.counts
+        state.dtilde[hist.keys] = new
+        crossed = hist.keys[(old > k) & (new <= k)]
+        survivors = (new > k) & (~state.peeled[hist.keys])
+        runtime.parallel_for(
+            model.scan_op,
+            count=int(hist.keys.size),
+            barriers=1,
+            tag="offline_apply",
+        )
+
+        if np.any(survivors):
+            state.buckets.on_decrements(
+                hist.keys[survivors], old[survivors]
+            )
+        return crossed[~state.peeled[crossed]]

@@ -1,0 +1,238 @@
+"""Online peeling (paper Alg. 3), with optional sampling and VGC.
+
+The online peel removes the frontier in parallel and decrements the induced
+degrees of its neighbors *directly* with atomic operations: the thread whose
+decrement takes ``dtilde[u]`` from ``k + 1`` to ``k`` is the unique one to
+add ``u`` to the next frontier.  It needs a single barrier per subround but
+suffers contention on high-degree vertices — which sampling removes — and
+still one barrier per (possibly tiny) subround — which VGC amortizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.state import PeelState
+from repro.core.vgc import VGCConfig
+
+
+class OnlinePeel:
+    """Online peel strategy; one instance per decomposition run."""
+
+    name = "online"
+
+    def __init__(self, vgc: VGCConfig | None = None) -> None:
+        self.vgc = vgc
+
+    def subround(
+        self, state: PeelState, frontier: np.ndarray, k: int
+    ) -> np.ndarray:
+        """Peel one frontier; return the next one.
+
+        The caller has already set ``coreness`` / ``peeled`` for the
+        frontier (Alg. 1 line 7).
+        """
+        if self.vgc is not None:
+            return self._subround_vgc(state, frontier, k)
+        return self._subround_flat(state, frontier, k)
+
+    # ------------------------------------------------------------------
+    # Flat online subround (Alg. 3)
+    # ------------------------------------------------------------------
+    def _subround_flat(
+        self, state: PeelState, frontier: np.ndarray, k: int
+    ) -> np.ndarray:
+        graph, runtime = state.graph, state.runtime
+        model = runtime.model
+        targets = graph.gather_neighbors(frontier)
+        task_costs = (
+            model.vertex_op
+            + model.edge_op
+            * (graph.indptr[frontier + 1] - graph.indptr[frontier])
+        ).astype(np.float64)
+
+        if state.sampling is not None:
+            direct, sampled = state.sampling.split_targets(targets)
+        else:
+            direct, sampled = targets, np.zeros(0, dtype=np.int64)
+
+        # Direct atomic decrements (batched, with contention tracking).
+        crossed = np.zeros(0, dtype=np.int64)
+        changed = np.zeros(0, dtype=np.int64)
+        old_keys = np.zeros(0, dtype=np.int64)
+        if direct.size:
+            touched, counts = np.unique(direct, return_counts=True)
+            old = state.dtilde[touched]
+            new = old - counts
+            state.dtilde[touched] = new
+            crossed = touched[(old > k) & (new <= k)]
+            survivors = (new > k) & (~state.peeled[touched])
+            changed = touched[survivors]
+            old_keys = old[survivors]
+            runtime.parallel_update(
+                task_costs,
+                counts,
+                barriers=model.online_barriers,
+                tag="online_peel",
+            )
+        else:
+            runtime.parallel_for(
+                task_costs, barriers=model.online_barriers, tag="online_peel"
+            )
+
+        # Sampled stream: coin flips, counter increments, resampling.
+        resampled_low = np.zeros(0, dtype=np.int64)
+        if state.sampling is not None and sampled.size:
+            hits = state.sampling.draw_hits(sampled)
+            saturated = state.sampling.apply_hits(hits)
+            resampled_low = _resample_and_rebucket(state, saturated, k)
+
+        next_frontier = _merge_frontier(state, crossed, resampled_low)
+        if changed.size:
+            state.buckets.on_decrements(changed, old_keys)
+        return next_frontier
+
+    # ------------------------------------------------------------------
+    # VGC subround: local searches over bounded FIFO queues (Sec. 4.2)
+    # ------------------------------------------------------------------
+    def _subround_vgc(
+        self, state: PeelState, frontier: np.ndarray, k: int
+    ) -> np.ndarray:
+        graph, runtime = state.graph, state.runtime
+        model = runtime.model
+        dtilde, peeled, coreness = state.dtilde, state.peeled, state.coreness
+        sampling = state.sampling
+        indptr, indices = graph.indptr, graph.indices
+        assert self.vgc is not None
+        budget = self.vgc.queue_size
+        edge_budget = self.vgc.edge_budget
+
+        next_frontier: list[int] = []
+        saturated: list[int] = []
+        decrement_targets: list[int] = []
+        hit_targets: list[int] = []
+        first_seen_key: dict[int, int] = {}
+        task_costs = np.empty(frontier.size, dtype=np.float64)
+
+        mode = sampling.mode if sampling is not None else None
+        rng = sampling.rng if sampling is not None else None
+        for task_id, seed in enumerate(frontier):
+            queue: list[int] = [int(seed)]
+            head = 0
+            cost = 0.0
+            edges_seen = 0
+            while head < len(queue):
+                v = queue[head]
+                head += 1
+                cost += model.vertex_op
+                for u in indices[indptr[v] : indptr[v + 1]]:
+                    u = int(u)
+                    cost += model.edge_op
+                    edges_seen += 1
+                    if mode is not None and mode[u]:
+                        cost += model.sample_flip_op
+                        assert rng is not None and sampling is not None
+                        if rng.random() < sampling.rate[u]:
+                            # Atomic cost is charged by parallel_update
+                            # from the contention counts, not per task.
+                            hit_targets.append(u)
+                            sampling.cnt[u] += 1
+                            if sampling.cnt[u] == sampling.mu:
+                                saturated.append(u)
+                        continue
+                    old = dtilde[u]
+                    dtilde[u] = old - 1
+                    decrement_targets.append(u)
+                    first_seen_key.setdefault(u, int(old))
+                    if old == k + 1 and not peeled[u]:
+                        if len(queue) < budget and edges_seen < edge_budget:
+                            # Absorb u into this local search: peel it now.
+                            queue.append(u)
+                            coreness[u] = k
+                            peeled[u] = True
+                            if mode is not None:
+                                mode[u] = False
+                            runtime.metrics.local_search_hits += 1
+                        else:
+                            next_frontier.append(u)
+            task_costs[task_id] = cost
+
+        # Contention accounting: concurrent updates per location across the
+        # whole subround (decrements and sampler hits alike).
+        all_targets = np.asarray(
+            decrement_targets + hit_targets, dtype=np.int64
+        )
+        if all_targets.size:
+            _, counts = np.unique(all_targets, return_counts=True)
+        else:
+            counts = np.zeros(0, dtype=np.int64)
+        runtime.parallel_update(
+            task_costs, counts, barriers=model.online_barriers,
+            tag="vgc_peel",
+        )
+
+        resampled_low = np.zeros(0, dtype=np.int64)
+        if sampling is not None and saturated:
+            resampled_low = _resample_and_rebucket(
+                state, np.asarray(saturated, dtype=np.int64), k
+            )
+
+        # Bucket updates for surviving touched vertices.
+        if first_seen_key:
+            touched = np.fromiter(
+                first_seen_key.keys(), dtype=np.int64, count=len(first_seen_key)
+            )
+            olds = np.fromiter(
+                first_seen_key.values(),
+                dtype=np.int64,
+                count=len(first_seen_key),
+            )
+            survivors = (dtilde[touched] > k) & (~peeled[touched])
+            if np.any(survivors):
+                state.buckets.on_decrements(
+                    touched[survivors], olds[survivors]
+                )
+
+        crossed = np.asarray(next_frontier, dtype=np.int64)
+        return _merge_frontier(state, crossed, resampled_low)
+
+
+def _resample_and_rebucket(
+    state: PeelState, saturated: np.ndarray, k: int
+) -> np.ndarray:
+    """Resample saturated samplers; rebucket survivors; return the lows."""
+    assert state.sampling is not None
+    saturated = np.unique(saturated)
+    before = state.dtilde[saturated]
+    low = state.sampling.resample_bulk(saturated, k)
+    low_set = set(low.tolist())
+    survivors = np.asarray(
+        [v for v in saturated if v not in low_set], dtype=np.int64
+    )
+    if survivors.size:
+        old_keys = before[np.isin(saturated, survivors)]
+        state.buckets.on_decrements(survivors, old_keys)
+    return low
+
+
+def _merge_frontier(
+    state: PeelState, crossed: np.ndarray, resampled_low: np.ndarray
+) -> np.ndarray:
+    """Combine crossing and resampled vertices into the next frontier.
+
+    Charges the hash-bag insertions that maintain the frontier and filters
+    out anything already peeled (resampling can race a crossing).
+    """
+    if crossed.size or resampled_low.size:
+        merged = np.unique(np.concatenate([crossed, resampled_low]))
+    else:
+        return crossed
+    merged = merged[~state.peeled[merged]]
+    if merged.size:
+        state.runtime.parallel_for(
+            state.runtime.model.bag_insert_op,
+            count=int(merged.size),
+            barriers=0,
+            tag="frontier_bag",
+        )
+    return merged

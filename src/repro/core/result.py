@@ -1,0 +1,63 @@
+"""Result type returned by every decomposition algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.runtime.metrics import RunMetrics
+
+
+@dataclass
+class CorenessResult:
+    """Output of a k-core decomposition run.
+
+    Attributes:
+        coreness: ``kappa[v]`` for every vertex (int64 array of length n).
+        metrics: The simulated-execution ledger (work, span, subrounds, ...).
+        algorithm: Name of the algorithm that produced the result.
+        model: Cost model the run was recorded under.
+    """
+
+    coreness: np.ndarray
+    metrics: RunMetrics
+    algorithm: str = ""
+    model: CostModel = field(default_factory=lambda: DEFAULT_COST_MODEL)
+
+    @property
+    def kmax(self) -> int:
+        """Maximum coreness value in the graph."""
+        if self.coreness.size == 0:
+            return 0
+        return int(self.coreness.max())
+
+    @property
+    def rho(self) -> int:
+        """Peeling complexity: the number of subrounds executed."""
+        return self.metrics.subrounds
+
+    def time_on(self, threads: int) -> float:
+        """Simulated running time (ns) on ``threads`` threads."""
+        return self.metrics.time_on(threads, self.model)
+
+    def vertices_with_coreness(self, k: int) -> np.ndarray:
+        """Ids of the vertices whose coreness is exactly ``k``."""
+        return np.nonzero(self.coreness == k)[0].astype(np.int64)
+
+    def core_members(self, k: int) -> np.ndarray:
+        """Ids of the vertices in the k-core (coreness >= k)."""
+        return np.nonzero(self.coreness >= k)[0].astype(np.int64)
+
+    def coreness_histogram(self) -> np.ndarray:
+        """Counts of vertices per coreness value (index = coreness)."""
+        if self.coreness.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        return np.bincount(self.coreness)
+
+    def summary(self) -> dict[str, float]:
+        """Flat summary combining decomposition and execution statistics."""
+        out = {"kmax": float(self.kmax), "n": float(self.coreness.size)}
+        out.update(self.metrics.summary())
+        return out

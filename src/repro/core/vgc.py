@@ -1,0 +1,57 @@
+"""Vertical granularity control — VGC (paper Sec. 4.2).
+
+On sparse graphs, subrounds are tiny: processing a frontier of low-degree
+vertices costs far less than the fork/join barrier (``omega``) that ends it,
+so scheduling dominates.  VGC grafts a *local search* onto the online peel:
+when a vertex is peeled, neighbors whose induced degree drops to ``k`` are
+pushed onto a bounded FIFO *local queue* and processed inside the same task,
+instead of being deferred to the next subround.  Chains of peels thus
+collapse into one task; the paper fixes the queue budget at 128 and reports
+5-40x fewer subrounds (Fig. 7) and up to 31.2x faster runs (Fig. 6).
+
+The queue budget caps the work of a single task, which preserves load
+balance under work stealing — unlike PKC's unbounded thread-local buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The paper's local-queue budget ("we simply fix the local queue size
+#: as 128"; performance is flat from hundreds to thousands).
+DEFAULT_QUEUE_SIZE = 128
+
+#: Default work budget (edges touched) of one local search.  The paper
+#: notes granularity can equivalently be controlled "by the number of
+#: touched vertices" and that the theory wants the local-search work ``L``
+#: asymptotically below the scheduling burden ``omega``; capping edges
+#: keeps ``L`` bounded even on dense graphs, where a 128-vertex queue
+#: could otherwise pull in tens of thousands of edges.
+DEFAULT_EDGE_BUDGET = 384
+
+
+@dataclass(frozen=True)
+class VGCConfig:
+    """Configuration of the local search.
+
+    Attributes:
+        queue_size: Maximum vertices processed by one local search; once
+            the budget is exhausted, further threshold-crossing neighbors
+            go to the next frontier as usual.
+        edge_budget: Maximum neighbor visits charged to one local search
+            before it stops absorbing new vertices (``L`` in the paper's
+            burdened-span analysis).
+    """
+
+    queue_size: int = DEFAULT_QUEUE_SIZE
+    edge_budget: int = DEFAULT_EDGE_BUDGET
+
+    def __post_init__(self) -> None:
+        if self.queue_size < 1:
+            raise ValueError(
+                f"queue_size must be >= 1, got {self.queue_size}"
+            )
+        if self.edge_budget < 1:
+            raise ValueError(
+                f"edge_budget must be >= 1, got {self.edge_budget}"
+            )

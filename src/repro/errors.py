@@ -1,0 +1,28 @@
+"""Exception hierarchy of the repro library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class GraphFormatError(ReproError):
+    """A graph file or edge list is malformed."""
+
+
+class InvalidGraphError(ReproError):
+    """A graph violates the structural assumptions of an algorithm."""
+
+
+class SamplingRestartError(ReproError):
+    """Internal signal: a sampling error was detected mid-run.
+
+    The Las-Vegas recovery described in paper Sec. 4.1.4 catches this and
+    restarts the decomposition with stronger parameters; it never escapes
+    the public API.
+    """
+
+
+class BucketStructureError(ReproError):
+    """A bucketing structure was used outside its contract."""

@@ -1,0 +1,68 @@
+"""Synthetic graph generators for every family in the paper's evaluation."""
+
+from repro.generators.grid import cube_3d, grid_2d
+from repro.generators.highcore import expected_hcns_coreness, hcns
+from repro.generators.knn import (
+    gaussian_mixture_points,
+    knn_from_points,
+    knn_graph,
+)
+from repro.generators.mesh import delaunay_mesh, wavefront_mesh
+from repro.generators.powerlaw import (
+    barabasi_albert,
+    power_law_with_hub,
+    rmat,
+)
+from repro.generators.random_graphs import (
+    clique_chain,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    erdos_renyi,
+    path_graph,
+    random_bipartite,
+    star_graph,
+)
+from repro.generators.road import road_like
+from repro.generators.small_world import watts_strogatz
+from repro.generators.suite import (
+    REPRESENTATIVE,
+    SAMPLING_TRIGGER,
+    SMALL,
+    SUITE,
+    GraphSpec,
+    load,
+    names,
+)
+
+__all__ = [
+    "GraphSpec",
+    "REPRESENTATIVE",
+    "SAMPLING_TRIGGER",
+    "SMALL",
+    "SUITE",
+    "barabasi_albert",
+    "clique_chain",
+    "complete_graph",
+    "cube_3d",
+    "cycle_graph",
+    "delaunay_mesh",
+    "empty_graph",
+    "erdos_renyi",
+    "expected_hcns_coreness",
+    "gaussian_mixture_points",
+    "grid_2d",
+    "hcns",
+    "knn_from_points",
+    "knn_graph",
+    "load",
+    "names",
+    "path_graph",
+    "power_law_with_hub",
+    "random_bipartite",
+    "rmat",
+    "road_like",
+    "star_graph",
+    "watts_strogatz",
+    "wavefront_mesh",
+]

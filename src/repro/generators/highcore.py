@@ -1,0 +1,58 @@
+"""The HCNS high-coreness adversary (paper Sec. 6.1.1).
+
+HCNS contains exactly one vertex with coreness ``i`` for every
+``1 <= i < k_max`` plus a dense subgraph (a clique) with coreness
+``k_max``.  It is adversarial twice over: the plain framework re-scans the
+active set for ``k_max`` rounds (HBS fixes this, Fig. 8: 47.8x), and with
+sampling enabled half of the vertices sit in sample mode and must be
+validated every round (the ~24% sampling overhead the paper reports).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+
+def hcns(kmax: int, name: str = "") -> CSRGraph:
+    """High-coreness synthetic graph with maximum coreness ``kmax``.
+
+    Construction: a clique on ``kmax + 1`` vertices (each member has
+    ``kmax`` clique neighbors, hence coreness ``kmax``), plus chain
+    vertices ``c_1 .. c_{kmax-1}`` where ``c_i`` connects to ``i`` clique
+    members and therefore has coreness exactly ``i``.
+    ``n = 2 * kmax`` vertices.
+    """
+    if kmax < 2:
+        raise ValueError(f"kmax must be >= 2, got {kmax}")
+    clique_size = kmax + 1
+    chain_size = kmax - 1
+    n = clique_size + chain_size
+
+    members = np.arange(clique_size, dtype=np.int64)
+    cs, cd = np.meshgrid(members, members)
+    mask = cs < cd
+    src = [cs[mask].ravel()]
+    dst = [cd[mask].ravel()]
+
+    for i in range(1, kmax):
+        chain_vertex = clique_size + i - 1
+        src.append(np.full(i, chain_vertex, dtype=np.int64))
+        # Attach to i distinct clique members (round-robin start to spread
+        # the chain load over the clique).
+        start = (i * 7) % clique_size
+        picks = (start + np.arange(i, dtype=np.int64)) % clique_size
+        dst.append(picks)
+
+    edges = np.stack([np.concatenate(src), np.concatenate(dst)], axis=1)
+    return CSRGraph.from_edges(n, edges, name=name or f"hcns-{kmax}")
+
+
+def expected_hcns_coreness(kmax: int) -> np.ndarray:
+    """Ground-truth coreness of :func:`hcns` (for tests)."""
+    clique_size = kmax + 1
+    chain = np.arange(1, kmax, dtype=np.int64)
+    return np.concatenate(
+        [np.full(clique_size, kmax, dtype=np.int64), chain]
+    )

@@ -1,0 +1,70 @@
+"""Mesh generators — analogues of the paper's TRCE / BBL simulation frames.
+
+TRCE and BBL are meshes taken from frames of 2-D adaptive numerical
+simulations: planar, bounded-degree, with long shallow peeling chains
+(coreness 2, thousands of subrounds).  A Delaunay triangulation of a
+non-uniform point cloud reproduces all three properties.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+
+def delaunay_mesh(
+    n: int, seed: int = 0, clustered: bool = True, name: str = ""
+) -> CSRGraph:
+    """Delaunay triangulation of a random planar point set.
+
+    ``clustered=True`` draws points with strongly varying density (as an
+    adaptive simulation mesh would refine), which lengthens the peeling
+    chains along density gradients.
+    """
+    from scipy.spatial import Delaunay
+
+    if n < 4:
+        raise ValueError(f"need at least 4 points, got {n}")
+    rng = np.random.default_rng(seed)
+    if clustered:
+        # Mix a uniform background with dense blobs.
+        n_blob = n // 2
+        blobs = rng.integers(1, 6)
+        centers = rng.random((blobs, 2))
+        which = rng.integers(blobs, size=n_blob)
+        dense = centers[which] + rng.normal(0.0, 0.02, size=(n_blob, 2))
+        uniform = rng.random((n - n_blob, 2))
+        points = np.concatenate([dense, uniform])
+    else:
+        points = rng.random((n, 2))
+    tri = Delaunay(points)
+    simplices = tri.simplices.astype(np.int64)
+    edges = np.concatenate(
+        [
+            simplices[:, [0, 1]],
+            simplices[:, [1, 2]],
+            simplices[:, [2, 0]],
+        ]
+    )
+    return CSRGraph.from_edges(n, edges, name=name or f"mesh-{n}")
+
+
+def wavefront_mesh(rows: int, cols: int, name: str = "") -> CSRGraph:
+    """A triangulated grid: grid edges plus one diagonal per cell.
+
+    Deterministic, coreness-3 mesh whose peeling sweeps diagonally like
+    the simulation frames (good for exact-value tests).
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError(f"mesh needs rows, cols >= 2: {rows}x{cols}")
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    horizontal = np.stack([ids[:, :-1].ravel(), ids[:, 1:].ravel()], axis=1)
+    vertical = np.stack([ids[:-1, :].ravel(), ids[1:, :].ravel()], axis=1)
+    diagonal = np.stack(
+        [ids[:-1, :-1].ravel(), ids[1:, 1:].ravel()], axis=1
+    )
+    edges = np.concatenate([horizontal, vertical, diagonal])
+    return CSRGraph.from_edges(
+        rows * cols, edges, name=name or f"trimesh-{rows}x{cols}"
+    )

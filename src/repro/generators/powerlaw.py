@@ -1,0 +1,177 @@
+"""Power-law graph generators: Barabási–Albert and R-MAT.
+
+These model the paper's social networks (LJ, OK, TW, FS), web graphs (EH,
+SD, CW, HL) and the synthetic HPL graph (explicitly Barabási–Albert in the
+paper).  The structural property that matters for the experiments is the
+heavy degree tail: a handful of very-high-degree hubs concentrate atomic
+decrements and create the contention the sampling scheme targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+
+def barabasi_albert(
+    n: int,
+    attach: int,
+    seed: int = 0,
+    name: str = "",
+    attach_min: int | None = None,
+) -> CSRGraph:
+    """Barabási–Albert preferential attachment.
+
+    Starts from a small clique and attaches each new vertex to ``attach``
+    existing vertices chosen proportionally to degree (the classic "urn"
+    construction: endpoints are drawn uniformly from the list of all edge
+    endpoints so far).
+
+    With ``attach_min`` set, each new vertex draws its attachment count
+    uniformly from ``[attach_min, attach]``.  Pure BA gives every vertex
+    coreness exactly ``attach``; varying the attachment count produces the
+    graded coreness distribution real social networks show, which the
+    suite's social graphs use.
+    """
+    if attach < 1:
+        raise ValueError(f"attach must be >= 1, got {attach}")
+    if n <= attach:
+        raise ValueError(f"need n > attach, got n={n}, attach={attach}")
+    if attach_min is not None and not 1 <= attach_min <= attach:
+        raise ValueError(
+            f"need 1 <= attach_min <= attach, got {attach_min}"
+        )
+    rng = np.random.default_rng(seed)
+
+    # Urn of endpoints; seeded with a (attach+1)-clique.
+    seed_size = attach + 1
+    src_list: list[np.ndarray] = []
+    dst_list: list[np.ndarray] = []
+    clique = np.arange(seed_size, dtype=np.int64)
+    cs, cd = np.meshgrid(clique, clique)
+    mask = cs < cd
+    src_list.append(cs[mask].ravel())
+    dst_list.append(cd[mask].ravel())
+    urn = np.concatenate([src_list[0], dst_list[0]]).tolist()
+
+    for v in range(seed_size, n):
+        # Draw the attachment count, then that many distinct targets by
+        # degree-proportional sampling.
+        if attach_min is None:
+            count = attach
+        else:
+            count = int(rng.integers(attach_min, attach + 1))
+        targets: set[int] = set()
+        while len(targets) < count:
+            pick = urn[int(rng.integers(len(urn)))]
+            targets.add(int(pick))
+        tarr = np.fromiter(targets, dtype=np.int64, count=len(targets))
+        src_list.append(np.full(tarr.size, v, dtype=np.int64))
+        dst_list.append(tarr)
+        urn.extend(tarr.tolist())
+        urn.extend([v] * tarr.size)
+
+    edges = np.stack(
+        [np.concatenate(src_list), np.concatenate(dst_list)], axis=1
+    )
+    return CSRGraph.from_edges(n, edges, name=name or f"ba-{n}-{attach}")
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 16,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+    name: str = "",
+) -> CSRGraph:
+    """R-MAT (Kronecker) generator — the Graph500 parameterization.
+
+    Produces ``2**scale`` vertices and about ``edge_factor * 2**scale``
+    undirected edges with a skewed degree distribution; the default
+    ``(a, b, c) = (0.57, 0.19, 0.19)`` gives web-graph-like hubs.
+    Duplicate edges and self-loops are removed by CSR construction, so the
+    final edge count is slightly below the nominal one.
+    """
+    if scale < 1:
+        raise ValueError(f"scale must be >= 1, got {scale}")
+    if not 0 < a + b + c < 1:
+        raise ValueError("require 0 < a + b + c < 1")
+    rng = np.random.default_rng(seed)
+    n = 1 << scale
+    m = edge_factor * n
+
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    ab = a + b
+    abc = a + b + c
+    for level in range(scale):
+        r = rng.random(m)
+        go_right = (r >= a) & (r < ab) | (r >= abc)
+        go_down = r >= ab
+        bit = np.int64(1 << (scale - 1 - level))
+        src += bit * go_down
+        dst += bit * go_right
+    edges = np.stack([src, dst], axis=1)
+    return CSRGraph.from_edges(n, edges, name=name or f"rmat-{scale}")
+
+
+def power_law_with_hub(
+    n: int,
+    attach: int,
+    hub_count: int = 4,
+    hub_degree: int | None = None,
+    seed: int = 0,
+    name: str = "",
+    attach_min: int | None = None,
+    hub_targets: str = "uniform",
+) -> CSRGraph:
+    """A BA graph with a few explicit super-hubs.
+
+    Mirrors the Twitter-like graphs where a tiny number of celebrity
+    vertices (about 1000 out of 40M in the paper's TW) have enormous
+    degrees — the configuration that makes sampling shine.  ``hub_degree``
+    defaults to ``n // 4`` extra followers per hub.
+
+    ``hub_targets`` selects who follows the hubs: ``"uniform"`` draws
+    followers from the whole graph (the hubs join the dense core);
+    ``"fresh"`` gives each hub its own brand-new degree-1 follower
+    vertices, producing the classic celebrity pattern of enormous degree
+    but *low coreness* (Kitsak et al. 2010) — degree-1 followers cannot
+    support any core.
+    """
+    if hub_targets not in ("uniform", "fresh"):
+        raise ValueError(f"unknown hub_targets {hub_targets!r}")
+    base = barabasi_albert(n, attach, seed=seed, attach_min=attach_min)
+    rng = np.random.default_rng(seed + 1)
+    hub_degree = hub_degree if hub_degree is not None else n // 4
+    hubs = rng.choice(n, size=min(hub_count, n), replace=False)
+    extra_src: list[np.ndarray] = []
+    extra_dst: list[np.ndarray] = []
+    total_n = n
+    for hub in hubs:
+        if hub_targets == "fresh":
+            followers = total_n + np.arange(hub_degree, dtype=np.int64)
+            total_n += hub_degree
+        else:
+            followers = rng.choice(
+                n, size=min(hub_degree, n - 1), replace=False
+            )
+            followers = followers[followers != hub]
+        extra_src.append(np.full(followers.size, hub, dtype=np.int64))
+        extra_dst.append(followers.astype(np.int64))
+    old_src = np.repeat(
+        np.arange(base.n, dtype=np.int64), np.diff(base.indptr)
+    )
+    edges = np.stack(
+        [
+            np.concatenate([old_src] + extra_src),
+            np.concatenate([base.indices] + extra_dst),
+        ],
+        axis=1,
+    )
+    return CSRGraph.from_edges(
+        total_n, edges, name=name or f"ba-hub-{n}-{attach}"
+    )

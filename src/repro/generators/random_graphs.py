@@ -1,0 +1,116 @@
+"""Elementary random and deterministic graph generators.
+
+Used throughout the test suite (known-coreness fixtures, hypothesis seeds)
+and as building blocks of the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+
+def erdos_renyi(
+    n: int, avg_degree: float, seed: int = 0, name: str = ""
+) -> CSRGraph:
+    """G(n, m)-style random graph with expected average degree.
+
+    Samples ``n * avg_degree / 2`` endpoint pairs uniformly; duplicates and
+    self-loops are removed by CSR construction.
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    if avg_degree < 0:
+        raise ValueError(f"avg_degree must be >= 0, got {avg_degree}")
+    rng = np.random.default_rng(seed)
+    m = int(n * avg_degree / 2)
+    edges = rng.integers(0, n, size=(m, 2), dtype=np.int64)
+    return CSRGraph.from_edges(n, edges, name=name or f"er-{n}")
+
+
+def complete_graph(n: int, name: str = "") -> CSRGraph:
+    """The complete graph K_n (coreness ``n - 1`` everywhere)."""
+    ids = np.arange(n, dtype=np.int64)
+    src, dst = np.meshgrid(ids, ids)
+    mask = src < dst
+    edges = np.stack([src[mask].ravel(), dst[mask].ravel()], axis=1)
+    return CSRGraph.from_edges(n, edges, name=name or f"k{n}")
+
+
+def star_graph(n: int, name: str = "") -> CSRGraph:
+    """A star: vertex 0 connected to all others (coreness 1 everywhere)."""
+    if n < 2:
+        raise ValueError(f"star needs n >= 2, got {n}")
+    leaves = np.arange(1, n, dtype=np.int64)
+    edges = np.stack([np.zeros(n - 1, dtype=np.int64), leaves], axis=1)
+    return CSRGraph.from_edges(n, edges, name=name or f"star-{n}")
+
+
+def cycle_graph(n: int, name: str = "") -> CSRGraph:
+    """A cycle C_n (coreness 2 everywhere)."""
+    if n < 3:
+        raise ValueError(f"cycle needs n >= 3, got {n}")
+    ids = np.arange(n, dtype=np.int64)
+    edges = np.stack([ids, (ids + 1) % n], axis=1)
+    return CSRGraph.from_edges(n, edges, name=name or f"cycle-{n}")
+
+
+def path_graph(n: int, name: str = "") -> CSRGraph:
+    """A path P_n (coreness 1; the longest possible peeling chain)."""
+    if n < 2:
+        raise ValueError(f"path needs n >= 2, got {n}")
+    ids = np.arange(n - 1, dtype=np.int64)
+    edges = np.stack([ids, ids + 1], axis=1)
+    return CSRGraph.from_edges(n, edges, name=name or f"path-{n}")
+
+
+def empty_graph(n: int, name: str = "") -> CSRGraph:
+    """n isolated vertices (coreness 0)."""
+    return CSRGraph.from_edges(n, [], name=name or f"empty-{n}")
+
+
+def clique_chain(
+    cliques: int, clique_size: int, name: str = ""
+) -> CSRGraph:
+    """A chain of cliques joined by single bridge edges.
+
+    Every clique member has coreness ``clique_size - 1``; useful for
+    testing bucket structures across repeated identical cores.
+    """
+    if cliques < 1 or clique_size < 2:
+        raise ValueError("need cliques >= 1 and clique_size >= 2")
+    edges = []
+    for c in range(cliques):
+        base = c * clique_size
+        ids = base + np.arange(clique_size, dtype=np.int64)
+        src, dst = np.meshgrid(ids, ids)
+        mask = src < dst
+        edges.append(
+            np.stack([src[mask].ravel(), dst[mask].ravel()], axis=1)
+        )
+        if c:
+            edges.append(
+                np.array([[base - 1, base]], dtype=np.int64)
+            )
+    n = cliques * clique_size
+    return CSRGraph.from_edges(
+        n, np.concatenate(edges), name=name or f"cliquechain-{cliques}"
+    )
+
+
+def random_bipartite(
+    left: int, right: int, avg_degree: float, seed: int = 0, name: str = ""
+) -> CSRGraph:
+    """Random bipartite graph (tests non-symmetric degree distributions)."""
+    if left < 1 or right < 1:
+        raise ValueError("both sides must be non-empty")
+    rng = np.random.default_rng(seed)
+    m = int((left + right) * avg_degree / 2)
+    src = rng.integers(0, left, size=m, dtype=np.int64)
+    dst = left + rng.integers(0, right, size=m, dtype=np.int64)
+    return CSRGraph.from_edges(
+        left + right,
+        np.stack([src, dst], axis=1),
+        name=name or f"bipartite-{left}x{right}",
+    )

@@ -1,0 +1,63 @@
+"""Road-network-like generator (paper's OSM Africa/NA/Asia/Europe rows).
+
+Road networks are near-planar with tiny degrees (average around 2.5, max
+around 8), tiny coreness (k_max = 3 or 4) and a few hundred peeling
+subrounds.  We synthesize one from a jittered grid skeleton: keep a random
+subset of lattice edges (the road grid), add a sprinkle of diagonal
+shortcuts (highways), and attach degree-1 spurs (dead ends).  This
+reproduces the degree profile and the long shallow peeling chains that
+make road graphs VGC's best case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+
+def road_like(
+    n: int,
+    seed: int = 0,
+    keep_fraction: float = 0.82,
+    shortcut_fraction: float = 0.03,
+    spur_fraction: float = 0.12,
+    name: str = "",
+) -> CSRGraph:
+    """A road-network-like graph with about ``n`` vertices.
+
+    Args:
+        n: Approximate vertex count (rounded to a grid).
+        seed: RNG seed.
+        keep_fraction: Fraction of lattice edges kept.
+        shortcut_fraction: Diagonal shortcuts per cell.
+        spur_fraction: Fraction of vertices receiving a dead-end spur.
+        name: Label for the graph.
+    """
+    if n < 9:
+        raise ValueError(f"need n >= 9, got {n}")
+    rng = np.random.default_rng(seed)
+    side = int(np.sqrt(n / (1.0 + spur_fraction)))
+    side = max(side, 3)
+    core_n = side * side
+    ids = np.arange(core_n, dtype=np.int64).reshape(side, side)
+
+    horizontal = np.stack([ids[:, :-1].ravel(), ids[:, 1:].ravel()], axis=1)
+    vertical = np.stack([ids[:-1, :].ravel(), ids[1:, :].ravel()], axis=1)
+    lattice = np.concatenate([horizontal, vertical])
+    keep = rng.random(lattice.shape[0]) < keep_fraction
+    edges = [lattice[keep]]
+
+    diagonal = np.stack([ids[:-1, :-1].ravel(), ids[1:, 1:].ravel()], axis=1)
+    shortcut = rng.random(diagonal.shape[0]) < shortcut_fraction
+    edges.append(diagonal[shortcut])
+
+    n_spurs = int(core_n * spur_fraction)
+    if n_spurs:
+        anchors = rng.choice(core_n, size=n_spurs, replace=False)
+        spur_ids = core_n + np.arange(n_spurs, dtype=np.int64)
+        edges.append(np.stack([anchors.astype(np.int64), spur_ids], axis=1))
+    total_n = core_n + n_spurs
+    return CSRGraph.from_edges(
+        total_n, np.concatenate(edges), name=name or f"road-{total_n}"
+    )

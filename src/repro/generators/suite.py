@@ -1,0 +1,196 @@
+"""The benchmark graph suite — a scaled-down mirror of the paper's Table 2.
+
+Each entry reproduces the *family* and the structural property that drives
+the corresponding experiment, at a size a pure-Python simulated runtime can
+sweep in minutes:
+
+* social / web graphs  -> power-law hubs (contention; sampling's target),
+* road / mesh / grid   -> long shallow peeling chains (VGC's target),
+* k-NN graphs          -> uniform small coreness, very few subrounds,
+* HCNS                 -> one vertex per coreness value (HBS's target),
+* HPL                  -> Barabási–Albert, as in the paper.
+
+Use :func:`load` to build (and memoize) a graph by name.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable
+
+from repro.generators.grid import cube_3d, grid_2d
+from repro.generators.highcore import hcns
+from repro.generators.knn import knn_graph
+from repro.generators.mesh import delaunay_mesh
+from repro.generators.powerlaw import (
+    barabasi_albert,
+    power_law_with_hub,
+    rmat,
+)
+from repro.generators.road import road_like
+from repro.graphs.csr import CSRGraph
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """One suite entry.
+
+    Attributes:
+        name: Suite name (paper acronym with an ``-S`` scaled suffix).
+        family: Table 2 family ("social", "web", "road", "knn", "other").
+        paper_name: The dataset this entry scales down.
+        dense: The paper's dense/sparse classification of the family.
+        build: Zero-argument builder returning the graph.
+    """
+
+    name: str
+    family: str
+    paper_name: str
+    dense: bool
+    build: Callable[[], CSRGraph]
+
+
+def _named(builder: Callable[[], CSRGraph], name: str) -> Callable[[], CSRGraph]:
+    def build() -> CSRGraph:
+        graph = builder()
+        graph.name = name
+        return graph
+
+    return build
+
+
+def _spec(
+    name: str,
+    family: str,
+    paper_name: str,
+    dense: bool,
+    builder: Callable[[], CSRGraph],
+) -> GraphSpec:
+    return GraphSpec(name, family, paper_name, dense, _named(builder, name))
+
+
+SUITE: dict[str, GraphSpec] = {
+    spec.name: spec
+    for spec in [
+        # ----- social networks (dense, power-law) ---------------------
+        _spec("LJ-S", "social", "soc-LiveJournal1", True,
+              lambda: barabasi_albert(8_000, 12, seed=11, attach_min=2)),
+        _spec("OK-S", "social", "com-orkut", True,
+              lambda: barabasi_albert(6_000, 20, seed=12, attach_min=4)),
+        _spec("WB-S", "social", "soc-sinaweibo", True,
+              lambda: rmat(13, 8, seed=13)),
+        _spec("TW-S", "social", "Twitter", True,
+              lambda: power_law_with_hub(
+                  12_000, 6, hub_count=6, hub_degree=3_000, seed=14)),
+        _spec("FS-S", "social", "Friendster", True,
+              lambda: barabasi_albert(16_000, 16, seed=15, attach_min=3)),
+        # ----- web graphs (dense, very skewed) ------------------------
+        _spec("EH-S", "web", "eu-host", True,
+              lambda: rmat(14, 16, a=0.65, b=0.16, c=0.16, seed=21)),
+        _spec("SD-S", "web", "sd-arc", True,
+              lambda: rmat(14, 32, a=0.65, b=0.16, c=0.16, seed=22)),
+        _spec("CW-S", "web", "ClueWeb", True,
+              lambda: rmat(15, 24, a=0.66, b=0.16, c=0.16, seed=23)),
+        _spec("HL14-S", "web", "Hyperlink14", True,
+              lambda: rmat(15, 16, a=0.65, b=0.16, c=0.16, seed=24)),
+        _spec("HL12-S", "web", "Hyperlink12", True,
+              lambda: rmat(15, 20, a=0.65, b=0.16, c=0.16, seed=25)),
+        # ----- road networks (sparse) ---------------------------------
+        _spec("AF-S", "road", "OSM Africa", False,
+              lambda: road_like(20_000, seed=31)),
+        _spec("NA-S", "road", "OSM North America", False,
+              lambda: road_like(30_000, seed=32)),
+        _spec("AS-S", "road", "OSM Asia", False,
+              lambda: road_like(34_000, seed=33)),
+        _spec("EU-S", "road", "OSM Europe", False,
+              lambda: road_like(40_000, seed=34)),
+        # ----- k-NN graphs (sparse) -----------------------------------
+        _spec("CH5-S", "knn", "Chem, k=5", False,
+              lambda: knn_graph(8_000, 5, dim=16, clusters=12, seed=41)),
+        _spec("GL2-S", "knn", "GeoLife, k=2", False,
+              lambda: knn_graph(12_000, 2, dim=3, clusters=16, seed=42)),
+        _spec("GL5-S", "knn", "GeoLife, k=5", False,
+              lambda: knn_graph(12_000, 5, dim=3, clusters=16, seed=42)),
+        _spec("GL10-S", "knn", "GeoLife, k=10", False,
+              lambda: knn_graph(12_000, 10, dim=3, clusters=16, seed=42)),
+        _spec("COS5-S", "knn", "Cosmo50, k=5", False,
+              lambda: knn_graph(20_000, 5, dim=3, clusters=24, seed=43)),
+        # ----- other graphs --------------------------------------------
+        _spec("TRCE-S", "other", "Huge traces", False,
+              lambda: delaunay_mesh(16_000, seed=51)),
+        _spec("BBL-S", "other", "Huge bubbles", False,
+              lambda: delaunay_mesh(20_000, seed=52)),
+        _spec("GRID", "other", "Synthetic grid", False,
+              lambda: grid_2d(280, 280)),
+        _spec("CUBE", "other", "Synthetic cube", False,
+              lambda: cube_3d(24, 24, 24)),
+        _spec("HCNS", "other", "High-coreness synthetic", True,
+              lambda: hcns(1024)),
+        # BA's max degree shrinks with n; graft scale-appropriate hubs so
+        # the scaled graph keeps the huge-hub property that drives the
+        # paper's sampling experiments on HPL.
+        _spec("HPL", "other", "Power-law (Barabási–Albert)", True,
+              lambda: power_law_with_hub(
+                  16_000, 12, hub_count=4, hub_degree=4_000, seed=55)),
+    ]
+}
+
+#: The 14 representative graphs of the paper's Fig. 2.
+REPRESENTATIVE: tuple[str, ...] = (
+    "LJ-S", "OK-S", "TW-S", "EH-S", "SD-S", "AF-S", "EU-S",
+    "CH5-S", "GL5-S", "COS5-S", "TRCE-S", "GRID", "HCNS", "HPL",
+)
+
+#: Graphs that contain vertices large enough to trigger sampling
+#: (the paper's eight: TW, EH, SD, CW, HL14, HL12, HPL, HCNS).
+SAMPLING_TRIGGER: tuple[str, ...] = (
+    "TW-S", "EH-S", "SD-S", "CW-S", "HL14-S", "HL12-S", "HPL", "HCNS",
+)
+
+#: A tiny sub-suite for smoke tests and examples.
+SMALL: tuple[str, ...] = ("LJ-S", "AF-S", "GL5-S", "GRID", "HCNS")
+
+
+@lru_cache(maxsize=None)
+def load(name: str) -> CSRGraph:
+    """Build (once per process) and return the suite graph ``name``.
+
+    Set the ``REPRO_GRAPH_CACHE`` environment variable to a directory to
+    additionally persist built graphs as ``.npz`` across processes —
+    repeated benchmark invocations then skip the generators entirely.
+    """
+    try:
+        spec = SUITE[name]
+    except KeyError:
+        known = ", ".join(sorted(SUITE))
+        raise KeyError(f"unknown suite graph {name!r}; known: {known}")
+    cache_dir = os.environ.get("REPRO_GRAPH_CACHE")
+    if cache_dir:
+        from repro.graphs.io import load_npz, save_npz
+
+        os.makedirs(cache_dir, exist_ok=True)
+        path = os.path.join(cache_dir, f"{name}.npz")
+        if os.path.exists(path):
+            graph = load_npz(path)
+            graph.name = name
+            return graph
+        graph = spec.build()
+        save_npz(graph, path)
+        return graph
+    return spec.build()
+
+
+def names(
+    family: str | None = None, dense: bool | None = None
+) -> list[str]:
+    """Suite names filtered by family and/or density class."""
+    out = []
+    for spec in SUITE.values():
+        if family is not None and spec.family != family:
+            continue
+        if dense is not None and spec.dense != dense:
+            continue
+        out.append(spec.name)
+    return out

@@ -1,0 +1,54 @@
+"""Graph substrate: CSR representation, I/O, and structural statistics."""
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.digraph import DirectedCSRGraph, random_digraph
+from repro.graphs.io import (
+    load_adjacency,
+    load_edge_list,
+    load_npz,
+    save_adjacency,
+    save_edge_list,
+    save_npz,
+)
+from repro.graphs.transform import (
+    add_edges,
+    all_edges,
+    disjoint_union,
+    largest_connected_component,
+    relabel_random,
+    remove_edges,
+    remove_vertices,
+)
+from repro.graphs.properties import (
+    DENSITY_THETA,
+    GraphStats,
+    connected_components,
+    degree_histogram,
+    graph_stats,
+    is_dense,
+)
+
+__all__ = [
+    "CSRGraph",
+    "DirectedCSRGraph",
+    "DENSITY_THETA",
+    "GraphStats",
+    "connected_components",
+    "degree_histogram",
+    "graph_stats",
+    "is_dense",
+    "add_edges",
+    "all_edges",
+    "disjoint_union",
+    "largest_connected_component",
+    "load_adjacency",
+    "load_edge_list",
+    "load_npz",
+    "save_adjacency",
+    "save_edge_list",
+    "random_digraph",
+    "relabel_random",
+    "remove_edges",
+    "remove_vertices",
+    "save_npz",
+]

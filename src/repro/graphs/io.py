@@ -1,0 +1,136 @@
+"""Graph serialization: edge-list text, adjacency text, and binary npz.
+
+The formats are deliberately minimal but round-trip exactly:
+
+* **edge list** — one ``u v`` pair per line; ``#``-prefixed comment lines
+  and a optional ``# n <count>`` header are honoured (isolated trailing
+  vertices are otherwise unrepresentable in an edge list);
+* **adjacency text** — line ``i`` lists the neighbors of vertex ``i``
+  (the METIS-like format many k-core datasets ship in);
+* **npz** — numpy's compressed container holding ``indptr`` / ``indices``;
+  the fastest option and the one the benchmark suite caches graphs in.
+"""
+
+from __future__ import annotations
+
+import gzip
+import os
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graphs.csr import CSRGraph
+
+
+def _open_text(path: str | os.PathLike, mode: str):
+    """Open a text file, transparently gzip'd when the name ends in .gz."""
+    if os.fspath(path).endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="ascii")
+    return open(path, mode, encoding="ascii")
+
+
+def save_edge_list(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Write a graph as an undirected edge list (each edge once, u < v)."""
+    src = np.repeat(
+        np.arange(graph.n, dtype=np.int64), np.diff(graph.indptr)
+    )
+    mask = src < graph.indices
+    with _open_text(path, "w") as handle:
+        handle.write(f"# n {graph.n}\n")
+        for u, v in zip(src[mask], graph.indices[mask]):
+            handle.write(f"{u} {v}\n")
+
+
+def load_edge_list(
+    path: str | os.PathLike, n: int | None = None, name: str = ""
+) -> CSRGraph:
+    """Read an edge-list file.
+
+    Args:
+        path: File with one ``u v`` pair per line.
+        n: Vertex count; inferred as ``max id + 1`` when omitted, unless a
+            ``# n <count>`` header is present.
+        name: Label for the resulting graph (defaults to the file stem).
+    """
+    edges: list[tuple[int, int]] = []
+    header_n: int | None = None
+    with _open_text(path, "r") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line[1:].split()
+                if len(parts) == 2 and parts[0] == "n":
+                    header_n = int(parts[1])
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: expected 'u v', got {line!r}"
+                )
+            edges.append((int(parts[0]), int(parts[1])))
+    if n is None:
+        n = header_n
+    if n is None:
+        n = 1 + max((max(u, v) for u, v in edges), default=-1)
+    if not name:
+        stem = os.path.basename(os.fspath(path))
+        if stem.endswith(".gz"):
+            stem = stem[:-3]
+        name = os.path.splitext(stem)[0]
+    return CSRGraph.from_edges(n, edges, name=name)
+
+
+def save_adjacency(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Write a graph as adjacency text (line i = neighbors of vertex i)."""
+    with _open_text(path, "w") as handle:
+        handle.write(f"{graph.n}\n")
+        for v in range(graph.n):
+            handle.write(" ".join(map(str, graph.neighbors(v))) + "\n")
+
+
+def load_adjacency(path: str | os.PathLike, name: str = "") -> CSRGraph:
+    """Read adjacency text written by :func:`save_adjacency`."""
+    with _open_text(path, "r") as handle:
+        first = handle.readline().strip()
+        if not first:
+            raise GraphFormatError(f"{path}: missing vertex-count header")
+        n = int(first)
+        edges: list[tuple[int, int]] = []
+        for v in range(n):
+            line = handle.readline()
+            if line == "":
+                raise GraphFormatError(
+                    f"{path}: expected {n} adjacency rows, got {v}"
+                )
+            for token in line.split():
+                edges.append((v, int(token)))
+    if not name:
+        stem = os.path.basename(os.fspath(path))
+        if stem.endswith(".gz"):
+            stem = stem[:-3]
+        name = os.path.splitext(stem)[0]
+    return CSRGraph.from_edges(n, edges, name=name)
+
+
+def save_npz(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Write a graph to a compressed ``.npz`` container."""
+    np.savez_compressed(
+        path, indptr=graph.indptr, indices=graph.indices,
+        name=np.array(graph.name),
+    )
+
+
+def load_npz(path: str | os.PathLike) -> CSRGraph:
+    """Read a graph written by :func:`save_npz`."""
+    with np.load(path, allow_pickle=False) as data:
+        try:
+            indptr = data["indptr"]
+            indices = data["indices"]
+        except KeyError as exc:
+            raise GraphFormatError(
+                f"{path}: missing array {exc.args[0]!r}"
+            ) from exc
+        name = str(data["name"]) if "name" in data else ""
+    return CSRGraph(indptr, indices, name=name)

@@ -1,0 +1,105 @@
+"""Graph transformations used by experiments and preprocessing.
+
+Real k-core pipelines rarely run on raw dumps: they extract the largest
+connected component, merge edge batches, and relabel vertices.  These
+helpers keep everything in CSR land and are shared by the dynamic-update
+benchmarks and the examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.properties import connected_components
+
+
+def all_edges(graph: CSRGraph) -> np.ndarray:
+    """Undirected edge list (each edge once, ``u < v``), shape ``(m, 2)``."""
+    src = np.repeat(np.arange(graph.n, dtype=np.int64), graph.degrees)
+    mask = src < graph.indices
+    return np.stack([src[mask], graph.indices[mask]], axis=1)
+
+
+def largest_connected_component(graph: CSRGraph) -> CSRGraph:
+    """Induced subgraph of the largest connected component (relabeled)."""
+    if graph.n == 0:
+        return graph
+    labels = connected_components(graph)
+    counts = np.bincount(labels)
+    keep = np.nonzero(labels == int(counts.argmax()))[0]
+    out = graph.induced_subgraph(keep)
+    out.name = f"{graph.name}/lcc" if graph.name else "lcc"
+    return out
+
+
+def add_edges(
+    graph: CSRGraph, edges: np.ndarray | list[tuple[int, int]]
+) -> CSRGraph:
+    """New graph with additional undirected edges (duplicates ignored)."""
+    extra = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    merged = np.concatenate([all_edges(graph), extra])
+    return CSRGraph.from_edges(graph.n, merged, name=graph.name)
+
+
+def remove_edges(
+    graph: CSRGraph, edges: np.ndarray | list[tuple[int, int]]
+) -> CSRGraph:
+    """New graph with the given undirected edges removed (if present)."""
+    drop = {
+        (min(int(u), int(v)), max(int(u), int(v)))
+        for u, v in np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    }
+    kept = [
+        (int(u), int(v))
+        for u, v in all_edges(graph)
+        if (int(u), int(v)) not in drop
+    ]
+    return CSRGraph.from_edges(graph.n, kept, name=graph.name)
+
+
+def remove_vertices(
+    graph: CSRGraph, vertices: np.ndarray | list[int]
+) -> CSRGraph:
+    """New graph without the given vertices (survivors relabeled)."""
+    drop = np.zeros(graph.n, dtype=bool)
+    drop[np.asarray(vertices, dtype=np.int64)] = True
+    keep = np.nonzero(~drop)[0]
+    out = graph.induced_subgraph(keep)
+    out.name = graph.name
+    return out
+
+
+def disjoint_union(a: CSRGraph, b: CSRGraph) -> CSRGraph:
+    """The disjoint union of two graphs (b's ids shifted by a.n)."""
+    edges_a = all_edges(a)
+    edges_b = all_edges(b) + a.n
+    merged = (
+        np.concatenate([edges_a, edges_b])
+        if edges_a.size or edges_b.size
+        else np.zeros((0, 2), dtype=np.int64)
+    )
+    return CSRGraph.from_edges(
+        a.n + b.n, merged, name=f"{a.name}+{b.name}"
+    )
+
+
+def relabel_random(graph: CSRGraph, seed: int = 0) -> CSRGraph:
+    """Randomly permute vertex ids (isomorphic graph).
+
+    Decomposition results must be invariant under relabeling; the test
+    suite uses this to catch id-order-dependent bugs.
+    """
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(graph.n).astype(np.int64)
+    edges = all_edges(graph)
+    if edges.size:
+        edges = np.stack([perm[edges[:, 0]], perm[edges[:, 1]]], axis=1)
+    out = CSRGraph.from_edges(graph.n, edges, name=graph.name)
+    return out
+
+
+def permutation_of_relabel(graph: CSRGraph, seed: int = 0) -> np.ndarray:
+    """The permutation :func:`relabel_random` applies (old id -> new id)."""
+    rng = np.random.default_rng(seed)
+    return rng.permutation(graph.n).astype(np.int64)

@@ -1,0 +1,27 @@
+"""Instrumented parallel primitives: PACK, HISTOGRAM, scans, reductions."""
+
+from repro.primitives.histogram import (
+    HistogramResult,
+    dense_histogram,
+    histogram,
+)
+from repro.primitives.pack import filter_by, pack, pack_index
+from repro.primitives.scan import (
+    exclusive_scan,
+    inclusive_scan,
+    reduce_max,
+    reduce_sum,
+)
+
+__all__ = [
+    "HistogramResult",
+    "dense_histogram",
+    "exclusive_scan",
+    "filter_by",
+    "histogram",
+    "inclusive_scan",
+    "pack",
+    "pack_index",
+    "reduce_max",
+    "reduce_sum",
+]

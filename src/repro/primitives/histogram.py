@@ -1,0 +1,83 @@
+"""The HISTOGRAM parallel primitive (paper Sec. 2).
+
+Julienne's offline peel collects the concatenated neighbor lists of a
+frontier into a list ``L`` and counts the occurrences of each vertex with a
+HISTOGRAM, implemented in the literature by parallel semisort (Gu et al.
+2015; Dong et al. 2023).  Semisort groups equal keys with ``O(|L|)`` work in
+expectation but with a noticeably larger constant than a streaming pass —
+the cost model charges ``histogram_op`` per element and several fork/join
+phases, which is what makes the offline peel's burdened span a constant
+factor worse than the online peel's (paper Sec. 6.2.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.runtime.simulator import SimRuntime
+
+
+@dataclass(frozen=True)
+class HistogramResult:
+    """Grouped counts of a key array.
+
+    Attributes:
+        keys: Distinct keys in ascending order.
+        counts: Occurrence count per distinct key.
+    """
+
+    keys: np.ndarray
+    counts: np.ndarray
+
+
+def histogram(
+    keys: np.ndarray,
+    runtime: SimRuntime | None = None,
+    phases: int = 3,
+    tag: str = "histogram",
+) -> HistogramResult:
+    """Count occurrences of each key (semisort-based HISTOGRAM).
+
+    Args:
+        keys: Integer key array (the list ``L`` of Alg. 2).
+        runtime: Simulated runtime; charged ``histogram_op`` per element and
+            ``phases`` fork/join barriers (sample, partition, count — the
+            passes of a top-down semisort).
+        phases: Number of synchronization phases to charge.
+        tag: Ledger label.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    if runtime is not None and keys.size:
+        model = runtime.model
+        runtime.parallel_for(
+            model.histogram_op, count=keys.size, barriers=phases, tag=tag
+        )
+    if keys.size == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return HistogramResult(keys=empty, counts=empty)
+    distinct, counts = np.unique(keys, return_counts=True)
+    return HistogramResult(keys=distinct, counts=counts)
+
+
+def dense_histogram(
+    keys: np.ndarray,
+    domain: int,
+    runtime: SimRuntime | None = None,
+    tag: str = "dense_histogram",
+) -> np.ndarray:
+    """Counts over a dense integer domain ``[0, domain)``.
+
+    Cheaper than semisort when the domain is small and pre-allocated (the
+    BZ sequential algorithm's bucket sort uses this shape).
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    if keys.size and (keys.min() < 0 or keys.max() >= domain):
+        raise ValueError("key out of domain for dense histogram")
+    if runtime is not None and keys.size:
+        runtime.parallel_for(
+            runtime.model.scan_op, count=keys.size + domain, barriers=1,
+            tag=tag,
+        )
+    return np.bincount(keys, minlength=domain)

@@ -1,0 +1,72 @@
+"""Prefix-sum (scan) and reduce primitives with cost accounting.
+
+Scans back the PACK primitive and the hash-bag extraction; reduce is used
+for frontier work estimation.  Both are ``O(n)`` work, ``O(log n)`` span.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.simulator import SimRuntime
+
+
+def exclusive_scan(
+    values: np.ndarray,
+    runtime: SimRuntime | None = None,
+    tag: str = "scan",
+) -> np.ndarray:
+    """Exclusive prefix sum: ``out[i] = sum(values[:i])``."""
+    values = np.asarray(values)
+    if runtime is not None and values.size:
+        runtime.parallel_for(
+            runtime.model.scan_op, count=values.size, barriers=1, tag=tag
+        )
+    out = np.zeros(values.size, dtype=np.int64)
+    if values.size > 1:
+        np.cumsum(values[:-1], out=out[1:])
+    return out
+
+
+def inclusive_scan(
+    values: np.ndarray,
+    runtime: SimRuntime | None = None,
+    tag: str = "scan",
+) -> np.ndarray:
+    """Inclusive prefix sum: ``out[i] = sum(values[:i + 1])``."""
+    values = np.asarray(values)
+    if runtime is not None and values.size:
+        runtime.parallel_for(
+            runtime.model.scan_op, count=values.size, barriers=1, tag=tag
+        )
+    return np.cumsum(values).astype(np.int64)
+
+
+def reduce_sum(
+    values: np.ndarray,
+    runtime: SimRuntime | None = None,
+    tag: str = "reduce",
+) -> int:
+    """Parallel sum reduction."""
+    values = np.asarray(values)
+    if runtime is not None and values.size:
+        runtime.parallel_for(
+            runtime.model.scan_op, count=values.size, barriers=1, tag=tag
+        )
+    return int(values.sum())
+
+
+def reduce_max(
+    values: np.ndarray,
+    runtime: SimRuntime | None = None,
+    tag: str = "reduce",
+) -> int:
+    """Parallel max reduction (0 on empty input)."""
+    values = np.asarray(values)
+    if runtime is not None and values.size:
+        runtime.parallel_for(
+            runtime.model.scan_op, count=values.size, barriers=1, tag=tag
+        )
+    if values.size == 0:
+        return 0
+    return int(values.max())

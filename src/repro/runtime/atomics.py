@@ -1,0 +1,85 @@
+"""Batch semantics for atomic operations under the simulated runtime.
+
+The online peeling algorithms of the paper (ParK, PKC, and our framework)
+issue ``atomic_dec`` on induced degrees and ``atomic_inc`` on sampler
+counters.  Executed under frontier-synchronous semantics, a batch of atomics
+on an integer array is equivalent to applying all decrements at once and
+asking which locations crossed a threshold — with the guarantee (inherited
+from atomicity) that exactly one logical thread observes the crossing.
+
+These helpers implement that batch semantics with numpy and also return the
+per-location *contention counts* the runtime needs for span accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class DecrementOutcome:
+    """Result of a batch of atomic decrements on the induced-degree array.
+
+    Attributes:
+        counts: Per-vertex number of decrements applied in this batch
+            (equals the contention experienced by that vertex's counter).
+        crossed: Vertices whose value crossed the threshold ``k`` from above
+            (old value > k, new value <= k); by atomicity exactly one thread
+            observes each crossing, so these join the next frontier once.
+    """
+
+    counts: np.ndarray
+    crossed: np.ndarray
+
+
+def batch_decrement(
+    values: np.ndarray, targets: np.ndarray, k: int
+) -> DecrementOutcome:
+    """Apply one atomic decrement per entry of ``targets`` to ``values``.
+
+    ``targets`` may repeat a vertex; each occurrence is one decrement.
+    ``values`` is modified in place.  Returns the contention counts and the
+    vertices whose value dropped from above ``k`` to ``k`` or below.
+    """
+    if targets.size == 0:
+        return DecrementOutcome(
+            counts=np.zeros(0, dtype=np.int64),
+            crossed=np.zeros(0, dtype=targets.dtype),
+        )
+    touched, counts = np.unique(targets, return_counts=True)
+    old = values[touched]
+    new = old - counts
+    values[touched] = new
+    crossed = touched[(old > k) & (new <= k)]
+    return DecrementOutcome(counts=counts, crossed=crossed)
+
+
+def batch_increment_clamped(
+    counters: np.ndarray, targets: np.ndarray, limit: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Apply one atomic increment per entry of ``targets`` to ``counters``.
+
+    Returns ``(counts, reached)`` where ``counts`` is the per-location
+    contention and ``reached`` lists the locations whose counter reached or
+    exceeded ``limit`` during this batch (having been below it before) —
+    the sampler's "collected enough samples" event (Alg. 5 line 7), which by
+    atomicity fires exactly once per location.
+    """
+    if targets.size == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=targets.dtype)
+    touched, counts = np.unique(targets, return_counts=True)
+    old = counters[touched]
+    new = old + counts
+    counters[touched] = new
+    reached = touched[(old < limit) & (new >= limit)]
+    return counts, reached
+
+
+def contention_of(targets: np.ndarray) -> np.ndarray:
+    """Per-location concurrent-update counts of a batch of atomics."""
+    if targets.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    _, counts = np.unique(targets, return_counts=True)
+    return counts

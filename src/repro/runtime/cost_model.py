@@ -1,0 +1,130 @@
+"""Cost model for the simulated parallel runtime.
+
+The paper analyzes its algorithms in the classic work-span model with binary
+fork-join, augmented with two practical refinements:
+
+* **burdened span** (Cilkview, He et al. 2010): every fork/join operation is
+  charged a large constant ``omega`` (the paper uses the Cilkview default of
+  15,000) to reflect real scheduling overhead;
+* **contention** (Acar et al. 2017): operations that concurrently modify the
+  same memory location serialize, so a location receiving ``c`` concurrent
+  atomic updates contributes ``c`` sequential atomic operations to the span.
+
+This module centralizes every constant of that model so experiments can vary
+them, and provides the mapping from abstract operation counts to simulated
+time.  One operation is one simulated nanosecond, which puts the scaled-down
+benchmark suite in the millisecond range (the paper's testbed ran in seconds
+on graphs three to five orders of magnitude larger).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Constants of the simulated machine.
+
+    Attributes:
+        omega: Burden charged per fork/join barrier in the *burdened span*
+            (Cilkview default, see paper Sec. 2).  Used for the span
+            analysis (Figs. 9/14), not for simulated time.
+        omega_time: Scheduling cost per fork/join barrier in *simulated
+            time*.  The paper's datasets are three to five orders of
+            magnitude larger than the scaled suite, so the barrier cost in
+            time units is scaled to preserve the paper's work-to-overhead
+            ratios (a real tuned scheduler synchronizes in a few
+            microseconds; our unit op is one simulated nanosecond).
+        atomic_op: Work of one uncontended atomic read-modify-write.
+        contended_atomic_op: Span cost of each serialized atomic when many
+            threads hit one cache line (a cache-coherence round trip is
+            tens of nanoseconds, not one).  This is what makes high-degree
+            contention hurt, and what sampling removes.
+        edge_op: Cost of touching one neighbor during peeling.
+        vertex_op: Per-vertex overhead when a vertex enters a frontier.
+        scan_op: Per-element cost of a streaming pack / filter / prefix sum.
+        histogram_op: Per-element cost of the semisort-based HISTOGRAM used by
+            the offline (Julienne-style) peel; deliberately larger than
+            ``edge_op`` because semisort makes several passes.
+        bag_insert_op: Cost of one parallel-hash-bag insertion (hash + CAS).
+        bag_extract_op: Per-element cost of BagExtractAll.
+        bucket_move_op: Cost of moving a vertex between buckets
+            (DecreaseKey / redistribution) in a bucketing structure.
+        sample_flip_op: Cost of one sampling coin flip (RNG draw).
+        n_cores: Physical cores of the simulated machine (the paper's machine
+            has 96 cores / 192 hyperthreads).
+        hyper_factor: Incremental throughput contributed by each hyperthread
+            beyond the physical core count.
+        offline_barriers: Fork/join barriers per offline peel subround
+            (gather, histogram, apply, pack).
+        online_barriers: Fork/join barriers per online peel subround.
+    """
+
+    omega: float = 15_000.0
+    omega_time: float = 500.0
+    atomic_op: float = 2.0
+    contended_atomic_op: float = 120.0
+    edge_op: float = 1.0
+    vertex_op: float = 1.0
+    scan_op: float = 0.25
+    histogram_op: float = 4.0
+    bag_insert_op: float = 3.0
+    bag_extract_op: float = 1.0
+    bucket_move_op: float = 3.0
+    sample_flip_op: float = 1.5
+    n_cores: int = 96
+    hyper_factor: float = 0.35
+    offline_barriers: int = 4
+    online_barriers: int = 1
+
+    def effective_cores(self, threads: int) -> float:
+        """Usable parallelism for ``threads`` software threads.
+
+        Threads beyond the physical core count run as hyperthreads and only
+        contribute ``hyper_factor`` of a core each, which reproduces the
+        sub-linear "96h" point in the paper's scalability plots (Fig. 10).
+        """
+        if threads <= 0:
+            raise ValueError(f"threads must be positive, got {threads}")
+        if threads <= self.n_cores:
+            return float(threads)
+        return self.n_cores + self.hyper_factor * (threads - self.n_cores)
+
+
+#: Shared default model; algorithms use this unless a caller injects another.
+DEFAULT_COST_MODEL = CostModel()
+
+
+@dataclass
+class CostModelOverrides:
+    """Mutable builder for deriving a tweaked :class:`CostModel`.
+
+    Benchmark ablations (e.g. sweeping ``omega`` to show when scheduling
+    overhead dominates) construct variants through this helper rather than
+    re-listing every field.
+    """
+
+    base: CostModel = field(default_factory=lambda: DEFAULT_COST_MODEL)
+
+    def with_fields(self, **kwargs: float) -> CostModel:
+        """Return a copy of ``base`` with the given fields replaced."""
+        values = {
+            name: getattr(self.base, name)
+            for name in self.base.__dataclass_fields__
+        }
+        for key, value in kwargs.items():
+            if key not in values:
+                raise KeyError(f"unknown cost-model field: {key!r}")
+            values[key] = value
+        return CostModel(**values)
+
+
+def nanos_to_millis(ops: float) -> float:
+    """Convert simulated nanoseconds (operation counts) to milliseconds."""
+    return ops * 1e-6
+
+
+def nanos_to_seconds(ops: float) -> float:
+    """Convert simulated nanoseconds (operation counts) to seconds."""
+    return ops * 1e-9

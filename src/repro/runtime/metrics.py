@@ -1,0 +1,154 @@
+"""Execution metrics collected by the simulated runtime.
+
+A run is a sequence of *steps*.  Each step is either a parallel-for (one or
+more fork/join barriers, a total work, and a span) or a sequential segment
+(work == span, no barrier).  The ledger of steps is sufficient to evaluate
+
+* total **work** ``W`` — the one-core running time,
+* **span** ``S`` — the longest dependence chain,
+* **burdened span** — span plus ``omega`` per fork/join barrier,
+* simulated **running time on P cores** — the work-stealing bound
+  ``sum_i max(W_i / P, S_i) + barriers_i * omega``.
+
+The peeling-specific counters (rounds, subrounds, contention, sampler
+activity) feed the paper's Figures 7, 9, 11 and Table 2's ``rho`` column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
+
+
+@dataclass
+class StepRecord:
+    """One parallel step of the simulated execution."""
+
+    work: float
+    span: float
+    barriers: int
+    tag: str = ""
+    #: Per-task costs, retained only when the runtime was created with
+    #: ``record_task_costs=True`` (used by the scheduling validator).
+    task_costs: object = None
+
+
+@dataclass
+class RunMetrics:
+    """Ledger plus aggregate counters for one algorithm execution."""
+
+    steps: list[StepRecord] = field(default_factory=list)
+    work: float = 0.0
+    span: float = 0.0
+    barriers: int = 0
+
+    #: Peeling rounds (distinct coreness values processed).
+    rounds: int = 0
+    #: Peeling subrounds (frontier iterations); the paper's rho / rho'.
+    subrounds: int = 0
+    #: Total atomic operations issued.
+    atomics: int = 0
+    #: Highest number of concurrent updates observed on one memory location.
+    max_contention: int = 0
+    #: Vertices that ever entered sample mode.
+    sampled_vertices: int = 0
+    #: Resample (induced-degree recount) events.
+    resamples: int = 0
+    #: Las-Vegas restarts triggered by detected sampling errors.
+    restarts: int = 0
+    #: Largest frontier processed.
+    peak_frontier: int = 0
+    #: Vertices processed inside VGC local searches (not via new subrounds).
+    local_search_hits: int = 0
+
+    def record_parallel(
+        self,
+        work: float,
+        span: float,
+        barriers: int = 1,
+        tag: str = "",
+        task_costs=None,
+    ) -> None:
+        """Append a parallel step to the ledger."""
+        self.steps.append(
+            StepRecord(work, span, barriers, tag, task_costs)
+        )
+        self.work += work
+        self.span += span
+        self.barriers += barriers
+
+    def record_sequential(self, work: float, tag: str = "") -> None:
+        """Append a sequential segment (work contributes fully to the span)."""
+        self.steps.append(StepRecord(work, work, 0, tag))
+        self.work += work
+        self.span += work
+
+    def observe_contention(self, contention: int, count: int = 1) -> None:
+        """Note ``count`` atomics whose location saw ``contention`` writers."""
+        self.atomics += count
+        if contention > self.max_contention:
+            self.max_contention = contention
+
+    @property
+    def burdened_span(self) -> float:
+        """Span with ``omega`` charged per fork/join barrier (Cilkview)."""
+        return self.span + DEFAULT_COST_MODEL.omega * self.barriers
+
+    def burdened_span_under(self, model: CostModel) -> float:
+        """Burdened span evaluated with a caller-supplied cost model."""
+        return self.span + model.omega * self.barriers
+
+    def time_on(
+        self, threads: int, model: CostModel = DEFAULT_COST_MODEL
+    ) -> float:
+        """Simulated running time (in ops == ns) on ``threads`` threads.
+
+        Uses the randomized work-stealing bound ``W/P + O(S)`` applied per
+        step: each step completes in ``max(work / p_eff, span)`` plus the
+        scheduling cost (``omega_time``) of its barriers.  On one thread
+        the execution is sequential, so barriers cost nothing and the time
+        is exactly the work.
+        """
+        if threads == 1:
+            return self.work
+        p_eff = model.effective_cores(threads)
+        total = 0.0
+        for step in self.steps:
+            total += max(step.work / p_eff, step.span)
+            total += step.barriers * model.omega_time
+        return total
+
+    def merge(self, other: "RunMetrics") -> None:
+        """Fold another ledger into this one (used by restart recovery)."""
+        self.steps.extend(other.steps)
+        self.work += other.work
+        self.span += other.span
+        self.barriers += other.barriers
+        self.rounds += other.rounds
+        self.subrounds += other.subrounds
+        self.atomics += other.atomics
+        self.max_contention = max(self.max_contention, other.max_contention)
+        self.sampled_vertices += other.sampled_vertices
+        self.resamples += other.resamples
+        self.restarts += other.restarts
+        self.peak_frontier = max(self.peak_frontier, other.peak_frontier)
+        self.local_search_hits += other.local_search_hits
+
+    def summary(self) -> dict[str, float]:
+        """Aggregate counters as a plain dict (for tables and JSON dumps)."""
+        return {
+            "work": self.work,
+            "span": self.span,
+            "burdened_span": self.burdened_span,
+            "barriers": float(self.barriers),
+            "rounds": float(self.rounds),
+            "subrounds": float(self.subrounds),
+            "atomics": float(self.atomics),
+            "max_contention": float(self.max_contention),
+            "sampled_vertices": float(self.sampled_vertices),
+            "resamples": float(self.resamples),
+            "restarts": float(self.restarts),
+            "peak_frontier": float(self.peak_frontier),
+            "local_search_hits": float(self.local_search_hits),
+        }

@@ -1,0 +1,118 @@
+"""Cilkview-style parallelism profiler for recorded executions.
+
+The paper measures *burdened span* with Cilkview (He, Leiserson &
+Leiserson 2010) to explain why VGC wins (Sec. 6.2.5).  This module
+produces the same style of report from a recorded ledger: work, span,
+parallelism (work / span), burdened parallelism (work / burdened span),
+estimated speedups, and a per-tag cost breakdown that shows where each
+algorithm spends its simulated time.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.runtime.metrics import RunMetrics
+
+
+@dataclass(frozen=True)
+class TagCost:
+    """Aggregated cost of all steps sharing one ledger tag."""
+
+    tag: str
+    work: float
+    span: float
+    barriers: int
+    steps: int
+    time96: float
+
+
+@dataclass(frozen=True)
+class ParallelismReport:
+    """Cilkview-style summary of one recorded execution."""
+
+    work: float
+    span: float
+    burdened_span: float
+    parallelism: float
+    burdened_parallelism: float
+    barriers: int
+    speedup_96: float
+    tags: tuple[TagCost, ...]
+
+    def dominant_tag(self) -> str:
+        """Ledger tag consuming the most simulated 96-thread time."""
+        if not self.tags:
+            return ""
+        return max(self.tags, key=lambda t: t.time96).tag
+
+
+def profile(
+    metrics: RunMetrics, model: CostModel = DEFAULT_COST_MODEL
+) -> ParallelismReport:
+    """Build a :class:`ParallelismReport` from a recorded ledger."""
+    work = metrics.work
+    span = metrics.span
+    burdened = metrics.burdened_span_under(model)
+    per_tag: dict[str, list[float]] = defaultdict(
+        lambda: [0.0, 0.0, 0, 0, 0.0]
+    )
+    for step in metrics.steps:
+        slot = per_tag[step.tag]
+        slot[0] += step.work
+        slot[1] += step.span
+        slot[2] += step.barriers
+        slot[3] += 1
+        slot[4] += (
+            max(step.work / model.effective_cores(96), step.span)
+            + step.barriers * model.omega_time
+        )
+    tags = tuple(
+        sorted(
+            (
+                TagCost(tag, w, s, int(b), int(c), t96)
+                for tag, (w, s, b, c, t96) in per_tag.items()
+            ),
+            key=lambda t: -t.time96,
+        )
+    )
+    t96 = metrics.time_on(96, model)
+    return ParallelismReport(
+        work=work,
+        span=span,
+        burdened_span=burdened,
+        parallelism=work / span if span else float("inf"),
+        burdened_parallelism=work / burdened if burdened else float("inf"),
+        barriers=metrics.barriers,
+        speedup_96=work / t96 if t96 else float("inf"),
+        tags=tags,
+    )
+
+
+def render_report(report: ParallelismReport, title: str = "") -> str:
+    """Human-readable profiler output (Cilkview-report flavoured)."""
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend(
+        [
+            f"work:                  {report.work:,.0f} ops",
+            f"span:                  {report.span:,.0f} ops",
+            f"burdened span:         {report.burdened_span:,.0f} ops",
+            f"parallelism:           {report.parallelism:,.1f}",
+            f"burdened parallelism:  {report.burdened_parallelism:,.1f}",
+            f"fork/join barriers:    {report.barriers:,}",
+            f"estimated speedup@96:  {report.speedup_96:,.1f}x",
+            "per-tag breakdown (by simulated 96-thread time):",
+        ]
+    )
+    for tag in report.tags:
+        lines.append(
+            f"  {tag.tag or '<untagged>':20s} "
+            f"t96={tag.time96 / 1e3:9.1f}us work={tag.work / 1e3:9.1f}k "
+            f"span={tag.span:9.0f} barriers={tag.barriers:5d} "
+            f"steps={tag.steps}"
+        )
+    return "\n".join(lines)

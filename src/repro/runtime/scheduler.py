@@ -1,0 +1,67 @@
+"""Scheduling-level views over a recorded execution.
+
+The simulated runtime records a ledger of steps; this module turns that
+ledger into the quantities the paper's evaluation section plots:
+
+* running time on P threads (work-stealing bound per step),
+* self-relative speedup curves (Fig. 10),
+* burdened-span comparisons between algorithms (Figs. 9 / 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.runtime.metrics import RunMetrics
+
+#: Thread counts used by the paper's scalability study (Fig. 10); "192"
+#: is the 96-core machine with hyperthreading ("96h").
+SCALABILITY_THREADS: tuple[int, ...] = (1, 2, 4, 8, 16, 24, 48, 96, 192)
+
+
+@dataclass(frozen=True)
+class SpeedupPoint:
+    """One point of a self-relative speedup curve."""
+
+    threads: int
+    time: float
+    speedup: float
+
+
+def speedup_curve(
+    metrics: RunMetrics,
+    threads: tuple[int, ...] = SCALABILITY_THREADS,
+    model: CostModel = DEFAULT_COST_MODEL,
+) -> list[SpeedupPoint]:
+    """Self-relative speedup of a recorded execution across thread counts."""
+    t1 = metrics.time_on(1, model)
+    points = []
+    for p in threads:
+        tp = metrics.time_on(p, model)
+        points.append(SpeedupPoint(p, tp, t1 / tp if tp else float("inf")))
+    return points
+
+
+def self_relative_speedup(
+    metrics: RunMetrics,
+    threads: int = 96,
+    model: CostModel = DEFAULT_COST_MODEL,
+) -> float:
+    """``T_1 / T_threads`` of one recorded execution (Table 2's "spd.")."""
+    tp = metrics.time_on(threads, model)
+    if tp == 0:
+        return float("inf")
+    return metrics.time_on(1, model) / tp
+
+
+def burdened_span_speedup(
+    baseline: RunMetrics,
+    ours: RunMetrics,
+    model: CostModel = DEFAULT_COST_MODEL,
+) -> float:
+    """Baseline burdened span over ours (Fig. 9: higher favours ours)."""
+    mine = ours.burdened_span_under(model)
+    if mine == 0:
+        return float("inf")
+    return baseline.burdened_span_under(model) / mine

@@ -1,0 +1,91 @@
+"""Phase-concurrent hash table (Shun & Blelloch 2014) with linear probing.
+
+The paper's toolbox (Sec. 2) relies on hashing for parallel data access.
+This table supports the phase-concurrent discipline: within one phase all
+operations are of one kind (all inserts, all lookups, or all deletes), which
+is what the k-core structures need and what makes a lock-free linear-probing
+table deterministic.
+
+Keys are non-negative int64; an optional int64 value can be associated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.structures.hash_bag import _mix
+
+_EMPTY = -1
+
+
+class PhaseConcurrentHashTable:
+    """Open-addressing hash set / map over non-negative int64 keys."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"negative capacity: {capacity}")
+        size = 16
+        while size * 3 < capacity * 4:  # keep load factor under 0.75
+            size *= 2
+        self._mask = size - 1
+        self._keys = np.full(size, _EMPTY, dtype=np.int64)
+        self._values = np.zeros(size, dtype=np.int64)
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _probe(self, key: int) -> int:
+        """Index of ``key``'s slot, or of the empty slot where it belongs."""
+        pos = _mix(int(key)) & self._mask
+        while True:
+            stored = self._keys[pos]
+            if stored == _EMPTY or stored == key:
+                return pos
+            pos = (pos + 1) & self._mask
+
+    def _grow(self) -> None:
+        old_keys = self._keys
+        old_values = self._values
+        size = (self._mask + 1) * 2
+        self._mask = size - 1
+        self._keys = np.full(size, _EMPTY, dtype=np.int64)
+        self._values = np.zeros(size, dtype=np.int64)
+        self._count = 0
+        for key, value in zip(old_keys, old_values):
+            if key != _EMPTY:
+                self.insert(int(key), int(value))
+
+    def insert(self, key: int, value: int = 0) -> bool:
+        """Insert ``key`` (idempotent); returns True if newly added."""
+        if key < 0:
+            raise ValueError(f"keys must be non-negative: {key}")
+        if (self._count + 1) * 4 > (self._mask + 1) * 3:
+            self._grow()
+        pos = self._probe(key)
+        fresh = self._keys[pos] == _EMPTY
+        self._keys[pos] = key
+        self._values[pos] = value
+        if fresh:
+            self._count += 1
+        return bool(fresh)
+
+    def lookup(self, key: int) -> int | None:
+        """Value stored for ``key``, or None if absent."""
+        pos = self._probe(key)
+        if self._keys[pos] == _EMPTY:
+            return None
+        return int(self._values[pos])
+
+    def contains(self, key: int) -> bool:
+        """Whether ``key`` is present."""
+        return self._keys[self._probe(key)] != _EMPTY
+
+    def keys(self) -> np.ndarray:
+        """All stored keys (unordered)."""
+        return self._keys[self._keys != _EMPTY].copy()
+
+    def items(self) -> tuple[np.ndarray, np.ndarray]:
+        """All stored (keys, values) pairs (unordered, aligned)."""
+        mask = self._keys != _EMPTY
+        return self._keys[mask].copy(), self._values[mask].copy()

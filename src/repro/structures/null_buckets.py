@@ -1,0 +1,30 @@
+"""A do-nothing bucket structure for algorithms that re-scan V themselves.
+
+ParK, PKC, and the single-round subgraph extraction build their frontiers
+by scanning the vertex array directly, so they plug this stub into the
+peel's DecreaseKey notifications.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+from repro.structures.buckets_base import BucketStructure
+
+
+class NullBuckets(BucketStructure):
+    """No structure at all; DecreaseKey notifications are ignored."""
+
+    name = "none"
+
+    def _build(self, graph: CSRGraph) -> None:
+        pass
+
+    def next_round(self):  # pragma: no cover - never used as a driver
+        raise NotImplementedError("NullBuckets does not drive rounds")
+
+    def on_decrements(
+        self, vertices: np.ndarray, old_keys: np.ndarray | None = None
+    ) -> None:
+        pass

@@ -1,0 +1,186 @@
+"""Tests for the experiment harness, tables and figure generators."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ALGORITHMS,
+    ExperimentCache,
+    fig2_seq_speedup,
+    fig5_relative_time,
+    fig6_ablation,
+    fig7_subrounds,
+    fig8_bucketing,
+    fig9_burdened_span,
+    fig10_scalability,
+    fig11_sampling,
+    fig12_subgraph,
+    fig15_time_vs_julienne,
+    format_cell,
+    geometric_mean,
+    normalize_row,
+    render_series,
+    render_table,
+    render_table2,
+    render_table3,
+    run,
+    run_on,
+    table2,
+    table3_row,
+)
+from repro.generators import erdos_renyi
+
+# One small graph keeps the analysis tests quick.
+SMALL = ("AF-S",)
+TINY_PAIR = ("AF-S", "GL5-S")
+
+
+class TestExperiments:
+    def test_run_records_fields(self):
+        record = run("ours", "AF-S")
+        assert record.algorithm
+        assert record.graph == "AF-S"
+        assert record.time_ms > 0
+        assert record.seq_ms > record.time_ms  # parallel speedup
+        assert record.kmax == 2
+
+    def test_run_on_arbitrary_graph(self):
+        g = erdos_renyi(200, 6.0, seed=1)
+        record = run_on("bz", g)
+        assert record.n == 200
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError):
+            run("quantum", "AF-S")
+
+    def test_all_algorithms_runnable(self):
+        g = erdos_renyi(150, 5.0, seed=2)
+        for name in ALGORITHMS:
+            record = run_on(name, g)
+            assert record.time_ms >= 0, name
+
+    def test_cache_reuses_runs(self):
+        cache = ExperimentCache()
+        first = cache.get("ours", "AF-S")
+        second = cache.get("ours", "AF-S")
+        assert first is second
+
+    def test_best_sequential(self):
+        cache = ExperimentCache()
+        best = cache.best_sequential_ms("AF-S")
+        assert 0 < best <= cache.get("bz", "AF-S").seq_ms
+
+
+class TestTables:
+    def test_table2_row_fields(self):
+        rows = table2(graph_names=SMALL)
+        row = rows[0]
+        assert row.graph == "AF-S"
+        assert row.best_algorithm() in ("ours", "julienne", "park", "pkc")
+        assert len(row.as_cells()) == 12
+
+    def test_render_table2(self):
+        text = render_table2(table2(graph_names=SMALL))
+        assert "Table 2" in text
+        assert "AF-S" in text
+        assert "geomean[road]" in text
+
+    def test_table3_row_all_combinations(self):
+        row = table3_row("AF-S")
+        assert set(row) == {
+            "Plain", "VGC", "Sample", "HBS",
+            "VGC+Sample", "VGC+HBS", "Sample+HBS", "All",
+        }
+
+    def test_normalize_row(self):
+        norm = normalize_row({"a": 2.0, "b": 4.0})
+        assert norm == {"a": 1.0, "b": 2.0}
+
+    def test_render_table3(self):
+        text = render_table3({"AF-S": table3_row("AF-S")})
+        assert "Table 3" in text
+
+
+class TestFigures:
+    def test_fig2(self):
+        data = fig2_seq_speedup(graph_names=SMALL)
+        assert data["AF-S"]["ours"] > 1.0  # faster than sequential
+
+    def test_fig5(self):
+        data = fig5_relative_time(graph_names=SMALL)
+        for baseline, relative in data["AF-S"].items():
+            assert relative > 0, baseline
+
+    def test_fig6(self):
+        points = fig6_ablation(graph_names=SMALL)
+        point = points[0]
+        assert point.vgc_speedup > 1.0  # road graphs love VGC
+        assert point.both_speedup > 1.0
+
+    def test_fig7(self):
+        data = fig7_subrounds(graph_names=SMALL)
+        without, with_vgc = data["AF-S"]
+        assert with_vgc < without
+
+    def test_fig8(self):
+        data = fig8_bucketing(graph_names=SMALL)
+        assert data["AF-S"]["hbs"] == pytest.approx(1.0)
+
+    def test_fig9(self):
+        data = fig9_burdened_span(graph_names=SMALL)
+        no_vgc, with_vgc = data["AF-S"]
+        assert with_vgc > no_vgc  # VGC improves the burdened span
+
+    def test_fig10(self):
+        data = fig10_scalability(graph_names=SMALL)
+        curve = data["AF-S"]
+        assert curve[0] == (1, pytest.approx(1.0))
+        speedups = [s for _, s in curve]
+        assert speedups[-1] > 1.0
+
+    def test_fig11(self):
+        data = fig11_sampling(graph_names=("TW-S",))
+        without, with_sampling = data["TW-S"]
+        assert with_sampling < without  # sampling helps on TW
+
+    def test_fig12(self):
+        data = fig12_subgraph(
+            graph_names=("TW-S",), k_values=(8, 16)
+        )
+        for k, ours_ms, galois_ms in data["TW-S"]:
+            assert ours_ms > 0 and galois_ms > 0
+
+    def test_fig15(self):
+        data = fig15_time_vs_julienne(graph_names=SMALL)
+        no_vgc, with_vgc = data["AF-S"]
+        assert with_vgc > 1.0  # ours with VGC beats Julienne on roads
+
+
+class TestReporting:
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([0.0, -1.0]) == 0.0
+
+    def test_format_cell(self):
+        assert format_cell(0.0) == "0"
+        assert format_cell(1234.5) == "1,234"
+        assert format_cell(12.34) == "12.3"
+        assert format_cell(0.1234) == "0.123"
+        assert format_cell("x") == "x"
+
+    def test_render_table_alignment(self):
+        text = render_table(
+            ("a", "bee"), [[1, 2.5], [333, 4]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 5  # title, header, rule, two data rows
+
+    def test_render_table_empty(self):
+        text = render_table(("a",), [])
+        assert "a" in text
+
+    def test_render_series(self):
+        text = render_series("s", [("x", 1.0), ("y", 2.0)])
+        assert "s" in text and "x: 1.000" in text

@@ -1,0 +1,123 @@
+"""Tests for the anchored k-core (unraveling prevention)."""
+
+import numpy as np
+import pytest
+
+from repro.core.anchored import anchor_greedy, anchored_kcore
+from repro.core.verify import reference_coreness
+from repro.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.csr import CSRGraph
+
+
+class TestAnchoredCore:
+    def test_no_anchors_is_plain_kcore(self, medium_er):
+        for k in (2, 3, 4):
+            members = anchored_kcore(medium_er, k, [])
+            expected = reference_coreness(medium_er) >= k
+            assert np.array_equal(members, expected), k
+
+    def test_anchor_always_survives(self):
+        g = path_graph(6)  # coreness 1 everywhere
+        members = anchored_kcore(g, 2, [3])
+        assert members[3]
+
+    def test_anchored_path_recruits_nothing_at_k2(self):
+        # A path vertex anchored at k=2 cannot give its neighbors two
+        # supports each, so only the anchor itself stays.
+        g = path_graph(8)
+        members = anchored_kcore(g, 2, [4])
+        assert members.sum() == 1
+
+    def test_anchor_saves_a_broken_ring(self):
+        # Cycle with one edge removed (a path): the 2-core is empty, but
+        # anchoring BOTH endpoints restores the whole chain: interior
+        # vertices have their 2 path neighbors, endpoints are anchored.
+        g = path_graph(10)
+        members = anchored_kcore(g, 2, [0, 9])
+        assert members.all()
+
+    def test_monotone_in_anchor_set(self):
+        g = erdos_renyi(150, 4.0, seed=2)
+        small = anchored_kcore(g, 3, [0])
+        big = anchored_kcore(g, 3, [0, 1, 2])
+        assert small.sum() <= big.sum()
+        assert np.all(big[small])  # supersets keep everyone
+
+    def test_validation(self, triangle):
+        with pytest.raises(ValueError):
+            anchored_kcore(triangle, -1, [])
+        with pytest.raises(IndexError):
+            anchored_kcore(triangle, 2, [7])
+
+
+class TestAnchorGreedy:
+    def test_greedy_myopia_vs_optimal_pair(self):
+        """The path exhibits the greedy's known unbounded gap.
+
+        Anchoring both endpoints restores the whole chain (interior
+        vertices regain two supports), but no SINGLE anchor recruits
+        anyone, so the one-step greedy cannot discover the pair —
+        exactly the hardness phenomenon of Bhawalkar et al.
+        """
+        g = path_graph(10)
+        optimal = anchored_kcore(g, 2, [0, 9])
+        assert optimal.all()  # the synergistic pair rebuilds everything
+        result = anchor_greedy(g, 2, budget=2)
+        assert result.core_sizes[0] == 0
+        assert result.core_sizes[-1] < 10  # myopia: pair synergy missed
+
+    def test_star_anchoring_hub_recruits_no_leaves(self):
+        g = star_graph(12)
+        result = anchor_greedy(g, 2, budget=1)
+        # Leaves have degree 1 even with the hub anchored.
+        assert result.core_sizes[-1] <= 1
+
+    def test_core_sizes_monotone(self):
+        g = erdos_renyi(120, 3.0, seed=3)
+        result = anchor_greedy(g, 3, budget=3)
+        assert result.core_sizes == sorted(result.core_sizes)
+
+    def test_state_matches_direct_computation(self):
+        g = erdos_renyi(120, 3.5, seed=4)
+        result = anchor_greedy(g, 3, budget=3)
+        direct = anchored_kcore(g, 3, result.anchors)
+        assert int(direct.sum()) == result.core_sizes[-1]
+
+    def test_budget_zero(self):
+        g = complete_graph(5)
+        result = anchor_greedy(g, 3, budget=0)
+        assert result.anchors == []
+        assert result.core_sizes == [5]
+
+    def test_full_graph_needs_no_anchors(self):
+        g = cycle_graph(8)
+        result = anchor_greedy(g, 2, budget=2)
+        # Everyone is already in the 2-core; greedy stops early.
+        assert result.core_sizes[0] == 8
+        assert result.anchors == []
+
+    def test_anchor_collapse_duality(self):
+        """Anchoring the greedy collapser's picks undoes the collapse."""
+        from repro.core.collapse import collapse_kcore_greedy
+
+        g = cycle_graph(15)
+        attack = collapse_kcore_greedy(g, 2, budget=1)
+        # The attack removed one vertex and unraveled the ring; anchoring
+        # that vertex's two neighbors in the damaged graph restores all
+        # survivors.
+        from repro.graphs.transform import remove_vertices
+
+        damaged = remove_vertices(g, attack.removed)
+        endpoints = [0, damaged.n - 1]  # the broken ring is a path
+        restored = anchored_kcore(damaged, 2, endpoints)
+        assert restored.all()
+
+    def test_validation(self, triangle):
+        with pytest.raises(ValueError):
+            anchor_greedy(triangle, 2, budget=-1)

@@ -1,0 +1,95 @@
+"""Tests for the (1+eps)-approximate decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.core.approximate import approximate_coreness, approximation_phases
+from repro.core.verify import reference_coreness
+from repro.generators import (
+    complete_graph,
+    erdos_renyi,
+    grid_2d,
+    hcns,
+    power_law_with_hub,
+    star_graph,
+)
+
+
+def assert_approximation(graph, eps):
+    exact = reference_coreness(graph)
+    result = approximate_coreness(graph, eps=eps)
+    est = result.coreness
+    # Zero iff isolated-from-core vertices.
+    assert np.array_equal(est == 0, exact == 0)
+    nonzero = exact > 0
+    assert np.all(est[nonzero] >= exact[nonzero])
+    assert np.all(est[nonzero] < (1 + eps) * exact[nonzero] + 1e-9)
+    return result
+
+
+class TestGuarantee:
+    @pytest.mark.parametrize("eps", [0.1, 0.25, 0.5, 1.0])
+    def test_er(self, eps):
+        assert_approximation(erdos_renyi(400, 8.0, seed=1), eps)
+
+    @pytest.mark.parametrize("eps", [0.25, 0.5])
+    def test_hub_graph(self, eps):
+        assert_approximation(
+            power_law_with_hub(1000, 4, hub_count=2, hub_degree=300, seed=2),
+            eps,
+        )
+
+    def test_high_coreness(self):
+        assert_approximation(hcns(48), eps=0.5)
+
+    def test_clique_exact_at_any_eps(self):
+        # Cliques land exactly on a threshold or just above.
+        assert_approximation(complete_graph(30), eps=0.5)
+
+    def test_uniform_low_coreness(self):
+        result = assert_approximation(grid_2d(12, 12), eps=0.5)
+        assert result.coreness.max() <= 3  # kappa = 2, slack 1.5x
+
+    def test_star(self):
+        result = assert_approximation(star_graph(50), eps=0.5)
+        assert np.all(result.coreness == 1)
+
+
+class TestCosts:
+    def test_fewer_subrounds_than_exact_on_grid(self):
+        """Geometric phases collapse the grid's O(sqrt n) subrounds."""
+        from repro.core.framework import FrameworkConfig, decompose
+
+        g = grid_2d(40, 40)
+        exact = decompose(
+            g, FrameworkConfig(peel="online", buckets="1")
+        )
+        approx = approximate_coreness(g, eps=0.5)
+        assert approx.metrics.subrounds <= exact.metrics.subrounds
+
+    def test_phase_count_logarithmic(self):
+        assert approximation_phases(2, 0.5) <= 4
+        assert approximation_phases(1000, 0.5) <= 22
+        assert approximation_phases(10**6, 0.5) <= 40
+
+    def test_phase_count_grows_as_eps_shrinks(self):
+        assert approximation_phases(1000, 0.1) > approximation_phases(
+            1000, 1.0
+        )
+
+
+class TestValidation:
+    def test_eps_must_be_positive(self, triangle):
+        with pytest.raises(ValueError):
+            approximate_coreness(triangle, eps=0.0)
+        with pytest.raises(ValueError):
+            approximation_phases(10, -1.0)
+
+    def test_empty_graph(self):
+        from repro.generators import empty_graph
+
+        result = approximate_coreness(empty_graph(5), eps=0.5)
+        assert np.all(result.coreness == 0)
+
+    def test_algorithm_label(self, triangle):
+        assert "approx" in approximate_coreness(triangle).algorithm

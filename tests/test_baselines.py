@@ -1,0 +1,125 @@
+"""Tests for the ParK / PKC / Julienne / Galois baseline reimplementations."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    galois_max_kcore,
+    julienne_kcore,
+    park_kcore,
+    pkc_kcore,
+)
+from repro.core.subgraph import max_kcore_subgraph
+from repro.core.verify import reference_coreness
+from repro.generators import erdos_renyi, grid_2d, hcns, power_law_with_hub
+
+
+@pytest.mark.parametrize(
+    "runner", [julienne_kcore, park_kcore, pkc_kcore],
+    ids=["julienne", "park", "pkc"],
+)
+def test_baselines_exact(runner, any_graph):
+    result = runner(any_graph)
+    assert np.array_equal(
+        result.coreness, reference_coreness(any_graph)
+    )
+
+
+class TestParK:
+    def test_work_grows_with_kmax(self):
+        """ParK's O(m + kmax*n) shows on a high-coreness graph."""
+        g = hcns(60)
+        park = park_kcore(g)
+        julienne = julienne_kcore(g)
+        # ParK re-scans n vertices for each of the kmax rounds.
+        assert park.metrics.work > 0
+        scan_work = 60 * g.n * 0.25  # kmax * n * scan_op
+        assert park.metrics.work >= scan_work
+
+    def test_rounds_equal_kmax_plus_one(self):
+        g = hcns(30)
+        result = park_kcore(g)
+        assert result.metrics.rounds >= 30
+
+    def test_algorithm_label(self, triangle):
+        assert park_kcore(triangle).algorithm == "park"
+
+
+class TestPKC:
+    def test_one_subround_per_round(self):
+        """PKC's thread-local buffers give at most one subround per round."""
+        g = grid_2d(20, 20)
+        result = pkc_kcore(g)
+        assert result.metrics.subrounds <= result.metrics.rounds
+
+    def test_load_imbalance_on_chains(self):
+        """On a chain-heavy graph, PKC's span approaches its work."""
+        from repro.generators import path_graph
+
+        g = path_graph(500)
+        result = pkc_kcore(g, threads=8)
+        peel_steps = [
+            s for s in result.metrics.steps if s.tag == "pkc_round"
+        ]
+        # The k=1 round peels the whole path; with the chain landing on
+        # few threads, the max thread carries far more than work / 8.
+        big = max(peel_steps, key=lambda s: s.work)
+        assert big.span > big.work / 8
+
+    def test_contention_recorded(self):
+        g = power_law_with_hub(800, 4, hub_count=2, hub_degree=300, seed=1)
+        result = pkc_kcore(g)
+        assert result.metrics.max_contention > 1
+
+    def test_thread_count_override(self, small_er):
+        ref = reference_coreness(small_er)
+        for threads in (1, 2, 96):
+            assert np.array_equal(
+                pkc_kcore(small_er, threads=threads).coreness, ref
+            )
+
+
+class TestJulienne:
+    def test_race_free_no_contention(self, small_er):
+        result = julienne_kcore(small_er)
+        assert result.metrics.max_contention == 0
+
+    def test_more_barriers_per_subround_than_online(self, small_grid):
+        from repro.core.framework import FrameworkConfig, decompose
+
+        online = decompose(
+            small_grid, FrameworkConfig(peel="online", buckets="16")
+        )
+        offline = julienne_kcore(small_grid)
+        assert offline.metrics.barriers > online.metrics.barriers
+
+    def test_work_efficient(self):
+        g = erdos_renyi(1500, 8.0, seed=3)
+        result = julienne_kcore(g)
+        assert result.metrics.work <= 30 * (g.n + g.m)
+
+
+class TestGaloisSubgraph:
+    def test_members_match_ours(self, medium_er):
+        for k in (2, 4, 6):
+            ours = max_kcore_subgraph(medium_er, k)
+            galois = galois_max_kcore(medium_er, k)
+            assert np.array_equal(ours.members, galois.members), k
+
+    def test_members_match_reference(self, medium_er):
+        kappa = reference_coreness(medium_er)
+        for k in (1, 3, 5):
+            galois = galois_max_kcore(medium_er, k)
+            assert np.array_equal(galois.members, kappa >= k), k
+
+    def test_slower_than_ours_on_dense(self):
+        g = power_law_with_hub(
+            2000, 6, hub_count=3, hub_degree=800, seed=4
+        )
+        k = 8  # below the minimum degree nothing peels and neither wins
+        ours = max_kcore_subgraph(g, k)
+        galois = galois_max_kcore(g, k)
+        assert galois.metrics.time_on(96) > ours.metrics.time_on(96)
+
+    def test_label(self, small_er):
+        assert galois_max_kcore(small_er, 2).algorithm == "galois"

@@ -1,0 +1,188 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.generators import erdos_renyi
+from repro.graphs.io import save_edge_list, save_npz
+
+
+@pytest.fixture
+def graph_file(tmp_path, small_er):
+    path = tmp_path / "g.txt"
+    save_edge_list(small_er, path)
+    return str(path)
+
+
+class TestStats:
+    def test_suite_graph(self, capsys):
+        assert main(["stats", "--suite-graph", "AF-S"]) == 0
+        out = capsys.readouterr().out
+        assert "AF-S" in out and "sparse" in out
+
+    def test_input_file(self, graph_file, capsys):
+        assert main(["stats", "--input", graph_file]) == 0
+        assert "n=200" in capsys.readouterr().out
+
+    def test_missing_graph_argument(self):
+        with pytest.raises(SystemExit):
+            main(["stats"])
+
+    def test_unknown_suite_graph(self):
+        with pytest.raises(KeyError):
+            main(["stats", "--suite-graph", "NOPE"])
+
+
+class TestKcore:
+    def test_basic(self, graph_file, capsys):
+        assert main(["kcore", "--input", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "k_max" in out
+        assert "simulated time" in out
+
+    def test_flags(self, graph_file, capsys):
+        assert (
+            main(
+                [
+                    "kcore", "--input", graph_file,
+                    "--no-sampling", "--no-vgc", "--buckets", "1",
+                    "--threads", "8",
+                ]
+            )
+            == 0
+        )
+        assert "8 threads" in capsys.readouterr().out
+
+    def test_profile_flag(self, graph_file, capsys):
+        assert main(["kcore", "--input", graph_file, "--profile"]) == 0
+        assert "parallelism" in capsys.readouterr().out
+
+    def test_output_file(self, graph_file, tmp_path, capsys, small_er):
+        out_path = tmp_path / "coreness.txt"
+        assert (
+            main(
+                ["kcore", "--input", graph_file, "--output", str(out_path)]
+            )
+            == 0
+        )
+        from repro.core.verify import reference_coreness
+
+        written = np.loadtxt(out_path, dtype=np.int64)
+        assert np.array_equal(written, reference_coreness(small_er))
+
+
+class TestSubgraph:
+    def test_extract(self, graph_file, tmp_path, capsys):
+        out_path = tmp_path / "core.txt"
+        assert (
+            main(
+                [
+                    "subgraph", "--input", graph_file,
+                    "-k", "2", "--output", str(out_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "2-core" in out
+        assert out_path.exists()
+
+    def test_npz_output(self, graph_file, tmp_path):
+        out_path = tmp_path / "core.npz"
+        assert (
+            main(
+                [
+                    "subgraph", "--input", graph_file,
+                    "-k", "2", "--output", str(out_path),
+                ]
+            )
+            == 0
+        )
+        from repro.graphs.io import load_npz
+
+        core = load_npz(out_path)
+        assert core.degrees.min() >= 2
+
+
+class TestOtherCommands:
+    def test_compare(self, capsys):
+        assert main(["compare", "--suite-graph", "GL5-S"]) == 0
+        out = capsys.readouterr().out
+        for algo in ("ours", "julienne", "park", "pkc", "bz"):
+            assert algo in out
+
+    def test_suite_listing(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "LJ-S" in out and "GRID" in out
+
+    @pytest.mark.parametrize(
+        "family,extra",
+        [
+            ("grid", ["--size", "10"]),
+            ("cube", ["--size", "5"]),
+            ("er", ["--n", "100", "--avg-degree", "4"]),
+            ("ba", ["--n", "100", "--attach", "3"]),
+            ("rmat", ["--scale", "7", "--edge-factor", "4"]),
+            ("road", ["--n", "400"]),
+            ("knn", ["--n", "200", "--k", "3"]),
+            ("hcns", ["--kmax", "10"]),
+        ],
+    )
+    def test_generate(self, tmp_path, capsys, family, extra):
+        out_path = tmp_path / f"{family}.txt"
+        assert (
+            main(["generate", family, "--output", str(out_path)] + extra)
+            == 0
+        )
+        assert out_path.exists()
+
+    def test_generate_npz(self, tmp_path):
+        out_path = tmp_path / "g.npz"
+        assert (
+            main(
+                ["generate", "grid", "--size", "6",
+                 "--output", str(out_path)]
+            )
+            == 0
+        )
+        from repro.graphs.io import load_npz
+
+        assert load_npz(out_path).n == 36
+
+
+class TestTrussAndHierarchy:
+    def test_truss_histogram(self, graph_file, capsys):
+        assert main(["truss", "--input", graph_file]) == 0
+        assert "trussness histogram" in capsys.readouterr().out
+
+    def test_truss_extract(self, graph_file, tmp_path, capsys):
+        out_path = tmp_path / "truss.txt"
+        assert (
+            main(
+                ["truss", "--input", graph_file, "-k", "3",
+                 "--output", str(out_path)]
+            )
+            == 0
+        )
+        assert "3-truss" in capsys.readouterr().out
+        assert out_path.exists()
+
+    def test_hierarchy(self, graph_file, capsys):
+        assert main(["hierarchy", "--input", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "core hierarchy" in out
+        assert "k=" in out
+
+
+class TestBucketChoices:
+    @pytest.mark.parametrize("buckets", ["1", "16", "hbs", "adaptive"])
+    def test_kcore_with_every_bucket_strategy(
+        self, graph_file, capsys, buckets
+    ):
+        assert (
+            main(["kcore", "--input", graph_file, "--buckets", buckets])
+            == 0
+        )
+        assert "k_max" in capsys.readouterr().out

@@ -1,0 +1,103 @@
+"""Tests for the collapsed k-core greedy attack."""
+
+import numpy as np
+import pytest
+
+from repro.core.collapse import collapse_kcore_greedy
+from repro.core.verify import reference_coreness
+from repro.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_2d,
+)
+from repro.graphs.csr import CSRGraph
+from repro.graphs.transform import remove_vertices
+
+
+class TestGreedyCollapse:
+    def test_cycle_collapses_with_one_removal(self):
+        # A cycle is a 2-core held together by every vertex: removing any
+        # one unravels everything.
+        g = cycle_graph(12)
+        result = collapse_kcore_greedy(g, 2, budget=1)
+        assert result.core_sizes == [12, 0]
+        assert result.followers == [11]
+
+    def test_grid_corona_cascade(self):
+        g = grid_2d(6, 6)
+        result = collapse_kcore_greedy(g, 2, budget=2)
+        # Every grid vertex is in the 2-core; the greedy finds removals
+        # with nonzero cascades (corner-adjacent unraveling).
+        assert result.core_sizes[0] == 36
+        assert result.core_sizes[-1] < 36 - 2  # more than just the picks
+
+    def test_clique_shrinks_one_by_one_until_threshold(self):
+        g = complete_graph(6)
+        result = collapse_kcore_greedy(g, 4, budget=2)
+        # K6 5-core... at k=4: removing one vertex leaves K5 (still a
+        # 4-core); removing another leaves K4 with degree 3 < 4: gone.
+        assert result.core_sizes == [6, 5, 0]
+
+    def test_state_matches_recompute_after_attack(self):
+        g = erdos_renyi(150, 6.0, seed=4)
+        k = 3
+        result = collapse_kcore_greedy(g, k, budget=3)
+        survivor_graph = remove_vertices(g, result.removed)
+        expected_core = int(
+            (reference_coreness(survivor_graph) >= k).sum()
+        )
+        assert result.core_sizes[-1] == expected_core
+
+    def test_core_sizes_monotone(self):
+        g = erdos_renyi(120, 5.0, seed=5)
+        result = collapse_kcore_greedy(g, 2, budget=4)
+        assert result.core_sizes == sorted(
+            result.core_sizes, reverse=True
+        )
+
+    def test_collapse_property(self):
+        g = erdos_renyi(120, 5.0, seed=6)
+        result = collapse_kcore_greedy(g, 2, budget=3)
+        assert result.collapse == (
+            result.core_sizes[0] - result.core_sizes[-1]
+        )
+
+    def test_greedy_beats_random_on_vulnerable_graph(self):
+        # Ring of cycles joined by single edges: targeted removals
+        # unravel whole rings, random removals usually nick one.
+        edges = []
+        for c in range(6):
+            base = c * 8
+            ring = [(base + i, base + (i + 1) % 8) for i in range(8)]
+            edges.extend(ring)
+            edges.append((base, (base + 8) % 48))
+        g = CSRGraph.from_edges(48, edges)
+        greedy = collapse_kcore_greedy(g, 2, budget=2)
+        rng = np.random.default_rng(0)
+        random_total = []
+        for _ in range(5):
+            picks = rng.choice(48, size=2, replace=False)
+            survivor = remove_vertices(g, picks)
+            random_total.append(
+                48 - 2 - int((reference_coreness(survivor) >= 2).sum())
+            )
+        assert greedy.collapse >= max(random_total)
+
+    def test_empty_core(self):
+        g = cycle_graph(5)
+        result = collapse_kcore_greedy(g, 3, budget=2)
+        assert result.core_sizes == [0]
+        assert result.removed == []
+
+    def test_budget_zero(self):
+        g = complete_graph(5)
+        result = collapse_kcore_greedy(g, 2, budget=0)
+        assert result.removed == []
+        assert result.core_sizes == [5]
+
+    def test_validation(self, triangle):
+        with pytest.raises(ValueError):
+            collapse_kcore_greedy(triangle, 0, 1)
+        with pytest.raises(ValueError):
+            collapse_kcore_greedy(triangle, 2, -1)

@@ -1,0 +1,154 @@
+"""Unit tests for the CSR graph representation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError, InvalidGraphError
+from repro.graphs.csr import CSRGraph
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.n == 4
+        assert g.m == 6  # symmetrized arcs
+        assert g.num_edges == 3
+
+    def test_symmetrization(self):
+        g = CSRGraph.from_edges(3, [(0, 1)])
+        assert list(g.neighbors(0)) == [1]
+        assert list(g.neighbors(1)) == [0]
+
+    def test_no_symmetrize_keeps_arcs(self):
+        g = CSRGraph.from_edges(3, [(0, 1)], symmetrize=False)
+        assert list(g.neighbors(0)) == [1]
+        assert list(g.neighbors(1)) == []
+
+    def test_self_loops_removed(self):
+        g = CSRGraph.from_edges(3, [(0, 0), (1, 1), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_duplicate_edges_removed(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (0, 1), (1, 0)])
+        assert g.num_edges == 1
+        assert g.degree(0) == 1
+
+    def test_neighbors_sorted(self):
+        g = CSRGraph.from_edges(5, [(0, 4), (0, 2), (0, 3), (0, 1)])
+        assert list(g.neighbors(0)) == [1, 2, 3, 4]
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(5, [])
+        assert g.n == 5
+        assert g.m == 0
+        assert g.max_degree == 0
+
+    def test_zero_vertices(self):
+        g = CSRGraph.from_edges(0, [])
+        assert g.n == 0
+        assert g.average_degree == 0.0
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph.from_edges(-1, [])
+
+    def test_out_of_range_endpoint_rejected(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph.from_edges(3, [(0, 3)])
+
+    def test_bad_edge_shape_rejected(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph.from_edges(3, np.array([[0, 1, 2]]))
+
+    def test_direct_constructor_validates(self):
+        with pytest.raises(InvalidGraphError):
+            CSRGraph(np.array([0, 2]), np.array([5]))  # index out of range
+        with pytest.raises(InvalidGraphError):
+            CSRGraph(np.array([1, 2]), np.array([0, 0]))  # bad start
+        with pytest.raises(InvalidGraphError):
+            CSRGraph(np.array([0, 2, 1]), np.array([0, 0]))  # decreasing
+
+
+class TestAccessors:
+    def test_degrees(self, triangle):
+        assert list(triangle.degrees) == [2, 2, 2]
+
+    def test_degree_single(self, triangle):
+        assert triangle.degree(1) == 2
+
+    def test_max_and_average_degree(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.max_degree == 3
+        assert g.average_degree == pytest.approx(6 / 4)
+
+    def test_repr_contains_stats(self, triangle):
+        assert "n=3" in repr(triangle)
+        assert "m=6" in repr(triangle)
+
+    def test_equality(self, triangle):
+        other = CSRGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        assert triangle == other
+        different = CSRGraph.from_edges(3, [(0, 1), (1, 2)])
+        assert triangle != different
+
+    def test_equality_with_other_type(self, triangle):
+        assert triangle.__eq__(42) is NotImplemented
+
+
+class TestGatherNeighbors:
+    def test_matches_per_vertex_concat(self, small_er):
+        frontier = np.array([3, 17, 42, 99], dtype=np.int64)
+        expected = np.concatenate(
+            [small_er.neighbors(int(v)) for v in frontier]
+        )
+        got = small_er.gather_neighbors(frontier)
+        assert np.array_equal(got, expected)
+
+    def test_empty_frontier(self, small_er):
+        assert small_er.gather_neighbors(np.array([], dtype=np.int64)).size == 0
+
+    def test_isolated_vertices(self):
+        g = CSRGraph.from_edges(4, [(0, 1)])
+        got = g.gather_neighbors(np.array([2, 3], dtype=np.int64))
+        assert got.size == 0
+
+    def test_repeated_frontier_vertices(self, triangle):
+        got = triangle.gather_neighbors(np.array([0, 0], dtype=np.int64))
+        assert sorted(got.tolist()) == [1, 1, 2, 2]
+
+    def test_frontier_edge_count(self, small_er):
+        frontier = np.arange(10, dtype=np.int64)
+        assert small_er.frontier_edge_count(frontier) == sum(
+            small_er.degree(v) for v in range(10)
+        )
+
+    def test_frontier_edge_count_empty(self, small_er):
+        assert small_er.frontier_edge_count(np.array([], dtype=np.int64)) == 0
+
+
+class TestInducedSubgraph:
+    def test_triangle_minus_vertex(self, triangle):
+        sub = triangle.induced_subgraph(np.array([0, 1]))
+        assert sub.n == 2
+        assert sub.num_edges == 1
+
+    def test_keeps_internal_edges_only(self):
+        g = CSRGraph.from_edges(
+            5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]
+        )
+        sub = g.induced_subgraph(np.array([0, 1, 2]))
+        assert sub.n == 3
+        assert sub.num_edges == 2  # (0,1) and (1,2); boundary edges cut
+
+    def test_empty_selection(self, triangle):
+        sub = triangle.induced_subgraph(np.array([], dtype=np.int64))
+        assert sub.n == 0
+
+    def test_full_selection_is_identity(self, small_er):
+        sub = small_er.induced_subgraph(np.arange(small_er.n))
+        assert sub.n == small_er.n
+        assert sub.num_edges == small_er.num_edges
+
+    def test_duplicate_ids_deduplicated(self, triangle):
+        sub = triangle.induced_subgraph(np.array([0, 0, 1]))
+        assert sub.n == 2

@@ -1,0 +1,144 @@
+"""Tests for the directed (k, l)-core extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.dcore import dcore_in_decomposition, dcore_subgraph
+from repro.errors import GraphFormatError
+from repro.graphs.digraph import DirectedCSRGraph, random_digraph
+
+
+def directed_cycle(n: int) -> DirectedCSRGraph:
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return DirectedCSRGraph(n, edges)
+
+
+def complete_digraph(n: int) -> DirectedCSRGraph:
+    edges = [(u, v) for u in range(n) for v in range(n) if u != v]
+    return DirectedCSRGraph(n, edges)
+
+
+class TestDirectedGraph:
+    def test_construction(self):
+        g = DirectedCSRGraph(3, [(0, 1), (1, 2)])
+        assert g.m == 2
+        assert list(g.out_neighbors(0)) == [1]
+        assert list(g.in_neighbors(1)) == [0]
+        assert list(g.in_neighbors(0)) == []
+
+    def test_self_loops_and_duplicates_removed(self):
+        g = DirectedCSRGraph(3, [(0, 0), (0, 1), (0, 1)])
+        assert g.m == 1
+
+    def test_degrees(self):
+        g = DirectedCSRGraph(3, [(0, 1), (0, 2), (1, 2)])
+        assert list(g.out_degrees) == [2, 1, 0]
+        assert list(g.in_degrees) == [0, 1, 2]
+
+    def test_validation(self):
+        with pytest.raises(GraphFormatError):
+            DirectedCSRGraph(-1, [])
+        with pytest.raises(GraphFormatError):
+            DirectedCSRGraph(2, [(0, 5)])
+
+    def test_as_undirected(self):
+        g = DirectedCSRGraph(3, [(0, 1), (1, 0), (1, 2)])
+        und = g.as_undirected()
+        assert und.num_edges == 2  # (0,1) merged, (1,2)
+
+    def test_random_digraph_size(self):
+        g = random_digraph(500, 4.0, seed=1)
+        assert g.n == 500
+        assert 0.8 * 2000 <= g.m <= 2000
+
+
+class TestDCoreSubgraph:
+    def test_directed_cycle_is_11_core(self):
+        g = directed_cycle(6)
+        assert dcore_subgraph(g, 1, 1).all()
+        assert not dcore_subgraph(g, 2, 1).any()
+        assert not dcore_subgraph(g, 1, 2).any()
+
+    def test_complete_digraph(self):
+        g = complete_digraph(5)
+        assert dcore_subgraph(g, 4, 4).all()
+        assert not dcore_subgraph(g, 5, 0).any()
+
+    def test_asymmetric_constraints(self):
+        # A "broadcast" star: hub points at leaves.
+        edges = [(0, i) for i in range(1, 6)]
+        g = DirectedCSRGraph(6, edges)
+        # Every vertex is in the (0,0)-core.
+        assert dcore_subgraph(g, 0, 0).all()
+        # Requiring any in-degree kills the hub, cascading to all.
+        assert not dcore_subgraph(g, 1, 0).any()
+
+    def test_cascade(self):
+        # Cycle with a pendant arc: the pendant dies, the cycle lives.
+        edges = [(0, 1), (1, 2), (2, 0), (2, 3)]
+        g = DirectedCSRGraph(4, edges)
+        members = dcore_subgraph(g, 1, 1)
+        assert list(members) == [True, True, True, False]
+
+    def test_maximality_and_feasibility(self):
+        g = random_digraph(300, 5.0, seed=2)
+        for k, l in ((1, 1), (2, 1), (2, 3)):
+            members = dcore_subgraph(g, k, l)
+            idx = np.nonzero(members)[0]
+            member_set = set(idx.tolist())
+            for v in idx:
+                din = sum(
+                    1 for u in g.in_neighbors(int(v)) if int(u) in member_set
+                )
+                dout = sum(
+                    1 for u in g.out_neighbors(int(v)) if int(u) in member_set
+                )
+                assert din >= k and dout >= l
+
+    def test_monotone_in_k_and_l(self):
+        g = random_digraph(200, 6.0, seed=3)
+        base = dcore_subgraph(g, 1, 1)
+        assert dcore_subgraph(g, 2, 1).sum() <= base.sum()
+        assert dcore_subgraph(g, 1, 2).sum() <= base.sum()
+
+    def test_validation(self):
+        g = directed_cycle(3)
+        with pytest.raises(ValueError):
+            dcore_subgraph(g, -1, 0)
+
+
+class TestDCoreDecomposition:
+    def test_consistent_with_subgraph_extraction(self):
+        g = random_digraph(200, 5.0, seed=4)
+        for l in (0, 1, 2):
+            values = dcore_in_decomposition(g, l)
+            kmax = int(values.max())
+            for k in range(0, kmax + 2):
+                members = dcore_subgraph(g, k, l)
+                assert np.array_equal(members, values >= k), (k, l)
+
+    def test_cycle_values(self):
+        g = directed_cycle(5)
+        values = dcore_in_decomposition(g, 1)
+        assert np.all(values == 1)
+
+    def test_outside_core_marked_minus_one(self):
+        edges = [(0, 1), (1, 2), (2, 0), (2, 3)]  # pendant vertex 3
+        g = DirectedCSRGraph(4, edges)
+        values = dcore_in_decomposition(g, 1)
+        assert values[3] == -1
+        assert np.all(values[:3] == 1)
+
+    def test_l_zero_matches_in_degree_peeling(self):
+        """With l = 0 the D-core slice is plain in-degree coreness."""
+        g = random_digraph(150, 4.0, seed=5)
+        values = dcore_in_decomposition(g, 0)
+        assert values.min() >= 0  # everyone is in the (0,0)-core
+        # Spot-check maximality via extraction at each level.
+        for k in range(int(values.max()) + 1):
+            members = dcore_subgraph(g, k, 0)
+            assert np.array_equal(members, values >= k), k
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dcore_in_decomposition(directed_cycle(3), -2)

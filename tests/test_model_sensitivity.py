@@ -1,0 +1,66 @@
+"""Robustness of the headline conclusions to cost-model perturbations.
+
+The simulated-machine constants (DESIGN.md §3) are estimates; the paper's
+qualitative conclusions should not hinge on their exact values.  These
+tests re-run the key comparisons under halved/doubled constants and
+assert the *orderings* survive.
+"""
+
+import pytest
+
+from repro.core.baselines.julienne import julienne_kcore
+from repro.core.parallel_kcore import ParallelKCore
+from repro.generators import suite
+from repro.runtime.cost_model import CostModelOverrides, DEFAULT_COST_MODEL
+
+PERTURBATIONS = {
+    "default": {},
+    "expensive-edges": {"edge_op": 2.0, "vertex_op": 2.0},
+    "cheap-contention": {"contended_atomic_op": 60.0},
+    "dear-contention": {"contended_atomic_op": 240.0},
+    "cheap-barriers": {"omega_time": 250.0},
+    "dear-barriers": {"omega_time": 1000.0},
+    "costly-histogram": {"histogram_op": 8.0},
+}
+
+
+def model_for(name):
+    return CostModelOverrides().with_fields(**PERTURBATIONS[name])
+
+
+@pytest.mark.parametrize("name", sorted(PERTURBATIONS))
+class TestOrderingsSurvive:
+    def test_vgc_still_wins_on_grid(self, name):
+        model = model_for(name)
+        graph = suite.load("GRID")
+        plain = ParallelKCore(
+            sampling=False, vgc=False, buckets="1", model=model
+        ).decompose(graph)
+        vgc = ParallelKCore(
+            sampling=False, vgc=True, buckets="1", model=model
+        ).decompose(graph)
+        assert vgc.metrics.time_on(96, model) < plain.metrics.time_on(
+            96, model
+        ), name
+
+    def test_sampling_still_wins_on_tw(self, name):
+        model = model_for(name)
+        graph = suite.load("TW-S")
+        plain = ParallelKCore(
+            sampling=False, vgc=False, buckets="1", model=model
+        ).decompose(graph)
+        sampled = ParallelKCore(
+            sampling=True, vgc=False, buckets="1", model=model
+        ).decompose(graph)
+        assert sampled.metrics.time_on(
+            96, model
+        ) < plain.metrics.time_on(96, model), name
+
+    def test_ours_still_beats_julienne_on_grid(self, name):
+        model = model_for(name)
+        graph = suite.load("GRID")
+        ours = ParallelKCore(model=model).decompose(graph)
+        jul = julienne_kcore(graph, model)
+        assert ours.metrics.time_on(96, model) < jul.metrics.time_on(
+            96, model
+        ), name

@@ -1,0 +1,98 @@
+"""Tests for the (3,4)-nucleus decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.core.nucleus import (
+    enumerate_triangles,
+    max_nucleus_34,
+    nucleus_decomposition_34,
+)
+from repro.core.truss import truss_decomposition
+from repro.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_2d,
+)
+from repro.graphs.csr import CSRGraph
+
+
+class TestTriangleEnumeration:
+    def test_single_triangle(self, triangle):
+        assert enumerate_triangles(triangle) == [(0, 1, 2)]
+
+    def test_clique_count(self):
+        g = complete_graph(6)
+        assert len(enumerate_triangles(g)) == 20  # C(6,3)
+
+    def test_triangle_free(self):
+        assert enumerate_triangles(grid_2d(5, 5)) == []
+        assert enumerate_triangles(cycle_graph(8)) == []
+
+    def test_triples_sorted_and_unique(self):
+        g = erdos_renyi(60, 8.0, seed=1)
+        triangles = enumerate_triangles(g)
+        assert len(set(triangles)) == len(triangles)
+        for u, v, w in triangles:
+            assert u < v < w
+
+
+class TestNucleus34:
+    def test_clique_value(self):
+        # In K_n every triangle sits in n-3 four-cliques; by symmetry the
+        # (3,4)-nucleus number of every triangle is n-3.
+        for n in (4, 5, 6, 7):
+            g = complete_graph(n)
+            values = nucleus_decomposition_34(g)
+            assert set(values.values()) == {n - 3}, n
+
+    def test_isolated_triangle_is_zero(self, triangle):
+        values = nucleus_decomposition_34(triangle)
+        assert values[(0, 1, 2)] == 0
+
+    def test_k4_plus_pendant_triangle(self):
+        # K4 (nucleus 1 per triangle) plus a triangle hanging off it.
+        edges = [(u, v) for u in range(4) for v in range(u + 1, 4)]
+        edges += [(3, 4), (3, 5), (4, 5)]
+        g = CSRGraph.from_edges(6, edges)
+        values = nucleus_decomposition_34(g)
+        assert values[(3, 4, 5)] == 0  # not in any K4
+        assert values[(0, 1, 2)] == 1  # K4's triangles support one K4
+
+    def test_two_overlapping_k5s(self):
+        edges = [(u, v) for u in range(5) for v in range(u + 1, 5)]
+        edges += [(u, v) for u in range(3, 8) for v in range(u + 1, 8)]
+        g = CSRGraph.from_edges(8, edges)
+        values = nucleus_decomposition_34(g)
+        # Triangles fully inside either K5 get at least the K5 value (2).
+        assert values[(0, 1, 2)] == 2
+        assert values[(5, 6, 7)] == 2
+
+    def test_hierarchy_bound_vs_truss(self):
+        """theta_{3,4}(T) <= theta_{2,3}(e) - 1 for every edge e of T.
+
+        Each K4 through a triangle T gives each edge of T a distinct
+        extra triangle, so the K4-support peel can never outlast the
+        triangle-support peel shifted by one level.
+        """
+        g = erdos_renyi(50, 10.0, seed=2)
+        nucleus = nucleus_decomposition_34(g)
+        edges, trussness = truss_decomposition(g)
+        truss_of = {
+            (int(u), int(v)): int(t) - 2  # theta_{2,3} = trussness - 2
+            for (u, v), t in zip(edges, trussness)
+        }
+        for (u, v, w), value in nucleus.items():
+            for e in ((u, v), (u, w), (v, w)):
+                assert value <= truss_of[e], ((u, v, w), e)
+
+    def test_max_nucleus(self):
+        assert max_nucleus_34(complete_graph(6)) == 3
+        assert max_nucleus_34(grid_2d(4, 4)) == 0
+        assert max_nucleus_34(CSRGraph.from_edges(3, [(0, 1)])) == 0
+
+    def test_monotone_under_densification(self):
+        base = erdos_renyi(30, 6.0, seed=3)
+        dense = complete_graph(30)
+        assert max_nucleus_34(base) <= max_nucleus_34(dense)

@@ -1,0 +1,73 @@
+"""Tests for the peeling-wave introspection (Fig. 3 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.peeling import peeling_profile, render_wave_grid
+from repro.core.verify import reference_coreness
+from repro.generators import grid_2d, path_graph, star_graph
+
+
+class TestProfile:
+    def test_round_of_equals_coreness(self):
+        g = grid_2d(8, 8)
+        profile = peeling_profile(g)
+        assert np.array_equal(profile.round_of, reference_coreness(g))
+
+    def test_waves_cover_all_vertices(self):
+        g = grid_2d(6, 9)
+        profile = peeling_profile(g)
+        assert profile.wave.min() >= 1
+        assert sum(profile.frontier_sizes) == g.n
+
+    def test_grid_wave_symmetry(self):
+        """Opposite corners fall in the same wave."""
+        rows, cols = 7, 11
+        profile = peeling_profile(grid_2d(rows, cols))
+        waves = profile.wave.reshape(rows, cols)
+        assert waves[0, 0] == waves[-1, -1] == waves[0, -1] == waves[-1, 0]
+
+    def test_vgc_reduces_waves(self):
+        g = grid_2d(12, 12)
+        plain = peeling_profile(g, vgc=False)
+        vgc = peeling_profile(g, vgc=True)
+        assert vgc.subrounds < plain.subrounds
+
+    def test_path_waves_count(self):
+        profile = peeling_profile(path_graph(21))
+        # Two endpoints per wave -> ceil((n-1)/2) waves at k=1 plus the
+        # k=0-free rounds; the middle vertex falls last.
+        assert profile.wave[10] == profile.wave.max()
+
+    def test_star_two_waves(self):
+        profile = peeling_profile(star_graph(9))
+        assert profile.subrounds == 2
+        assert profile.waves_in_round(1) == 2
+        assert profile.waves_in_round(5) == 0
+
+
+class TestRender:
+    def test_render_shape(self):
+        rows, cols = 5, 7
+        profile = peeling_profile(grid_2d(rows, cols))
+        text = render_wave_grid(profile, rows, cols)
+        lines = text.splitlines()
+        assert len(lines) == rows
+        assert all(len(line) == cols for line in lines)
+
+    def test_render_dimension_check(self):
+        profile = peeling_profile(grid_2d(4, 4))
+        with pytest.raises(ValueError):
+            render_wave_grid(profile, 5, 5)
+
+
+class TestConsistencyWithOnion:
+    def test_waves_match_onion_layers(self):
+        """The plain peel's wave index equals the onion layer."""
+        from repro.core.applications import onion_layers
+        from repro.generators import erdos_renyi
+
+        for graph in (grid_2d(9, 9), erdos_renyi(150, 5.0, seed=3)):
+            profile = peeling_profile(graph, vgc=False)
+            layers = onion_layers(graph)
+            assert np.array_equal(profile.wave, layers)

@@ -1,0 +1,61 @@
+"""Stateful hypothesis testing of the monotone integer priority queue."""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.structures.integer_pq import MonotoneIntPQ
+
+
+class PQMachine(RuleBasedStateMachine):
+    """Compare MonotoneIntPQ against a model dict under random ops."""
+
+    def __init__(self):
+        super().__init__()
+        self.pq = MonotoneIntPQ(capacity=64)
+        self.model: dict[int, int] = {}
+        self.floor = 0
+        self.next_item = 0
+
+    @rule(offset=st.integers(0, 30))
+    def insert_new(self, offset):
+        key = self.floor + offset
+        self.pq.insert(self.next_item, key)
+        self.model[self.next_item] = key
+        self.next_item += 1
+
+    @rule(offset=st.integers(0, 30), pick=st.integers(0, 1 << 30))
+    def decrease_existing(self, offset, pick):
+        if not self.model:
+            return
+        items = sorted(self.model)
+        item = items[pick % len(items)]
+        new_key = self.floor + offset
+        self.pq.decrease_key(item, new_key)
+        if new_key < self.model[item]:
+            self.model[item] = new_key
+
+    @precondition(lambda self: self.model)
+    @rule()
+    def extract(self):
+        key, items = self.pq.extract_min_bucket()
+        expected_key = min(self.model.values())
+        expected_items = sorted(
+            i for i, k in self.model.items() if k == expected_key
+        )
+        assert key == expected_key
+        assert items == expected_items
+        for item in items:
+            del self.model[item]
+        self.floor = key
+
+    @invariant()
+    def sizes_agree(self):
+        assert len(self.pq) == len(self.model)
+
+
+TestPQStateful = PQMachine.TestCase

@@ -1,0 +1,105 @@
+"""Tests for the parallel primitives (pack, histogram, scan)."""
+
+import numpy as np
+import pytest
+
+from repro.primitives import (
+    dense_histogram,
+    exclusive_scan,
+    filter_by,
+    histogram,
+    inclusive_scan,
+    pack,
+    pack_index,
+    reduce_max,
+    reduce_sum,
+)
+from repro.runtime.simulator import SimRuntime
+
+
+class TestPack:
+    def test_matches_boolean_indexing(self, rng):
+        values = rng.integers(0, 100, size=500)
+        flags = rng.random(500) < 0.3
+        assert np.array_equal(pack(values, flags), values[flags])
+
+    def test_empty(self):
+        out = pack(np.array([]), np.array([], dtype=bool))
+        assert out.size == 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pack(np.arange(3), np.array([True]))
+
+    def test_charges_runtime(self):
+        rt = SimRuntime()
+        pack(np.arange(100), np.arange(100) % 2 == 0, runtime=rt)
+        assert rt.metrics.work == pytest.approx(100 * rt.model.scan_op)
+        assert rt.metrics.barriers == 1
+
+    def test_pack_index(self):
+        flags = np.array([True, False, True, True])
+        assert list(pack_index(flags)) == [0, 2, 3]
+
+    def test_filter_by(self):
+        values = np.arange(20)
+        out = filter_by(values, lambda x: x % 5 == 0)
+        assert list(out) == [0, 5, 10, 15]
+
+
+class TestHistogram:
+    def test_counts_match_numpy(self, rng):
+        keys = rng.integers(0, 50, size=1000)
+        result = histogram(keys)
+        expected_keys, expected_counts = np.unique(keys, return_counts=True)
+        assert np.array_equal(result.keys, expected_keys)
+        assert np.array_equal(result.counts, expected_counts)
+
+    def test_empty(self):
+        result = histogram(np.array([], dtype=np.int64))
+        assert result.keys.size == 0
+
+    def test_charges_semisort_cost(self):
+        rt = SimRuntime()
+        histogram(np.zeros(100, dtype=np.int64), runtime=rt, phases=3)
+        assert rt.metrics.work == pytest.approx(
+            100 * rt.model.histogram_op
+        )
+        assert rt.metrics.barriers == 3
+
+    def test_dense_histogram(self):
+        keys = np.array([0, 1, 1, 3], dtype=np.int64)
+        counts = dense_histogram(keys, domain=5)
+        assert list(counts) == [1, 2, 0, 1, 0]
+
+    def test_dense_histogram_domain_check(self):
+        with pytest.raises(ValueError):
+            dense_histogram(np.array([5]), domain=5)
+
+
+class TestScan:
+    def test_exclusive(self):
+        out = exclusive_scan(np.array([3, 1, 4, 1]))
+        assert list(out) == [0, 3, 4, 8]
+
+    def test_inclusive(self):
+        out = inclusive_scan(np.array([3, 1, 4, 1]))
+        assert list(out) == [3, 4, 8, 9]
+
+    def test_exclusive_empty(self):
+        assert exclusive_scan(np.array([], dtype=np.int64)).size == 0
+
+    def test_exclusive_single(self):
+        assert list(exclusive_scan(np.array([7]))) == [0]
+
+    def test_reduce_sum(self):
+        assert reduce_sum(np.arange(10)) == 45
+
+    def test_reduce_max(self):
+        assert reduce_max(np.array([3, 9, 2])) == 9
+        assert reduce_max(np.array([], dtype=np.int64)) == 0
+
+    def test_scan_charges_runtime(self):
+        rt = SimRuntime()
+        inclusive_scan(np.arange(40), runtime=rt)
+        assert rt.metrics.work == pytest.approx(40 * rt.model.scan_op)

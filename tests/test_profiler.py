@@ -1,0 +1,63 @@
+"""Tests for the Cilkview-style parallelism profiler."""
+
+import pytest
+
+from repro.core.parallel_kcore import ParallelKCore
+from repro.generators import grid_2d
+from repro.runtime.metrics import RunMetrics
+from repro.runtime.profiler import profile, render_report
+
+
+class TestProfile:
+    def test_basic_quantities(self):
+        m = RunMetrics()
+        m.record_parallel(1000.0, 10.0, barriers=2, tag="a")
+        m.record_parallel(500.0, 5.0, barriers=1, tag="b")
+        report = profile(m)
+        assert report.work == 1500.0
+        assert report.span == 15.0
+        assert report.parallelism == pytest.approx(100.0)
+        assert report.burdened_parallelism < report.parallelism
+        assert report.barriers == 3
+
+    def test_tags_sorted_by_time(self):
+        m = RunMetrics()
+        m.record_parallel(10.0, 1.0, barriers=1, tag="cheap")
+        m.record_parallel(10.0, 1.0, barriers=50, tag="expensive")
+        report = profile(m)
+        assert report.tags[0].tag == "expensive"
+        assert report.dominant_tag() == "expensive"
+
+    def test_empty_metrics(self):
+        report = profile(RunMetrics())
+        assert report.work == 0.0
+        assert report.dominant_tag() == ""
+
+    def test_real_run_dominant_tag_is_peel_or_barriers(self):
+        # Large enough that parallelism pays for the barriers.
+        result = ParallelKCore().decompose(grid_2d(80, 80))
+        report = profile(result.metrics)
+        assert report.work == result.metrics.work
+        assert len(report.tags) > 3
+        assert report.speedup_96 > 1.0
+
+    def test_tag_time_adds_up(self):
+        result = ParallelKCore.plain().decompose(grid_2d(15, 15))
+        report = profile(result.metrics)
+        total = sum(t.time96 for t in report.tags)
+        assert total == pytest.approx(result.time_on(96), rel=1e-9)
+
+
+class TestRender:
+    def test_render_contains_sections(self):
+        m = RunMetrics()
+        m.record_parallel(100.0, 10.0, barriers=1, tag="peel")
+        text = render_report(profile(m), title="run")
+        assert "run" in text
+        assert "parallelism" in text
+        assert "peel" in text
+
+    def test_untagged_label(self):
+        m = RunMetrics()
+        m.record_parallel(1.0, 1.0, barriers=0, tag="")
+        assert "<untagged>" in render_report(profile(m))

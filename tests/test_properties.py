@@ -1,0 +1,83 @@
+"""Tests for graph statistics and classification."""
+
+import numpy as np
+
+from repro.generators import complete_graph, empty_graph, grid_2d, star_graph
+from repro.graphs.csr import CSRGraph
+from repro.graphs.properties import (
+    DENSITY_THETA,
+    connected_components,
+    degree_histogram,
+    graph_stats,
+    is_dense,
+)
+
+
+class TestGraphStats:
+    def test_basic_fields(self, triangle):
+        stats = graph_stats(triangle)
+        assert stats.n == 3
+        assert stats.m == 6
+        assert stats.max_degree == 2
+        assert stats.average_degree == 2.0
+
+    def test_dense_classification(self):
+        clique = complete_graph(40)  # average degree 39 > 16
+        assert graph_stats(clique).is_dense
+        assert is_dense(clique)
+
+    def test_sparse_classification(self):
+        grid = grid_2d(20, 20)
+        assert not graph_stats(grid).is_dense
+        assert not is_dense(grid)
+
+    def test_theta_boundary_is_exclusive(self):
+        # A graph with average degree exactly theta counts as sparse.
+        n = 34
+        clique = complete_graph(n)  # avg degree n-1 = 33
+        assert clique.average_degree > DENSITY_THETA
+        assert is_dense(clique, theta=float(n - 1))is False
+
+    def test_describe_mentions_class(self, triangle):
+        assert "sparse" in graph_stats(triangle).describe()
+
+    def test_empty_graph(self):
+        stats = graph_stats(empty_graph(5))
+        assert stats.max_degree == 0
+        assert stats.average_degree == 0.0
+
+
+class TestDegreeHistogram:
+    def test_star(self):
+        hist = degree_histogram(star_graph(5))
+        assert hist[1] == 4  # four leaves
+        assert hist[4] == 1  # the hub
+
+    def test_sums_to_n(self, small_er):
+        assert degree_histogram(small_er).sum() == small_er.n
+
+    def test_empty(self):
+        assert degree_histogram(CSRGraph.from_edges(0, [])).size == 0
+
+
+class TestConnectedComponents:
+    def test_single_component(self, triangle):
+        labels = connected_components(triangle)
+        assert len(set(labels.tolist())) == 1
+
+    def test_two_components(self):
+        g = CSRGraph.from_edges(5, [(0, 1), (2, 3)])
+        labels = connected_components(g)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+        assert labels[4] not in (labels[0], labels[2])
+
+    def test_isolated_vertices_are_own_components(self):
+        g = empty_graph(4)
+        labels = connected_components(g)
+        assert len(set(labels.tolist())) == 4
+
+    def test_grid_connected(self):
+        labels = connected_components(grid_2d(8, 8))
+        assert np.all(labels == labels[0])

@@ -1,0 +1,58 @@
+"""Tests for the CorenessResult container."""
+
+import numpy as np
+
+from repro.core.parallel_kcore import ParallelKCore
+from repro.generators import hcns
+
+
+class TestCorenessResult:
+    def setup_method(self):
+        self.graph = hcns(12)
+        self.result = ParallelKCore().decompose(self.graph)
+
+    def test_kmax(self):
+        assert self.result.kmax == 12
+
+    def test_vertices_with_coreness(self):
+        fives = self.result.vertices_with_coreness(5)
+        assert fives.size == 1  # HCNS has exactly one vertex per level
+
+    def test_core_members_monotone(self):
+        sizes = [
+            self.result.core_members(k).size
+            for k in range(self.result.kmax + 1)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_core_members_zero_is_everything(self):
+        assert self.result.core_members(0).size == self.graph.n
+
+    def test_coreness_histogram(self):
+        hist = self.result.coreness_histogram()
+        assert hist.sum() == self.graph.n
+        assert hist[12] == 13  # the clique
+
+    def test_rho_alias(self):
+        assert self.result.rho == self.result.metrics.subrounds
+
+    def test_time_monotone_beyond_one_thread(self):
+        # t(1) is pure work (no barriers); from 2 threads up, adding
+        # threads never increases the simulated time.
+        t2 = self.result.time_on(2)
+        t8 = self.result.time_on(8)
+        t96 = self.result.time_on(96)
+        assert t96 <= t8 <= t2
+
+    def test_summary_merges_metrics(self):
+        summary = self.result.summary()
+        assert summary["kmax"] == 12.0
+        assert summary["n"] == float(self.graph.n)
+        assert "work" in summary
+
+    def test_empty_result(self):
+        from repro.generators import empty_graph
+
+        result = ParallelKCore().decompose(empty_graph(0))
+        assert result.kmax == 0
+        assert result.coreness_histogram().size == 0

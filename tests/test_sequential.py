@@ -1,0 +1,83 @@
+"""Tests for the sequential algorithms (BZ, Matula–Beck)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sequential import bz_core, degeneracy, degeneracy_order
+from repro.core.verify import reference_coreness
+from repro.generators import (
+    complete_graph,
+    erdos_renyi,
+    grid_2d,
+    hcns,
+    path_graph,
+    star_graph,
+)
+
+
+class TestBZ:
+    def test_agrees_with_reference(self, any_graph):
+        assert np.array_equal(
+            bz_core(any_graph).coreness, reference_coreness(any_graph)
+        )
+
+    def test_work_is_linear(self):
+        g = erdos_renyi(1000, 8.0, seed=1)
+        result = bz_core(g)
+        # O(n + m) with a small constant.
+        assert result.metrics.work <= 4 * (g.n + g.m)
+
+    def test_time_on_one_thread_equals_work(self, small_er):
+        result = bz_core(small_er)
+        assert result.time_on(1) == result.metrics.work
+
+    def test_algorithm_label(self, triangle):
+        assert bz_core(triangle).algorithm == "bz"
+
+
+class TestDegeneracyOrder:
+    def test_order_is_permutation(self, small_er):
+        order, _ = degeneracy_order(small_er)
+        assert sorted(order.tolist()) == list(range(small_er.n))
+
+    def test_smallest_last_property(self, medium_er):
+        """Each vertex has at most kappa(v) neighbors later in the order."""
+        order, coreness = degeneracy_order(medium_er)
+        position = np.empty(medium_er.n, dtype=np.int64)
+        position[order] = np.arange(medium_er.n)
+        for v in range(medium_er.n):
+            later = sum(
+                1
+                for u in medium_er.neighbors(v)
+                if position[u] > position[v]
+            )
+            assert later <= coreness.max()
+
+    def test_degeneracy_bound_property(self, medium_er):
+        """The degeneracy ordering certifies the degeneracy value."""
+        order, coreness = degeneracy_order(medium_er)
+        degeneracy_value = int(coreness.max())
+        position = np.empty(medium_er.n, dtype=np.int64)
+        position[order] = np.arange(medium_er.n)
+        worst = 0
+        for v in range(medium_er.n):
+            later = sum(
+                1
+                for u in medium_er.neighbors(v)
+                if position[u] > position[v]
+            )
+            worst = max(worst, later)
+        assert worst == degeneracy_value
+
+    def test_degeneracy_known_values(self):
+        assert degeneracy(complete_graph(7)) == 6
+        assert degeneracy(star_graph(10)) == 1
+        assert degeneracy(path_graph(10)) == 1
+        assert degeneracy(grid_2d(6, 6)) == 2
+        assert degeneracy(hcns(9)) == 9
+
+    def test_degeneracy_empty_graph(self):
+        from repro.generators import empty_graph
+
+        assert degeneracy(empty_graph(0)) == 0
+        assert degeneracy(empty_graph(4)) == 0

@@ -1,0 +1,118 @@
+"""Tests for max k-core subgraph extraction (Appendix B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel_kcore import ParallelKCore
+from repro.core.subgraph import max_kcore_subgraph
+from repro.core.verify import reference_coreness
+from repro.generators import (
+    complete_graph,
+    empty_graph,
+    grid_2d,
+    power_law_with_hub,
+)
+
+
+def expected_members(graph, k):
+    return reference_coreness(graph) >= k
+
+
+@pytest.mark.parametrize("sampling", [False, True], ids=["exact", "sampled"])
+@pytest.mark.parametrize("vgc", [False, True], ids=["flat", "vgc"])
+class TestCorrectness:
+    def test_matches_reference(self, any_graph, sampling, vgc):
+        for k in (0, 1, 2, 3, 5):
+            result = max_kcore_subgraph(
+                any_graph, k, sampling=sampling, vgc=vgc
+            )
+            assert np.array_equal(
+                result.members, expected_members(any_graph, k)
+            ), k
+
+    def test_hub_graph(self, hub_graph, sampling, vgc):
+        for k in (2, 4, 6):
+            result = max_kcore_subgraph(
+                hub_graph, k, sampling=sampling, vgc=vgc
+            )
+            assert np.array_equal(
+                result.members, expected_members(hub_graph, k)
+            ), k
+
+
+class TestEdgeCases:
+    def test_k_zero_keeps_everything(self, small_er):
+        result = max_kcore_subgraph(small_er, 0)
+        assert result.size == small_er.n
+
+    def test_k_above_max_degree_empty(self, small_grid):
+        result = max_kcore_subgraph(small_grid, 100)
+        assert result.size == 0
+
+    def test_negative_k_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            max_kcore_subgraph(triangle, -1)
+
+    def test_empty_graph(self):
+        result = max_kcore_subgraph(empty_graph(5), 1)
+        assert result.size == 0
+
+    def test_clique_all_in(self):
+        result = max_kcore_subgraph(complete_graph(20), 19)
+        assert result.size == 20
+
+
+class TestResultHelpers:
+    def test_vertex_ids(self, small_grid):
+        result = max_kcore_subgraph(small_grid, 2)
+        ids = result.vertex_ids()
+        assert np.array_equal(
+            np.sort(ids), np.nonzero(result.members)[0]
+        )
+
+    def test_extract_induced_subgraph(self):
+        g = grid_2d(10, 10)
+        result = max_kcore_subgraph(g, 2)
+        sub = result.extract(g)
+        assert sub.n == result.size
+        # Every vertex of the extracted 2-core has degree >= 2.
+        assert sub.degrees.min() >= 2
+
+    def test_algorithm_label(self, small_er):
+        assert max_kcore_subgraph(small_er, 2).algorithm == "ours+sample+vgc"
+        assert (
+            max_kcore_subgraph(small_er, 2, sampling=False, vgc=False).algorithm
+            == "ours"
+        )
+
+
+class TestSolverIntegration:
+    def test_parallel_kcore_core_subgraph(self, medium_er):
+        solver = ParallelKCore()
+        for k in (2, 4):
+            result = solver.core_subgraph(medium_er, k)
+            assert np.array_equal(
+                result.members, expected_members(medium_er, k)
+            )
+
+    def test_metrics_collected(self, medium_er):
+        result = max_kcore_subgraph(medium_er, 3)
+        assert result.metrics.work > 0
+        assert result.metrics.subrounds > 0
+
+    def test_minimum_degree_invariant(self):
+        """Every member keeps >= k neighbors inside the extracted core."""
+        g = power_law_with_hub(1500, 4, hub_count=2, hub_degree=400, seed=6)
+        k = 5
+        result = max_kcore_subgraph(g, k)
+        members = result.members
+        for v in np.nonzero(members)[0]:
+            inside = int(members[g.neighbors(v)].sum())
+            assert inside >= k
+
+    def test_maximality_invariant(self):
+        """No vertex outside the core would survive if added back."""
+        g = power_law_with_hub(1500, 4, hub_count=2, hub_degree=400, seed=6)
+        k = 5
+        members = max_kcore_subgraph(g, k).members
+        assert np.array_equal(members, expected_members(g, k))

@@ -1,0 +1,239 @@
+"""The paper's theoretical claims, pinned to measured quantities.
+
+Each test names the claim (theorem / section) and checks the measured
+counterpart on growing instances, so a regression that silently breaks
+work-efficiency or the contention bound fails loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import julienne_kcore, park_kcore, pkc_kcore
+from repro.core.framework import FrameworkConfig, decompose
+from repro.core.parallel_kcore import ParallelKCore
+from repro.core.sampling import SamplingConfig, SamplingState
+from repro.generators import (
+    erdos_renyi,
+    grid_2d,
+    hcns,
+    power_law_with_hub,
+    star_graph,
+)
+from repro.runtime.simulator import SimRuntime
+
+
+class TestTheorem31WorkEfficiency:
+    """Thm. 3.1: the framework does O(n + m) work."""
+
+    SIZES = (500, 1000, 2000, 4000)
+
+    def _work_ratio(self, config, graph):
+        result = decompose(graph, config)
+        return result.metrics.work / (graph.n + graph.m)
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            FrameworkConfig(peel="online", buckets="1"),
+            FrameworkConfig(peel="online", buckets="adaptive",
+                            sampling=True, vgc=True),
+            FrameworkConfig(peel="offline", buckets="16"),
+        ],
+        ids=["plain", "all", "julienne-style"],
+    )
+    def test_work_per_edge_stays_bounded(self, config):
+        ratios = [
+            self._work_ratio(config, erdos_renyi(n, 8.0, seed=n))
+            for n in self.SIZES
+        ]
+        # Constant-factor work: the per-(n+m) cost must not trend upward.
+        assert max(ratios) <= 1.5 * min(ratios), ratios
+        assert max(ratios) < 30
+
+    def test_active_set_sum_bounds_round_scans(self):
+        """The proof's key sum: Sigma |A_i| <= n + Sigma d(v)."""
+        g = erdos_renyi(800, 10.0, seed=3)
+        result = decompose(g, FrameworkConfig(peel="online", buckets="1"))
+        # The plain strategy scans A twice per round; its total scan work
+        # (at scan_op each) is therefore <= 2 * scan_op * (n + m).
+        scan_work = sum(
+            s.work
+            for s in result.metrics.steps
+            if s.tag in ("refine_active", "extract_frontier")
+        )
+        assert scan_work <= 2 * 0.25 * (g.n + g.m)
+
+
+class TestBaselineWorkInefficiency:
+    """Sec. 3.2: ParK and PKC do O(m + k_max * n) work.
+
+    On plain HCNS, ``k_max * n ~ m`` so the inefficiency hides as a
+    constant; padding the graph with a long path makes ``n`` large while
+    ``k_max`` stays, exposing the superlinear scan term.
+    """
+
+    @staticmethod
+    def _padded_hcns(kmax):
+        from repro.generators import path_graph
+        from repro.graphs.transform import disjoint_union
+
+        return disjoint_union(hcns(kmax), path_graph(500 * kmax))
+
+    def test_park_work_grows_with_kmax(self):
+        ratios = []
+        for kmax in (32, 64, 128):
+            g = self._padded_hcns(kmax)
+            work = park_kcore(g).metrics.work
+            ratios.append(work / (g.n + g.m))
+        # Per-edge work grows with k_max (the n-scans dominate) ...
+        assert ratios[-1] > 1.5 * ratios[0], ratios
+
+    def test_ours_work_flat_on_same_family(self):
+        ratios = []
+        for kmax in (32, 64, 128):
+            g = self._padded_hcns(kmax)
+            work = ParallelKCore.plain().decompose(g).metrics.work
+            ratios.append(work / (g.n + g.m))
+        # ... while the work-efficient framework stays flat.
+        assert max(ratios) <= 1.5 * min(ratios), ratios
+
+
+class TestContentionBounds:
+    """Sec. 4.1.5: sampling caps contention at O(kappa + log n)."""
+
+    def test_unsampled_star_contention_is_degree(self):
+        g = star_graph(2000)
+        result = decompose(
+            g, FrameworkConfig(peel="online", buckets="1")
+        )
+        assert result.metrics.max_contention == 1999
+
+    def test_sampled_hub_contention_bounded(self):
+        g = power_law_with_hub(
+            4000, 4, hub_count=2, hub_degree=2000, seed=5
+        )
+        config = FrameworkConfig(
+            peel="online", buckets="1", sampling=True
+        )
+        result = decompose(g, config)
+        plain = decompose(g, FrameworkConfig(peel="online", buckets="1"))
+        state = SamplingState(
+            g,
+            g.degrees.astype(np.int64).copy(),
+            np.zeros(g.n, dtype=bool),
+            SimRuntime(),
+        )
+        # Bound from the paper: O(k_max / r + threshold + mu/(1-r)).
+        bound = (
+            result.kmax / state.r
+            + state.threshold
+            + state.mu / (1 - state.r)
+        )
+        assert result.metrics.max_contention <= bound
+        assert result.metrics.max_contention < plain.metrics.max_contention
+
+    def test_julienne_offline_is_contention_free(self):
+        g = power_law_with_hub(
+            2000, 4, hub_count=1, hub_degree=800, seed=6
+        )
+        assert julienne_kcore(g).metrics.max_contention == 0
+
+
+class TestBurdenedSpanClaims:
+    """Sec. 4.2 / 6.2.5: online beats offline; VGC only improves it."""
+
+    GRAPHS = ("grid", "er")
+
+    def _graph(self, kind):
+        return grid_2d(25, 25) if kind == "grid" else erdos_renyi(
+            600, 8.0, seed=7
+        )
+
+    @pytest.mark.parametrize("kind", GRAPHS)
+    def test_online_beats_offline_burdened_span(self, kind):
+        g = self._graph(kind)
+        online = decompose(
+            g, FrameworkConfig(peel="online", buckets="16")
+        )
+        offline = decompose(
+            g, FrameworkConfig(peel="offline", buckets="16")
+        )
+        assert (
+            online.metrics.burdened_span
+            < offline.metrics.burdened_span
+        )
+
+    @pytest.mark.parametrize("kind", GRAPHS)
+    def test_vgc_never_worsens_burdened_span(self, kind):
+        g = self._graph(kind)
+        plain = decompose(g, FrameworkConfig(peel="online", buckets="1"))
+        vgc = decompose(
+            g, FrameworkConfig(peel="online", buckets="1", vgc=True)
+        )
+        assert (
+            vgc.metrics.burdened_span
+            <= plain.metrics.burdened_span * 1.01
+        )
+
+    def test_burdened_span_tracks_subrounds(self):
+        """rho' reduction translates into burdened-span reduction."""
+        g = grid_2d(30, 30)
+        plain = decompose(g, FrameworkConfig(peel="online", buckets="1"))
+        vgc = decompose(
+            g, FrameworkConfig(peel="online", buckets="1", vgc=True)
+        )
+        rho_gain = plain.rho / vgc.rho
+        span_gain = (
+            plain.metrics.burdened_span / vgc.metrics.burdened_span
+        )
+        assert span_gain > rho_gain / 4  # same order of magnitude
+
+
+class TestHBSCostClaims:
+    """Sec. 5.2: O(log d(v)) structure cost per vertex."""
+
+    def test_hbs_moves_logarithmic(self):
+        # Vertex of degree d moves between buckets O(log d) times; total
+        # bucket-move work is O(sum log d) << O(m) on a dense graph.
+        g = erdos_renyi(1500, 40.0, seed=8)
+        result = decompose(
+            g, FrameworkConfig(peel="online", buckets="hbs")
+        )
+        move_work = sum(
+            s.work
+            for s in result.metrics.steps
+            if s.tag in ("hbs_decreasekey", "bag_insert_many")
+        )
+        log_bound = 3 * 3 * np.log2(
+            np.maximum(g.degrees, 2)
+        ).sum()  # bucket_move_op * insert const * sum log d
+        assert move_work <= 4 * log_bound
+
+    def test_sampling_keeps_peeling_exact_many_seeds(self):
+        """Cor. 4.3 / Sec. 4.1.4 in practice: exact across seeds.
+
+        At paper scale restarts were never observed; at our much smaller
+        n the whp guarantee (error ~ n^-c) is weaker, so the occasional
+        restart is expected — and the Las-Vegas recovery must still
+        deliver the exact answer every time.
+        """
+        g = power_law_with_hub(
+            1500, 5, hub_count=2, hub_degree=600, seed=9
+        )
+        from repro.core.verify import reference_coreness
+
+        ref = reference_coreness(g)
+        restarts = 0
+        for seed in range(10):
+            config = FrameworkConfig(
+                peel="online",
+                buckets="adaptive",
+                sampling=True,
+                vgc=True,
+                sampling_config=SamplingConfig(seed=seed),
+            )
+            result = decompose(g, config)
+            assert np.array_equal(result.coreness, ref), seed
+            restarts += result.metrics.restarts
+        # Rare, not routine.
+        assert restarts <= 3

@@ -1,0 +1,113 @@
+"""Tests for graph transformations."""
+
+import numpy as np
+import pytest
+
+from repro.core.verify import reference_coreness
+from repro.generators import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    erdos_renyi,
+    grid_2d,
+)
+from repro.graphs.csr import CSRGraph
+from repro.graphs.transform import (
+    add_edges,
+    all_edges,
+    disjoint_union,
+    largest_connected_component,
+    permutation_of_relabel,
+    relabel_random,
+    remove_edges,
+    remove_vertices,
+)
+
+
+class TestAllEdges:
+    def test_count(self, small_er):
+        assert all_edges(small_er).shape == (small_er.num_edges, 2)
+
+    def test_round_trip(self, small_er):
+        rebuilt = CSRGraph.from_edges(small_er.n, all_edges(small_er))
+        assert rebuilt == small_er
+
+
+class TestLCC:
+    def test_keeps_biggest(self):
+        g = CSRGraph.from_edges(
+            8, [(0, 1), (1, 2), (2, 0), (3, 4)]
+        )
+        lcc = largest_connected_component(g)
+        assert lcc.n == 3
+        assert lcc.num_edges == 3
+
+    def test_connected_graph_unchanged_size(self):
+        g = grid_2d(5, 5)
+        assert largest_connected_component(g).n == g.n
+
+    def test_empty(self):
+        g = empty_graph(0)
+        assert largest_connected_component(g).n == 0
+
+
+class TestEdgeEdits:
+    def test_add_edges(self, triangle):
+        g = add_edges(triangle, [(0, 1)])  # duplicate: no change
+        assert g == triangle
+        g2 = add_edges(
+            CSRGraph.from_edges(4, [(0, 1)]), [(2, 3), (1, 2)]
+        )
+        assert g2.num_edges == 3
+
+    def test_remove_edges(self, triangle):
+        g = remove_edges(triangle, [(1, 0)])  # order-insensitive
+        assert g.num_edges == 2
+
+    def test_remove_missing_edge_noop(self, triangle):
+        g = remove_edges(triangle, [(0, 0)])
+        assert g == triangle
+
+    def test_remove_vertices(self):
+        g = complete_graph(5)
+        sub = remove_vertices(g, [0, 1])
+        assert sub.n == 3
+        assert sub.num_edges == 3  # K3 remains
+
+
+class TestUnionAndRelabel:
+    def test_disjoint_union_sizes(self):
+        a, b = complete_graph(4), cycle_graph(5)
+        u = disjoint_union(a, b)
+        assert u.n == 9
+        assert u.num_edges == a.num_edges + b.num_edges
+
+    def test_disjoint_union_coreness_concatenates(self):
+        a, b = complete_graph(4), cycle_graph(5)
+        u = disjoint_union(a, b)
+        kappa = reference_coreness(u)
+        assert np.all(kappa[:4] == 3)
+        assert np.all(kappa[4:] == 2)
+
+    def test_relabel_preserves_coreness_multiset(self, small_er):
+        relabeled = relabel_random(small_er, seed=5)
+        a = np.sort(reference_coreness(small_er))
+        b = np.sort(reference_coreness(relabeled))
+        assert np.array_equal(a, b)
+
+    def test_relabel_permutation_consistent(self, small_er):
+        perm = permutation_of_relabel(small_er, seed=5)
+        relabeled = relabel_random(small_er, seed=5)
+        kappa = reference_coreness(small_er)
+        kappa_relabel = reference_coreness(relabeled)
+        assert np.array_equal(kappa_relabel[perm], kappa)
+
+    def test_algorithms_invariant_under_relabeling(self, small_er):
+        """Decomposition must not depend on vertex id order."""
+        from repro.core.parallel_kcore import ParallelKCore
+
+        perm = permutation_of_relabel(small_er, seed=7)
+        relabeled = relabel_random(small_er, seed=7)
+        original = ParallelKCore().coreness(small_er)
+        shuffled = ParallelKCore().coreness(relabeled)
+        assert np.array_equal(shuffled[perm], original)

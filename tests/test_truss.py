@@ -1,0 +1,120 @@
+"""Tests for the k-truss decomposition extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.truss import (
+    ktruss_subgraph,
+    max_trussness,
+    triangle_support,
+    truss_decomposition,
+)
+from repro.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_2d,
+    path_graph,
+)
+from repro.graphs.csr import CSRGraph
+from repro.graphs.transform import all_edges
+
+
+class TestTriangleSupport:
+    def test_triangle(self, triangle):
+        _, support = triangle_support(triangle)
+        assert list(support) == [1, 1, 1]
+
+    def test_clique_support(self):
+        g = complete_graph(5)
+        _, support = triangle_support(g)
+        assert np.all(support == 3)  # each edge in n-2 triangles
+
+    def test_triangle_free(self):
+        _, support = triangle_support(grid_2d(5, 5))
+        assert np.all(support == 0)
+
+    def test_total_counts_triangles_thrice(self):
+        g = erdos_renyi(80, 8.0, seed=1)
+        _, support = triangle_support(g)
+        assert support.sum() % 3 == 0
+
+
+class TestTrussness:
+    def test_clique(self):
+        g = complete_graph(6)
+        _, trussness = truss_decomposition(g)
+        assert np.all(trussness == 6)  # K_n is the n-truss
+
+    def test_triangle_free_graph_all_two(self):
+        g = cycle_graph(10)
+        _, trussness = truss_decomposition(g)
+        assert np.all(trussness == 2)
+
+    def test_clique_plus_tail(self):
+        edges = [(u, v) for u in range(5) for v in range(u + 1, 5)]
+        edges += [(4, 5), (5, 6)]
+        g = CSRGraph.from_edges(7, edges)
+        es, trussness = truss_decomposition(g)
+        values = {
+            (int(u), int(v)): int(t) for (u, v), t in zip(es, trussness)
+        }
+        assert values[(4, 5)] == 2
+        assert values[(5, 6)] == 2
+        assert values[(0, 1)] == 5
+
+    def test_empty(self):
+        g = CSRGraph.from_edges(4, [])
+        edges, trussness = truss_decomposition(g)
+        assert edges.shape[0] == 0
+        assert max_trussness(g) == 0
+
+    def test_against_networkx(self):
+        networkx = pytest.importorskip("networkx")
+        g = erdos_renyi(60, 7.0, seed=3)
+        nx_graph = networkx.Graph()
+        nx_graph.add_nodes_from(range(g.n))
+        nx_graph.add_edges_from(map(tuple, all_edges(g)))
+        for k in (2, 3, 4, 5):
+            ours = ktruss_subgraph(g, k)
+            theirs = networkx.k_truss(nx_graph, k)
+            ours_edges = {
+                (int(u), int(v)) for u, v in all_edges(ours)
+            }
+            theirs_edges = {
+                (min(u, v), max(u, v)) for u, v in theirs.edges()
+            }
+            assert ours_edges == theirs_edges, k
+
+
+class TestSubgraph:
+    def test_truss_nested(self):
+        g = erdos_renyi(80, 10.0, seed=4)
+        prev = None
+        for k in (2, 3, 4, 5):
+            sub = ktruss_subgraph(g, k)
+            if prev is not None:
+                assert sub.num_edges <= prev
+            prev = sub.num_edges
+
+    def test_truss_support_invariant(self):
+        g = erdos_renyi(80, 10.0, seed=5)
+        k = 4
+        sub = ktruss_subgraph(g, k)
+        if sub.num_edges:
+            _, support = triangle_support(sub)
+            assert support.min() >= k - 2
+
+    def test_trussness_at_most_coreness_plus_one(self):
+        """Classic bound: truss(e) <= min core(u), core(v)) + 1."""
+        from repro.core.verify import reference_coreness
+
+        g = erdos_renyi(80, 9.0, seed=6)
+        kappa = reference_coreness(g)
+        edges, trussness = truss_decomposition(g)
+        for (u, v), t in zip(edges, trussness):
+            assert t <= min(kappa[int(u)], kappa[int(v)]) + 1
+
+    def test_k_validation(self, triangle):
+        with pytest.raises(ValueError):
+            ktruss_subgraph(triangle, 1)

@@ -1,0 +1,64 @@
+"""Tests for bucketed (framework-style) truss peeling."""
+
+import numpy as np
+import pytest
+
+from repro.core.truss import truss_decomposition
+from repro.core.truss_parallel import (
+    truss_decomposition_bucketed,
+    trussness_bucketed,
+)
+from repro.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_2d,
+)
+from repro.graphs.csr import CSRGraph
+
+
+@pytest.mark.parametrize("buckets", ["1", "16", "hbs", "adaptive"])
+class TestAgainstSequential:
+    def test_er(self, buckets):
+        g = erdos_renyi(120, 8.0, seed=1)
+        seq_edges, seq_truss = truss_decomposition(g)
+        par_edges, par_truss = trussness_bucketed(g, buckets=buckets)
+        assert np.array_equal(seq_edges, par_edges)
+        assert np.array_equal(seq_truss, par_truss), buckets
+
+    def test_clique(self, buckets):
+        g = complete_graph(8)
+        _, par_truss = trussness_bucketed(g, buckets=buckets)
+        assert np.all(par_truss == 8)
+
+    def test_triangle_free(self, buckets):
+        g = cycle_graph(12)
+        _, par_truss = trussness_bucketed(g, buckets=buckets)
+        assert np.all(par_truss == 2)
+
+    def test_clustered(self, buckets):
+        # Two overlapping cliques.
+        edges = [(u, v) for u in range(6) for v in range(u + 1, 6)]
+        edges += [(u, v) for u in range(4, 10) for v in range(u + 1, 10)]
+        g = CSRGraph.from_edges(10, edges)
+        seq_edges, seq_truss = truss_decomposition(g)
+        par_edges, par_truss = trussness_bucketed(g, buckets=buckets)
+        assert np.array_equal(seq_truss, par_truss)
+
+
+class TestMetrics:
+    def test_subrounds_recorded(self):
+        g = erdos_renyi(150, 9.0, seed=2)
+        _, result = truss_decomposition_bucketed(g, buckets="hbs")
+        assert result.metrics.subrounds > 0
+        assert result.metrics.work > 0
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(4, [])
+        edges, result = truss_decomposition_bucketed(g)
+        assert edges.shape[0] == 0
+
+    def test_algorithm_label(self):
+        g = complete_graph(5)
+        _, result = truss_decomposition_bucketed(g, buckets="hbs")
+        assert result.algorithm.startswith("truss-")

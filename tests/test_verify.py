@@ -1,0 +1,89 @@
+"""Tests for the decomposition verifier itself."""
+
+import numpy as np
+import pytest
+
+from repro.core.verify import (
+    assert_valid_decomposition,
+    check_core_membership,
+    check_coreness,
+    reference_coreness,
+)
+from repro.generators import complete_graph, grid_2d, star_graph
+
+
+class TestCheckCoreness:
+    def test_accepts_correct(self, small_er):
+        assert check_coreness(small_er, reference_coreness(small_er))
+
+    def test_rejects_perturbed(self, small_er):
+        kappa = reference_coreness(small_er).copy()
+        kappa[0] += 1
+        assert not check_coreness(small_er, kappa)
+
+    def test_rejects_wrong_shape(self, triangle):
+        assert not check_coreness(triangle, np.zeros(5, dtype=np.int64))
+
+    def test_rejects_all_zero_on_nonzero_graph(self, triangle):
+        assert not check_coreness(triangle, np.zeros(3, dtype=np.int64))
+
+    def test_assert_helper_raises_with_context(self, triangle):
+        with pytest.raises(AssertionError, match="myalgo"):
+            assert_valid_decomposition(
+                triangle, np.zeros(3, dtype=np.int64), algorithm="myalgo"
+            )
+
+    def test_assert_helper_passes(self, triangle):
+        assert_valid_decomposition(
+            triangle, reference_coreness(triangle)
+        )
+
+
+class TestMembershipCheck:
+    def test_accepts_correct(self, medium_er):
+        assert check_core_membership(
+            medium_er, reference_coreness(medium_er)
+        )
+
+    def test_rejects_inflated(self, small_er):
+        kappa = reference_coreness(small_er).copy()
+        kappa[:] = kappa.max() + 3  # everyone claims an impossible core
+        assert not check_core_membership(small_er, kappa)
+
+    def test_is_necessary_not_sufficient(self):
+        """All-zeros passes membership (feasible) but fails exactness."""
+        g = complete_graph(5)
+        zeros = np.zeros(5, dtype=np.int64)
+        assert check_core_membership(g, zeros)
+        assert not check_coreness(g, zeros)
+
+    def test_wrong_shape(self, triangle):
+        assert not check_core_membership(triangle, np.zeros(7))
+
+    def test_empty_graph(self):
+        from repro.generators import empty_graph
+
+        g = empty_graph(0)
+        assert check_core_membership(g, np.zeros(0, dtype=np.int64))
+
+
+class TestReferenceKnownValues:
+    def test_clique(self):
+        assert np.all(reference_coreness(complete_graph(8)) == 7)
+
+    def test_star(self):
+        assert np.all(reference_coreness(star_graph(9)) == 1)
+
+    def test_grid_interior_and_corners_all_two(self):
+        kappa = reference_coreness(grid_2d(7, 7))
+        assert np.all(kappa == 2)
+
+    def test_disconnected_components_independent(self):
+        from repro.graphs.csr import CSRGraph
+
+        # Triangle + isolated edge + isolated vertex.
+        g = CSRGraph.from_edges(
+            6, [(0, 1), (1, 2), (2, 0), (3, 4)]
+        )
+        kappa = reference_coreness(g)
+        assert list(kappa) == [2, 2, 2, 1, 1, 0]

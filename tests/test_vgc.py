@@ -1,0 +1,94 @@
+"""Tests for vertical granularity control (Sec. 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import FrameworkConfig, decompose
+from repro.core.vgc import DEFAULT_QUEUE_SIZE, VGCConfig
+from repro.core.verify import reference_coreness
+from repro.generators import grid_2d, path_graph, road_like
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = VGCConfig()
+        assert config.queue_size == DEFAULT_QUEUE_SIZE
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VGCConfig(queue_size=0)
+        with pytest.raises(ValueError):
+            VGCConfig(edge_budget=0)
+
+
+def _rho(graph, vgc: bool, queue_size: int = DEFAULT_QUEUE_SIZE) -> int:
+    config = FrameworkConfig(
+        peel="online", buckets="1", vgc=vgc, vgc_queue_size=queue_size
+    )
+    return decompose(graph, config).rho
+
+
+class TestSubroundReduction:
+    def test_grid_subrounds_shrink(self):
+        g = grid_2d(30, 30)
+        assert _rho(g, vgc=True) < _rho(g, vgc=False)
+
+    def test_path_collapses_to_few_subrounds(self):
+        """A path is one long chain: VGC absorbs it almost entirely."""
+        g = path_graph(200)
+        without = _rho(g, vgc=False)
+        with_vgc = _rho(g, vgc=True)
+        assert without >= 100  # peeling eats two endpoints per subround
+        assert with_vgc <= without // 10
+
+    def test_road_reduction(self):
+        g = road_like(2000, seed=1)
+        assert _rho(g, vgc=True) <= _rho(g, vgc=False)
+
+    def test_vgc_never_increases_subrounds(self, any_graph):
+        assert _rho(any_graph, vgc=True) <= _rho(any_graph, vgc=False)
+
+
+class TestQueueBudget:
+    def test_queue_size_one_matches_plain_subrounds(self):
+        """A 1-slot queue cannot absorb anything: rho equals plain's."""
+        g = grid_2d(15, 15)
+        assert _rho(g, vgc=True, queue_size=1) == _rho(g, vgc=False)
+
+    def test_larger_queue_absorbs_more(self):
+        g = path_graph(300)
+        small = _rho(g, vgc=True, queue_size=4)
+        large = _rho(g, vgc=True, queue_size=256)
+        assert large <= small
+
+    def test_exactness_for_extreme_queue_sizes(self, any_graph):
+        ref = reference_coreness(any_graph)
+        for queue_size in (1, 2, 7, 1000):
+            config = FrameworkConfig(
+                peel="online",
+                buckets="1",
+                vgc=True,
+                vgc_queue_size=queue_size,
+            )
+            got = decompose(any_graph, config).coreness
+            assert np.array_equal(got, ref), queue_size
+
+
+class TestLocalSearchAccounting:
+    def test_local_hits_recorded(self):
+        g = path_graph(100)
+        config = FrameworkConfig(peel="online", buckets="1", vgc=True)
+        result = decompose(g, config)
+        assert result.metrics.local_search_hits > 0
+
+    def test_no_local_hits_without_vgc(self):
+        g = path_graph(100)
+        config = FrameworkConfig(peel="online", buckets="1", vgc=False)
+        result = decompose(g, config)
+        assert result.metrics.local_search_hits == 0
+
+    def test_work_still_linear(self):
+        g = road_like(3000, seed=2)
+        config = FrameworkConfig(peel="online", buckets="1", vgc=True)
+        result = decompose(g, config)
+        assert result.metrics.work <= 25 * (g.n + g.m)
