@@ -2,13 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples clean loc
+.PHONY: install test lint bench examples clean loc
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.lint src/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.core.result import CorenessResult
 from repro.graphs.csr import CSRGraph
+from repro.runtime.atomics import batch_decrement
 from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.runtime.simulator import SimRuntime
 
@@ -84,16 +85,11 @@ def approximate_coreness(
                 * (graph.indptr[frontier + 1] - graph.indptr[frontier])
             ).astype(np.float64)
             if targets.size:
-                touched, counts = np.unique(targets, return_counts=True)
-                old = dtilde[touched]
-                dtilde[touched] = old - counts
-                crossed = touched[
-                    (old > threshold)
-                    & (dtilde[touched] <= threshold)
-                    & alive[touched]
-                ]
+                outcome = batch_decrement(dtilde, targets, threshold)
+                crossed = outcome.crossed[alive[outcome.crossed]]
                 runtime.parallel_update(
-                    task_costs, counts, barriers=1, tag="approx_peel"
+                    task_costs, outcome.counts, barriers=1,
+                    tag="approx_peel",
                 )
             else:
                 crossed = np.zeros(0, dtype=np.int64)

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.core.state import PeelState
 from repro.core.vgc import VGCConfig
+from repro.runtime.atomics import batch_decrement
 
 
 class OnlinePeel:
@@ -61,17 +62,14 @@ class OnlinePeel:
         changed = np.zeros(0, dtype=np.int64)
         old_keys = np.zeros(0, dtype=np.int64)
         if direct.size:
-            touched, counts = np.unique(direct, return_counts=True)
-            old = state.dtilde[touched]
-            new = old - counts
-            state.dtilde[touched] = new
-            crossed = touched[(old > k) & (new <= k)]
-            survivors = (new > k) & (~state.peeled[touched])
-            changed = touched[survivors]
-            old_keys = old[survivors]
+            outcome = batch_decrement(state.dtilde, direct, k)
+            crossed = outcome.crossed
+            survivors = (outcome.new > k) & (~state.peeled[outcome.touched])
+            changed = outcome.touched[survivors]
+            old_keys = outcome.old[survivors]
             runtime.parallel_update(
                 task_costs,
-                counts,
+                outcome.counts,
                 barriers=model.online_barriers,
                 tag="online_peel",
             )

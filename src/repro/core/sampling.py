@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.errors import SamplingRestartError
 from repro.graphs.csr import CSRGraph
+from repro.runtime.atomics import batch_increment_clamped
 from repro.runtime.simulator import SimRuntime
 
 #: Resample when the induced degree is expected to have dropped to this
@@ -301,15 +302,12 @@ class SamplingState:
         """
         if hits.size == 0:
             return hits
-        touched, counts = np.unique(hits, return_counts=True)
-        old = self.cnt[touched]
-        new = old + counts
-        self.cnt[touched] = new
+        counts, reached = batch_increment_clamped(self.cnt, hits, self.mu)
         self.runtime.parallel_update(
             0.0, counts, count=int(hits.size), barriers=0,
             tag="sample_increments",
         )
-        return touched[(old < self.mu) & (new >= self.mu)]
+        return reached
 
     def exit_sample_mode(self, vertices: np.ndarray) -> None:
         """Force vertices out of sample mode (when they get peeled)."""

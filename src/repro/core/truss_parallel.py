@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.result import CorenessResult
 from repro.core.truss import _edge_table, triangle_support
 from repro.graphs.csr import CSRGraph
+from repro.runtime.atomics import batch_decrement
 from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.runtime.simulator import SimRuntime
 from repro.structures.buckets_base import BucketStructure
@@ -117,18 +118,15 @@ def truss_decomposition_bucketed(
                             work += model.edge_op
             if targets:
                 arr = np.asarray(targets, dtype=np.int64)
-                touched, counts = np.unique(arr, return_counts=True)
-                old = support[touched]
-                support[touched] = np.maximum(old - counts, 0)
-                new = support[touched]
-                crossed = touched[(old > k) & (new <= k)]
-                survivors = (new > k) & (~peeled[touched])
+                outcome = batch_decrement(support, arr, k, floor=0)
+                crossed = outcome.crossed
+                survivors = (outcome.new > k) & (~peeled[outcome.touched])
                 runtime.parallel_update(
-                    np.array([max(work, 1.0)]), counts, barriers=1,
+                    np.array([max(work, 1.0)]), outcome.counts, barriers=1,
                     tag="truss_peel",
                 )
                 structure.on_decrements(
-                    touched[survivors], old[survivors]
+                    outcome.touched[survivors], outcome.old[survivors]
                 )
             else:
                 crossed = np.zeros(0, dtype=np.int64)

@@ -1,0 +1,34 @@
+"""Static analysis for the simulated-runtime discipline (``repro.lint``).
+
+The reproduction's single load-bearing invariant is that algorithm code
+*charges* every operation to :class:`repro.runtime.simulator.SimRuntime`
+and routes every concurrent update to shared state through the
+batch-atomic helpers — otherwise work/span/burdened-span (paper Sec. 2)
+and the contention figures are silently wrong.  Nothing in Python
+enforces that, so this package does, the way Cilkview-style tooling
+does for the paper's C++ stack:
+
+* ``R001 charge-coverage`` — numpy work near a runtime must be charged;
+* ``R002 untagged-charge`` — every charge carries a ``tag=`` keyword;
+* ``R003 determinism`` — no wall clocks or global-state RNG in ``src/``;
+* ``R004 simulated-race`` — no raw writes to contended shared arrays;
+* ``R005 magic-cost-constant`` — per-op costs come from the CostModel.
+
+Run it with ``python -m repro.lint src/`` (or ``make lint``); suppress a
+deliberate violation with a trailing ``# lint: disable=R00x`` comment.
+See ``docs/LINTING.md`` for the full catalogue and rationale.
+"""
+
+from repro.lint.finding import Finding
+from repro.lint.registry import Rule, all_rules, get_rule, rule
+from repro.lint.runner import lint_paths, lint_source
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "rule",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,81 @@
+"""Command-line interface: ``python -m repro.lint`` / ``repro-lint``.
+
+Exit status is 0 when no unsuppressed finding was emitted, 1 otherwise,
+2 on usage errors — the contract CI and ``make lint`` rely on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.lint.registry import all_rules
+from repro.lint.reporters import REPORTERS
+from repro.lint.runner import lint_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Static analysis for the simulated-runtime discipline: "
+            "charge coverage, tag hygiene, determinism, simulated races "
+            "and magic cost constants."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=sorted(REPORTERS),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (e.g. R001,R004)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id} {rule.name}: {rule.summary}")
+        return 0
+
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        print(
+            f"error: no such file or directory: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    select = args.select.split(",") if args.select else None
+    try:
+        findings = lint_paths(args.paths, select=select)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(REPORTERS[args.format](findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

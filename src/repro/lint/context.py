@@ -1,0 +1,64 @@
+"""Per-module context handed to every lint rule."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.lint.finding import Finding
+from repro.lint.suppress import parse_suppressions
+
+
+class ModuleContext:
+    """One parsed Python module plus everything rules ask about it.
+
+    Attributes:
+        path: The file's path as given on the command line (kept verbatim
+            so reported locations match what the user typed).
+        source: Full source text.
+        tree: Parsed ``ast.Module``.
+        suppressions: Line -> suppressed-rule-ids map (see
+            :mod:`repro.lint.suppress`).
+    """
+
+    def __init__(self, path: str | Path, source: str, tree: ast.Module):
+        self.path = str(path)
+        self.source = source
+        self.tree = tree
+        self.suppressions = parse_suppressions(source)
+        self._parts = Path(path).parts
+
+    @classmethod
+    def parse(cls, path: str | Path, source: str) -> "ModuleContext":
+        """Parse ``source``; raises ``SyntaxError`` on broken files."""
+        tree = ast.parse(source, filename=str(path))
+        return cls(path, source, tree)
+
+    # ------------------------------------------------------------------
+    def in_package(self, *parts: str) -> bool:
+        """Whether the file path contains ``parts`` consecutively.
+
+        ``ctx.in_package("repro", "core")`` is true for any file under a
+        ``repro/core/`` directory regardless of the repository root the
+        linter was launched from.
+        """
+        n = len(parts)
+        return any(
+            self._parts[i : i + n] == parts
+            for i in range(len(self._parts) - n + 1)
+        )
+
+    def in_directory(self, name: str) -> bool:
+        """Whether any path component equals ``name``."""
+        return name in self._parts
+
+    # ------------------------------------------------------------------
+    def finding(self, node: ast.AST, rule_id: str, message: str) -> Finding:
+        """A finding anchored at ``node``'s location in this module."""
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=rule_id,
+            message=message,
+        )

@@ -1,0 +1,44 @@
+"""The finding record emitted by lint rules.
+
+A finding pins one violation to one source location.  Findings are
+value objects: hashable, totally ordered by location, and rendered by
+the reporters in :mod:`repro.lint.reporters`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        path: Path of the offending file, as given to the runner.
+        line: 1-based line of the offending node.
+        col: 0-based column of the offending node.
+        rule_id: Identifier of the violated rule (``R001`` ... ``R005``,
+            or ``E000`` for files the runner could not parse).
+        message: Human-readable explanation with the fix spelled out.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        """The conventional ``path:line:col: ID message`` form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable representation (see ``--format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }

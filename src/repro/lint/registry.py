@@ -1,0 +1,63 @@
+"""The rule registry.
+
+Rules live one per module under :mod:`repro.lint.rules` and register
+themselves with the :func:`rule` decorator at import time.  The runner
+iterates :func:`all_rules`; the CLI's ``--select`` filters by id.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from repro.lint.context import ModuleContext
+from repro.lint.finding import Finding
+
+CheckFunction = Callable[[ModuleContext], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered rule.
+
+    Attributes:
+        rule_id: Stable identifier (``R001`` ...), used in reports,
+            ``--select`` and suppression comments.
+        name: Short kebab-case name (``charge-coverage``).
+        summary: One-line description shown by ``--list-rules``.
+        check: The per-module check; yields findings.
+    """
+
+    rule_id: str
+    name: str
+    summary: str
+    check: CheckFunction
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def rule(rule_id: str, name: str, summary: str) -> Callable[[CheckFunction], CheckFunction]:
+    """Class decorator-style registrar for rule check functions."""
+
+    def register(check: CheckFunction) -> CheckFunction:
+        if rule_id in _RULES:
+            raise ValueError(f"duplicate rule id {rule_id!r}")
+        _RULES[rule_id] = Rule(rule_id, name, summary, check)
+        return check
+
+    return register
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, ordered by id."""
+    import repro.lint.rules  # noqa: F401  (side effect: registers rules)
+
+    return [_RULES[rule_id] for rule_id in sorted(_RULES)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one rule by id (raises ``KeyError`` for unknown ids)."""
+    import repro.lint.rules  # noqa: F401
+
+    return _RULES[rule_id]

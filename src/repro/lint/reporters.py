@@ -1,0 +1,32 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+
+from repro.lint.finding import Finding
+
+
+def format_text(findings: Sequence[Finding]) -> str:
+    """One ``path:line:col: ID message`` line per finding plus a summary."""
+    lines = [finding.render() for finding in findings]
+    count = len(findings)
+    noun = "finding" if count == 1 else "findings"
+    lines.append(f"{count} {noun}")
+    return "\n".join(lines)
+
+
+def format_json(findings: Sequence[Finding]) -> str:
+    """A stable JSON document (``{"findings": [...], "count": N}``)."""
+    return json.dumps(
+        {
+            "count": len(findings),
+            "findings": [finding.to_dict() for finding in findings],
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+REPORTERS = {"text": format_text, "json": format_json}

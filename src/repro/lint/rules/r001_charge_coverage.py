@@ -1,0 +1,138 @@
+"""R001 charge-coverage: numpy work in runtime-aware code must be charged.
+
+Every figure of the reproduction is computed from the :class:`SimRuntime`
+ledger, so an algorithm function that performs numpy array operations but
+never charges them records *zero* work and span for real computation —
+silently deflating work/span/burdened-span everywhere that function runs
+(the exact failure mode Cilkview-style instrumentation exists to catch).
+
+The heuristic: a function that **accepts a runtime** (a parameter named
+``runtime``/``rt`` or annotated ``SimRuntime``) is declared to be on the
+accounting path.  If its body contains numpy array operations but
+
+* no reachable charge call (``parallel_for`` / ``parallel_update`` /
+  ``sequential`` / ``barrier_only`` / ``imbalanced_step`` / ``record_*``),
+  and
+* never *forwards* the runtime (passing it to a callee, storing it on an
+  object, or returning it — in all of which cases the receiver is
+  responsible for charging),
+
+then the work it performs can never reach the ledger, and R001 fires on
+the function definition.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint import astutil
+from repro.lint.context import ModuleContext
+from repro.lint.finding import Finding
+from repro.lint.registry import rule
+
+#: Parameter names treated as "this is the simulated runtime".
+RUNTIME_PARAM_NAMES = frozenset({"runtime", "rt"})
+
+
+def _runtime_parameter(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> str | None:
+    """Name of the runtime parameter of ``func``, if it has one."""
+    for arg in astutil.all_parameters(func):
+        if arg.arg in RUNTIME_PARAM_NAMES:
+            return arg.arg
+        if "SimRuntime" in astutil.annotation_source(arg):
+            return arg.arg
+    return None
+
+
+def _has_charge(func: ast.AST) -> bool:
+    """Whether any charge or ``record_*`` call appears in ``func``."""
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = node.func
+        if not isinstance(callee, ast.Attribute):
+            continue
+        if callee.attr in astutil.CHARGE_METHODS:
+            return True
+        if callee.attr.startswith("record_"):
+            return True
+    return False
+
+
+def _forwards_runtime(func: ast.AST, param: str) -> bool:
+    """Whether ``func`` hands its runtime to someone else.
+
+    Forwarding means the callee (or the object the runtime is stored on)
+    takes over the charging responsibility, so R001 stays quiet.
+    """
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            for value in [*node.args, *[kw.value for kw in node.keywords]]:
+                if isinstance(value, ast.Name) and value.id == param:
+                    return True
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            value = node.value
+            if isinstance(value, ast.Name) and value.id == param:
+                return True
+            if isinstance(value, ast.Tuple) and any(
+                isinstance(el, ast.Name) and el.id == param
+                for el in value.elts
+            ):
+                return True
+        elif isinstance(node, ast.Return) and node.value is not None:
+            for sub in ast.walk(node.value):
+                if isinstance(sub, ast.Name) and sub.id == param:
+                    return True
+    return False
+
+
+def _first_numpy_operation(func: ast.AST) -> ast.AST | None:
+    """First numpy-flavored array operation in ``func``, if any.
+
+    Counts calls through the ``np``/``numpy`` modules and in-place
+    subscript writes (``arr[idx] = ...`` / ``arr[idx] += ...``) — the two
+    shapes real kernels in this codebase take.
+    """
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            name = astutil.call_name(node)
+            if name is not None and (
+                name.startswith("np.") or name.startswith("numpy.")
+            ):
+                return node
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            if any(isinstance(t, ast.Subscript) for t in targets):
+                return node
+    return None
+
+
+@rule(
+    "R001",
+    "charge-coverage",
+    "numpy work in a runtime-accepting function must reach the ledger",
+)
+def check(ctx: ModuleContext) -> Iterator[Finding]:
+    for func in astutil.iter_functions(ctx.tree):
+        param = _runtime_parameter(func)
+        if param is None:
+            continue
+        if _has_charge(func) or _forwards_runtime(func, param):
+            continue
+        operation = _first_numpy_operation(func)
+        if operation is None:
+            continue
+        yield ctx.finding(
+            func,
+            "R001",
+            f"function '{func.name}' accepts a SimRuntime ({param!r}) and "
+            f"performs numpy array operations (first at line "
+            f"{getattr(operation, 'lineno', '?')}) but never charges the "
+            "runtime or forwards it to a callee; the work is invisible to "
+            "the work/span ledger",
+        )

@@ -1,0 +1,166 @@
+"""R003 determinism: no wall clocks or global-state RNG in ``src/``.
+
+The whole point of the simulated runtime is that a run's work, span and
+simulated time are **pure functions of the input graph and the seed** —
+that is what makes every figure reproducible bit-for-bit and every test
+assertable.  Three things quietly break that:
+
+* **wall-clock reads** (``time.time`` / ``perf_counter`` / ...) leaking
+  into algorithm code couple results to the host machine (benchmarks,
+  which *do* time the harness itself, are exempt via their directory);
+* **legacy global-state RNG** (``np.random.rand`` etc. and the
+  ``random`` module) — hidden mutable state shared across call sites,
+  so unrelated code reorders draw sequences;
+* **unseeded generators** (``np.random.default_rng()`` with no seed) —
+  fresh OS entropy per call, unreproducible by construction.
+
+The sampling scheme's Las-Vegas analysis (paper Sec. 4.1) only holds for
+*documented, seeded* randomness, which is exactly what this rule pins.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint import astutil
+from repro.lint.context import ModuleContext
+from repro.lint.finding import Finding
+from repro.lint.registry import rule
+
+#: Wall-clock reading functions of the ``time`` module.
+CLOCK_FUNCTIONS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+#: ``np.random`` attributes that are part of the modern Generator API and
+#: therefore *not* global-state RNG.
+GENERATOR_API = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "MT19937",
+        "Philox",
+        "SFC64",
+    }
+)
+
+
+def _time_aliases(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """(module aliases of ``time``, local names bound to its clocks)."""
+    modules: set[str] = set()
+    functions: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    modules.add(alias.asname or alias.name)
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in CLOCK_FUNCTIONS:
+                    functions.add(alias.asname or alias.name)
+    return modules, functions
+
+
+@rule(
+    "R003",
+    "determinism",
+    "no wall clocks, legacy np.random, unseeded RNG, or random module",
+)
+def check(ctx: ModuleContext) -> Iterator[Finding]:
+    if ctx.in_directory("benchmarks"):
+        return
+    time_modules, clock_names = _time_aliases(ctx.tree)
+
+    for node in ast.walk(ctx.tree):
+        # The random module is global-state RNG wholesale: flag the import.
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith(
+                    "random."
+                ):
+                    yield ctx.finding(
+                        node,
+                        "R003",
+                        "the 'random' module is global-state RNG; use a "
+                        "seeded np.random.default_rng(seed) generator",
+                    )
+        elif isinstance(node, ast.ImportFrom) and node.module == "random":
+            yield ctx.finding(
+                node,
+                "R003",
+                "the 'random' module is global-state RNG; use a seeded "
+                "np.random.default_rng(seed) generator",
+            )
+        elif isinstance(node, ast.Call):
+            yield from _check_call(
+                ctx, node, time_modules, clock_names
+            )
+
+
+def _check_call(
+    ctx: ModuleContext,
+    node: ast.Call,
+    time_modules: set[str],
+    clock_names: set[str],
+) -> Iterator[Finding]:
+    name = astutil.call_name(node)
+    if name is None:
+        return
+
+    # Wall-clock reads: time.time(), perf_counter(), t.monotonic() ...
+    head, _, tail = name.rpartition(".")
+    if (head in time_modules and tail in CLOCK_FUNCTIONS) or (
+        not head and name in clock_names
+    ):
+        yield ctx.finding(
+            node,
+            "R003",
+            f"wall-clock read '{name}()' in algorithm code; simulated "
+            "time must come from the SimRuntime ledger (benchmarks/ is "
+            "exempt)",
+        )
+        return
+
+    # np.random.*: legacy global-state API vs. the Generator API.
+    for prefix in ("np.random.", "numpy.random."):
+        if name.startswith(prefix):
+            attr = name[len(prefix):].split(".", 1)[0]
+            if attr == "default_rng":
+                if not node.args and not node.keywords:
+                    yield ctx.finding(
+                        node,
+                        "R003",
+                        "unseeded default_rng() draws OS entropy; pass an "
+                        "explicit seed",
+                    )
+                elif node.args and isinstance(
+                    node.args[0], ast.Constant
+                ) and node.args[0].value is None:
+                    yield ctx.finding(
+                        node,
+                        "R003",
+                        "default_rng(None) is unseeded; pass an explicit "
+                        "seed",
+                    )
+            elif attr not in GENERATOR_API:
+                yield ctx.finding(
+                    node,
+                    "R003",
+                    f"legacy global-state RNG '{name}()'; use a seeded "
+                    "np.random.default_rng(seed) generator",
+                )
+            return

@@ -1,0 +1,124 @@
+"""R004 simulated-race: contended arrays must not take raw in-place writes.
+
+In the paper's contention model (Sec. 2), concurrent updates to one
+memory location serialize on its cache line; the runtime accounts for
+that through the batch-atomic helpers in :mod:`repro.runtime.atomics`
+(``batch_decrement`` / ``batch_increment_clamped``), which both apply
+the updates *and* return the per-location contention counts that
+``parallel_update`` charges to the span.
+
+A function that routes an array through those helpers (or hands it to
+``parallel_update``) has declared it **shared state of a parallel
+region**.  A *raw* in-place write to the same array in the same function
+— ``arr[idx] = ...``, ``arr[idx] -= ...``, ``np.subtract.at(arr, ...)``
+— is the simulated equivalent of a data race: the mutation happens but
+its contention never reaches the span, so burdened-span figures
+(Figs. 9/14) undercount exactly where the paper says contention bites.
+
+Scope is limited to ``repro/core/`` modules: that is where algorithm
+code lives; the atomics helpers themselves (``repro/runtime/``) must of
+course write the arrays they implement.
+
+Deliberate inline reimplementations of the batch-atomic semantics (there
+is one in the online peel, which needs the survivors mask) should carry
+an explicit ``# lint: disable=R004`` with a comment explaining why the
+contention is still accounted.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint import astutil
+from repro.lint.context import ModuleContext
+from repro.lint.finding import Finding
+from repro.lint.registry import rule
+
+#: Call names (match on trailing attribute) that mark their first
+#: argument as a contended shared array.
+BATCH_HELPERS = frozenset({"batch_decrement", "batch_increment_clamped"})
+
+
+def _contended_arrays(func: ast.AST) -> set[str]:
+    """Dotted names of arrays this function treats as contended."""
+    contended: set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        name = astutil.call_name(node)
+        if name is None:
+            continue
+        tail = name.rsplit(".", 1)[-1]
+        if tail in BATCH_HELPERS and node.args:
+            target = astutil.dotted_name(node.args[0])
+            if target is not None:
+                contended.add(target)
+        elif tail == "parallel_update":
+            # Only the contention-counts argument describes shared state;
+            # per-task cost arrays are thread-private by construction.
+            counts = astutil.argument(node, 1, "contention_counts")
+            if counts is not None:
+                target = astutil.dotted_name(counts)
+                if target is not None:
+                    contended.add(target)
+    return contended
+
+
+def _subscript_base(node: ast.expr) -> str | None:
+    """Dotted name of ``x`` in a ``x[...]`` expression, else None."""
+    if isinstance(node, ast.Subscript):
+        return astutil.dotted_name(node.value)
+    return None
+
+
+def _raw_writes(
+    func: ast.AST, contended: set[str]
+) -> Iterator[tuple[ast.AST, str]]:
+    """(node, array name) for each raw in-place write to contended state."""
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                base = _subscript_base(target)
+                if base is not None and base in contended:
+                    yield node, base
+        elif isinstance(node, ast.Call):
+            # In-place ufunc application: np.subtract.at(arr, idx, v).
+            name = astutil.call_name(node)
+            if (
+                name is not None
+                and (name.startswith("np.") or name.startswith("numpy."))
+                and name.endswith(".at")
+                and node.args
+            ):
+                base = astutil.dotted_name(node.args[0])
+                if base is not None and base in contended:
+                    yield node, base
+
+
+@rule(
+    "R004",
+    "simulated-race",
+    "no raw in-place writes to arrays shared with the batch atomics",
+)
+def check(ctx: ModuleContext) -> Iterator[Finding]:
+    if not ctx.in_package("repro", "core"):
+        return
+    for func in astutil.iter_functions(ctx.tree):
+        contended = _contended_arrays(func)
+        if not contended:
+            continue
+        for node, array in _raw_writes(func, contended):
+            yield ctx.finding(
+                node,
+                "R004",
+                f"raw in-place write to '{array}', which this function "
+                "also routes through the batch-atomic helpers / "
+                "parallel_update; the write bypasses contention "
+                "accounting (a data race in the paper's model) — use "
+                "repro.runtime.atomics or account the contention "
+                "explicitly",
+            )

@@ -1,0 +1,86 @@
+"""R005 magic-cost-constant: per-op costs come from the CostModel.
+
+Every constant of the simulated machine lives in
+:class:`repro.runtime.cost_model.CostModel` so that experiments can
+*vary* it (the omega sweeps, the contention ablations).  A numeric
+literal smuggled into a charge call as a cost — ``runtime.sequential(
+5.0, ...)`` — is invisible to those sweeps: the experiment dials the
+model and part of the cost surface silently refuses to move.
+
+R005 inspects the cost expression of every costed charge call
+(``task_costs`` / ``work`` / ``thread_works``).  The expression is clean
+if it references a cost-model field (any attribute named after a
+``CostModel`` field, e.g. ``model.edge_op``) or contains no numeric
+literal other than the neutral ``0`` and ``1`` (zero-cost charges and
+``max(x, 1)``-style clamps are idiomatic).  Otherwise the literal is a
+magic cost and R005 fires.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint import astutil
+from repro.lint.context import ModuleContext
+from repro.lint.finding import Finding
+from repro.lint.registry import rule
+from repro.runtime.cost_model import CostModel
+
+#: Field names of the cost model; an attribute access with one of these
+#: names marks the expression as model-derived.
+COST_MODEL_FIELDS = frozenset(CostModel.__dataclass_fields__)
+
+#: Literals that never encode a per-op cost by themselves.
+NEUTRAL_VALUES = frozenset({0.0, 1.0})
+
+
+def _references_model(expr: ast.expr) -> bool:
+    """Whether ``expr`` touches a CostModel field or a model object."""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Attribute):
+            if node.attr in COST_MODEL_FIELDS or node.attr == "model":
+                return True
+        elif isinstance(node, ast.Name) and node.id == "model":
+            return True
+    return False
+
+
+def _magic_literal(expr: ast.expr) -> ast.AST | None:
+    """First non-neutral numeric literal inside ``expr``, if any."""
+    for node in ast.walk(expr):
+        value = astutil.numeric_value(node)
+        if value is not None and abs(value) not in NEUTRAL_VALUES:
+            return node
+    return None
+
+
+@rule(
+    "R005",
+    "magic-cost-constant",
+    "charge costs must come from CostModel fields, not numeric literals",
+)
+def check(ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        method = astutil.charge_method_of(node)
+        if method not in astutil.COSTED_CHARGE_METHODS:
+            continue
+        cost = astutil.argument(node, 0, astutil.COST_KEYWORDS[method])
+        if cost is None or _references_model(cost):
+            continue
+        literal = _magic_literal(cost)
+        if literal is None:
+            continue
+        value = astutil.numeric_value(literal)
+        rendered = (
+            f"{value:g}" if value is not None else ast.dump(literal)
+        )
+        yield ctx.finding(
+            node,
+            "R005",
+            f"{method}() charges the magic cost constant {rendered}; "
+            "cost-model sweeps cannot reach it — use (or add) a "
+            "CostModel field instead",
+        )

@@ -1,0 +1,90 @@
+"""File discovery and rule execution."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from pathlib import Path
+
+from repro.lint.context import ModuleContext
+from repro.lint.finding import Finding
+from repro.lint.registry import Rule, all_rules
+from repro.lint.suppress import is_suppressed
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files and directories into a sorted stream of ``.py`` files."""
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            yield from sorted(
+                candidate
+                for candidate in path.rglob("*.py")
+                if "__pycache__" not in candidate.parts
+            )
+        elif path.suffix == ".py":
+            yield path
+
+
+def select_rules(select: Sequence[str] | None) -> list[Rule]:
+    """Resolve a ``--select`` list (``None`` means every rule)."""
+    rules = all_rules()
+    if select is None:
+        return rules
+    wanted = {rule_id.strip().upper() for rule_id in select if rule_id.strip()}
+    unknown = wanted - {rule.rule_id for rule in rules}
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s): {', '.join(sorted(unknown))}"
+        )
+    return [rule for rule in rules if rule.rule_id in wanted]
+
+
+def lint_source(
+    source: str,
+    path: str | Path = "<string>",
+    select: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Lint one source string (the test suite's entry point)."""
+    try:
+        ctx = ModuleContext.parse(path, source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule_id="E000",
+                message=f"could not parse file: {exc.msg}",
+            )
+        ]
+    findings = [
+        finding
+        for rule in select_rules(select)
+        for finding in rule.check(ctx)
+        if not is_suppressed(ctx.suppressions, finding.line, finding.rule_id)
+    ]
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    select: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Lint every Python file under ``paths``; sorted findings."""
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            findings.append(
+                Finding(
+                    path=str(path),
+                    line=1,
+                    col=0,
+                    rule_id="E000",
+                    message=f"could not read file: {exc}",
+                )
+            )
+            continue
+        findings.extend(lint_source(source, path=path, select=select))
+    return sorted(findings)

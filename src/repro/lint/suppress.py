@@ -1,0 +1,73 @@
+"""Suppression comments: ``# lint: disable=R001`` and friends.
+
+A suppression is a source comment that silences specific rules:
+
+* a **trailing** comment silences its own line::
+
+      runtime.sequential(5.0, tag="init")  # lint: disable=R005
+
+* a **standalone** comment line silences the next line (useful when the
+  flagged expression has no room left on its line)::
+
+      # lint: disable=R004
+      dtilde[touched] = new
+
+``disable=all`` silences every rule.  Rule lists may be comma-separated
+(``disable=R001,R004``).  Findings are reported at the first line of the
+offending statement, so multi-line calls are suppressed at their first
+line, not at the closing parenthesis.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+#: Sentinel stored in a line's rule set when ``disable=all`` was used.
+ALL = "all"
+
+_DIRECTIVE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Map 1-based line numbers to the rule ids suppressed on them."""
+    suppressed: dict[int, set[str]] = {}
+    try:
+        tokens = list(
+            tokenize.generate_tokens(io.StringIO(source).readline)
+        )
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return {}
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE.search(token.string)
+        if match is None:
+            continue
+        rules = frozenset(
+            part.strip().lower() if part.strip().lower() == ALL
+            else part.strip().upper()
+            for part in match.group(1).split(",")
+            if part.strip()
+        )
+        if not rules:
+            continue
+        row, col = token.start
+        lines = [row]
+        if token.line[:col].strip() == "":
+            # Standalone comment: also applies to the following line.
+            lines.append(row + 1)
+        for line in lines:
+            suppressed.setdefault(line, set()).update(rules)
+    return {line: frozenset(rules) for line, rules in suppressed.items()}
+
+
+def is_suppressed(
+    suppressions: dict[int, frozenset[str]], line: int, rule_id: str
+) -> bool:
+    """Whether ``rule_id`` is silenced on ``line``."""
+    rules = suppressions.get(line)
+    if rules is None:
+        return False
+    return ALL in rules or rule_id in rules

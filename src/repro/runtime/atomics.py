@@ -28,32 +28,55 @@ class DecrementOutcome:
         crossed: Vertices whose value crossed the threshold ``k`` from above
             (old value > k, new value <= k); by atomicity exactly one thread
             observes each crossing, so these join the next frontier once.
+        touched: The distinct locations decremented in this batch (sorted;
+            aligned with ``counts``, ``old`` and ``new``).
+        old: Values of ``touched`` before the batch.
+        new: Values of ``touched`` after the batch.
     """
 
     counts: np.ndarray
     crossed: np.ndarray
+    touched: np.ndarray
+    old: np.ndarray
+    new: np.ndarray
 
 
 def batch_decrement(
-    values: np.ndarray, targets: np.ndarray, k: int
+    values: np.ndarray,
+    targets: np.ndarray,
+    k: int,
+    floor: int | None = None,
 ) -> DecrementOutcome:
     """Apply one atomic decrement per entry of ``targets`` to ``values``.
 
     ``targets`` may repeat a vertex; each occurrence is one decrement.
-    ``values`` is modified in place.  Returns the contention counts and the
-    vertices whose value dropped from above ``k`` to ``k`` or below.
+    ``values`` is modified in place.  Returns the contention counts, the
+    vertices whose value dropped from above ``k`` to ``k`` or below, and
+    the before/after views callers need for survivor bookkeeping.
+
+    ``floor`` clamps the stored values from below (the truss peel's
+    supports never go negative) without affecting crossing detection.
     """
     if targets.size == 0:
+        empty_counts = np.zeros(0, dtype=np.int64)
+        empty = np.zeros(0, dtype=targets.dtype)
         return DecrementOutcome(
-            counts=np.zeros(0, dtype=np.int64),
-            crossed=np.zeros(0, dtype=targets.dtype),
+            counts=empty_counts,
+            crossed=empty,
+            touched=empty,
+            old=empty_counts,
+            new=empty_counts,
         )
     touched, counts = np.unique(targets, return_counts=True)
     old = values[touched]
     new = old - counts
+    if floor is not None:
+        new = np.maximum(new, floor)
     values[touched] = new
     crossed = touched[(old > k) & (new <= k)]
-    return DecrementOutcome(counts=counts, crossed=crossed)
+    return DecrementOutcome(
+        counts=counts, crossed=crossed, touched=touched, old=old, new=new
+    )
 
 
 def batch_increment_clamped(

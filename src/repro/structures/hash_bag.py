@@ -116,7 +116,9 @@ class HashBag:
         self._chunk_count += 1
         self._count += 1
         if self.runtime is not None:
-            self.runtime.sequential(self.runtime.model.bag_insert_op, "bag")
+            self.runtime.sequential(
+                self.runtime.model.bag_insert_op, tag="bag_insert"
+            )
 
     def insert_many(self, values: np.ndarray) -> None:
         """Insert a batch of values (models a concurrent insertion phase).
