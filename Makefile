@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench examples clean loc
+.PHONY: install test lint bench examples clean loc regress regress-bless oracle
 
 install:
 	$(PYTHON) setup.py develop
@@ -11,7 +11,16 @@ test:
 	$(PYTHON) -m pytest tests/
 
 lint:
-	PYTHONPATH=src $(PYTHON) -m repro.lint src/
+	PYTHONPATH=src $(PYTHON) -m repro.lint src/ tests/ benchmarks/
+
+regress:
+	PYTHONPATH=src $(PYTHON) -m repro.regress run
+
+regress-bless:
+	PYTHONPATH=src $(PYTHON) -m repro.regress bless
+
+oracle:
+	PYTHONPATH=src $(PYTHON) -m repro.regress oracle
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -14,7 +14,13 @@ import pytest
 
 from repro.analysis import ExperimentCache
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "benchmark_results")
+_RESULTS_BASE = "benchmark_results"
+if os.environ.get("REPRO_SUITE_TINY"):
+    # Tiny-suite smoke runs must never clobber the real paper-shaped
+    # outputs that EXPERIMENTS.md is refreshed from.
+    _RESULTS_BASE = "benchmark_results_tiny"
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", _RESULTS_BASE)
 
 
 @pytest.fixture(scope="session")

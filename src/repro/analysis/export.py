@@ -16,6 +16,25 @@ from typing import Iterable, Sequence
 from repro.analysis.experiments import RunRecord
 
 
+def dump_json(payload: object, path: str | os.PathLike) -> None:
+    """Write ``payload`` as pretty JSON with a trailing newline.
+
+    Insertion order is preserved (no key sorting), so serializations with
+    a deliberate schema order — the regression goldens, reproducer dumps —
+    produce line-stable diffs.  Floats round-trip exactly (``json`` emits
+    ``repr``-accurate literals).
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def load_json(path: str | os.PathLike) -> object:
+    """Read a JSON document written by :func:`dump_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
 def records_to_json(
     records: Iterable[RunRecord], path: str | os.PathLike
 ) -> None:

@@ -43,6 +43,9 @@ class GraphSpec:
         paper_name: The dataset this entry scales down.
         dense: The paper's dense/sparse classification of the family.
         build: Zero-argument builder returning the graph.
+        build_tiny: Builder for the tiny (hundreds-of-vertices) rendition of
+            the same family, used by smoke tests and the differential
+            oracle so they can sweep the full suite breadth in seconds.
     """
 
     name: str
@@ -50,6 +53,7 @@ class GraphSpec:
     paper_name: str
     dense: bool
     build: Callable[[], CSRGraph]
+    build_tiny: Callable[[], CSRGraph]
 
 
 def _named(builder: Callable[[], CSRGraph], name: str) -> Callable[[], CSRGraph]:
@@ -67,8 +71,12 @@ def _spec(
     paper_name: str,
     dense: bool,
     builder: Callable[[], CSRGraph],
+    tiny: Callable[[], CSRGraph],
 ) -> GraphSpec:
-    return GraphSpec(name, family, paper_name, dense, _named(builder, name))
+    return GraphSpec(
+        name, family, paper_name, dense,
+        _named(builder, name), _named(tiny, name),
+    )
 
 
 SUITE: dict[str, GraphSpec] = {
@@ -76,64 +84,91 @@ SUITE: dict[str, GraphSpec] = {
     for spec in [
         # ----- social networks (dense, power-law) ---------------------
         _spec("LJ-S", "social", "soc-LiveJournal1", True,
-              lambda: barabasi_albert(8_000, 12, seed=11, attach_min=2)),
+              lambda: barabasi_albert(8_000, 12, seed=11, attach_min=2),
+              lambda: barabasi_albert(400, 6, seed=11, attach_min=2)),
         _spec("OK-S", "social", "com-orkut", True,
-              lambda: barabasi_albert(6_000, 20, seed=12, attach_min=4)),
+              lambda: barabasi_albert(6_000, 20, seed=12, attach_min=4),
+              lambda: barabasi_albert(300, 10, seed=12, attach_min=4)),
         _spec("WB-S", "social", "soc-sinaweibo", True,
-              lambda: rmat(13, 8, seed=13)),
+              lambda: rmat(13, 8, seed=13),
+              lambda: rmat(8, 8, seed=13)),
         _spec("TW-S", "social", "Twitter", True,
               lambda: power_law_with_hub(
-                  12_000, 6, hub_count=6, hub_degree=3_000, seed=14)),
+                  12_000, 6, hub_count=6, hub_degree=3_000, seed=14),
+              lambda: power_law_with_hub(
+                  600, 4, hub_count=2, hub_degree=150, seed=14)),
         _spec("FS-S", "social", "Friendster", True,
-              lambda: barabasi_albert(16_000, 16, seed=15, attach_min=3)),
+              lambda: barabasi_albert(16_000, 16, seed=15, attach_min=3),
+              lambda: barabasi_albert(500, 8, seed=15, attach_min=3)),
         # ----- web graphs (dense, very skewed) ------------------------
         _spec("EH-S", "web", "eu-host", True,
-              lambda: rmat(14, 16, a=0.65, b=0.16, c=0.16, seed=21)),
+              lambda: rmat(14, 16, a=0.65, b=0.16, c=0.16, seed=21),
+              lambda: rmat(8, 16, a=0.65, b=0.16, c=0.16, seed=21)),
         _spec("SD-S", "web", "sd-arc", True,
-              lambda: rmat(14, 32, a=0.65, b=0.16, c=0.16, seed=22)),
+              lambda: rmat(14, 32, a=0.65, b=0.16, c=0.16, seed=22),
+              lambda: rmat(8, 32, a=0.65, b=0.16, c=0.16, seed=22)),
         _spec("CW-S", "web", "ClueWeb", True,
-              lambda: rmat(15, 24, a=0.66, b=0.16, c=0.16, seed=23)),
+              lambda: rmat(15, 24, a=0.66, b=0.16, c=0.16, seed=23),
+              lambda: rmat(9, 24, a=0.66, b=0.16, c=0.16, seed=23)),
         _spec("HL14-S", "web", "Hyperlink14", True,
-              lambda: rmat(15, 16, a=0.65, b=0.16, c=0.16, seed=24)),
+              lambda: rmat(15, 16, a=0.65, b=0.16, c=0.16, seed=24),
+              lambda: rmat(9, 16, a=0.65, b=0.16, c=0.16, seed=24)),
         _spec("HL12-S", "web", "Hyperlink12", True,
-              lambda: rmat(15, 20, a=0.65, b=0.16, c=0.16, seed=25)),
+              lambda: rmat(15, 20, a=0.65, b=0.16, c=0.16, seed=25),
+              lambda: rmat(9, 20, a=0.65, b=0.16, c=0.16, seed=25)),
         # ----- road networks (sparse) ---------------------------------
         _spec("AF-S", "road", "OSM Africa", False,
-              lambda: road_like(20_000, seed=31)),
+              lambda: road_like(20_000, seed=31),
+              lambda: road_like(700, seed=31)),
         _spec("NA-S", "road", "OSM North America", False,
-              lambda: road_like(30_000, seed=32)),
+              lambda: road_like(30_000, seed=32),
+              lambda: road_like(900, seed=32)),
         _spec("AS-S", "road", "OSM Asia", False,
-              lambda: road_like(34_000, seed=33)),
+              lambda: road_like(34_000, seed=33),
+              lambda: road_like(1_000, seed=33)),
         _spec("EU-S", "road", "OSM Europe", False,
-              lambda: road_like(40_000, seed=34)),
+              lambda: road_like(40_000, seed=34),
+              lambda: road_like(1_200, seed=34)),
         # ----- k-NN graphs (sparse) -----------------------------------
         _spec("CH5-S", "knn", "Chem, k=5", False,
-              lambda: knn_graph(8_000, 5, dim=16, clusters=12, seed=41)),
+              lambda: knn_graph(8_000, 5, dim=16, clusters=12, seed=41),
+              lambda: knn_graph(400, 5, dim=16, clusters=6, seed=41)),
         _spec("GL2-S", "knn", "GeoLife, k=2", False,
-              lambda: knn_graph(12_000, 2, dim=3, clusters=16, seed=42)),
+              lambda: knn_graph(12_000, 2, dim=3, clusters=16, seed=42),
+              lambda: knn_graph(500, 2, dim=3, clusters=8, seed=42)),
         _spec("GL5-S", "knn", "GeoLife, k=5", False,
-              lambda: knn_graph(12_000, 5, dim=3, clusters=16, seed=42)),
+              lambda: knn_graph(12_000, 5, dim=3, clusters=16, seed=42),
+              lambda: knn_graph(500, 5, dim=3, clusters=8, seed=42)),
         _spec("GL10-S", "knn", "GeoLife, k=10", False,
-              lambda: knn_graph(12_000, 10, dim=3, clusters=16, seed=42)),
+              lambda: knn_graph(12_000, 10, dim=3, clusters=16, seed=42),
+              lambda: knn_graph(500, 10, dim=3, clusters=8, seed=42)),
         _spec("COS5-S", "knn", "Cosmo50, k=5", False,
-              lambda: knn_graph(20_000, 5, dim=3, clusters=24, seed=43)),
+              lambda: knn_graph(20_000, 5, dim=3, clusters=24, seed=43),
+              lambda: knn_graph(700, 5, dim=3, clusters=10, seed=43)),
         # ----- other graphs --------------------------------------------
         _spec("TRCE-S", "other", "Huge traces", False,
-              lambda: delaunay_mesh(16_000, seed=51)),
+              lambda: delaunay_mesh(16_000, seed=51),
+              lambda: delaunay_mesh(600, seed=51)),
         _spec("BBL-S", "other", "Huge bubbles", False,
-              lambda: delaunay_mesh(20_000, seed=52)),
+              lambda: delaunay_mesh(20_000, seed=52),
+              lambda: delaunay_mesh(700, seed=52)),
         _spec("GRID", "other", "Synthetic grid", False,
-              lambda: grid_2d(280, 280)),
+              lambda: grid_2d(280, 280),
+              lambda: grid_2d(36, 36)),
         _spec("CUBE", "other", "Synthetic cube", False,
-              lambda: cube_3d(24, 24, 24)),
+              lambda: cube_3d(24, 24, 24),
+              lambda: cube_3d(10, 10, 10)),
         _spec("HCNS", "other", "High-coreness synthetic", True,
-              lambda: hcns(1024)),
+              lambda: hcns(1024),
+              lambda: hcns(96)),
         # BA's max degree shrinks with n; graft scale-appropriate hubs so
         # the scaled graph keeps the huge-hub property that drives the
         # paper's sampling experiments on HPL.
         _spec("HPL", "other", "Power-law (Barabási–Albert)", True,
               lambda: power_law_with_hub(
-                  16_000, 12, hub_count=4, hub_degree=4_000, seed=55)),
+                  16_000, 12, hub_count=4, hub_degree=4_000, seed=55),
+              lambda: power_law_with_hub(
+                  800, 6, hub_count=2, hub_degree=200, seed=55)),
     ]
 }
 
@@ -153,33 +188,54 @@ SAMPLING_TRIGGER: tuple[str, ...] = (
 SMALL: tuple[str, ...] = ("LJ-S", "AF-S", "GL5-S", "GRID", "HCNS")
 
 
-@lru_cache(maxsize=None)
-def load(name: str) -> CSRGraph:
+def tiny_mode() -> bool:
+    """Whether ``REPRO_SUITE_TINY`` requests the tiny suite renditions."""
+    return os.environ.get("REPRO_SUITE_TINY", "") not in ("", "0")
+
+
+def load(name: str, tiny: bool | None = None) -> CSRGraph:
     """Build (once per process) and return the suite graph ``name``.
+
+    ``tiny=True`` returns the hundreds-of-vertices rendition of the same
+    family (smoke tests, the differential oracle); the default follows the
+    ``REPRO_SUITE_TINY`` environment variable.  Full-size and tiny builds
+    are cached independently, so enabling tiny mode mid-process never
+    poisons the full-size cache.
 
     Set the ``REPRO_GRAPH_CACHE`` environment variable to a directory to
     additionally persist built graphs as ``.npz`` across processes —
     repeated benchmark invocations then skip the generators entirely.
     """
+    return _load(name, tiny_mode() if tiny is None else bool(tiny))
+
+
+def _load_impl(name: str, tiny: bool) -> CSRGraph:
     try:
         spec = SUITE[name]
     except KeyError:
         known = ", ".join(sorted(SUITE))
         raise KeyError(f"unknown suite graph {name!r}; known: {known}")
+    builder = spec.build_tiny if tiny else spec.build
     cache_dir = os.environ.get("REPRO_GRAPH_CACHE")
     if cache_dir:
         from repro.graphs.io import load_npz, save_npz
 
         os.makedirs(cache_dir, exist_ok=True)
-        path = os.path.join(cache_dir, f"{name}.npz")
+        stem = f"{name}.tiny" if tiny else name
+        path = os.path.join(cache_dir, f"{stem}.npz")
         if os.path.exists(path):
             graph = load_npz(path)
             graph.name = name
             return graph
-        graph = spec.build()
+        graph = builder()
         save_npz(graph, path)
         return graph
-    return spec.build()
+    return builder()
+
+
+_load = lru_cache(maxsize=None)(_load_impl)
+#: Existing callers clear the process cache through ``load``.
+load.cache_clear = _load.cache_clear  # type: ignore[attr-defined]
 
 
 def names(

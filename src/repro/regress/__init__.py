@@ -1,0 +1,89 @@
+"""Golden-metrics regression gate and cross-engine differential oracle.
+
+Two pillars guard the numbers this reproduction exists to produce:
+
+* the **golden-metrics gate** runs a pinned (engine x graph x cost-model)
+  matrix under the deterministic simulated runtime and compares every
+  :class:`~repro.runtime.metrics.RunMetrics` counter — work, span,
+  burdened span, rounds, subrounds, contention, simulated times —
+  *exactly* against versioned golden JSON files (``goldens/``), with a
+  ``run / bless / diff`` CLI and a per-metric drift report;
+* the **differential oracle** confronts every exact engine with the
+  sequential Batagelj–Zaversnik baseline on the whole generator suite and
+  checks the approximate engine against its (1 + eps) guarantee,
+  minimizing any mismatch to a replayable reproducer via delta debugging.
+
+See docs/REGRESSION.md for the workflow and blessing etiquette.
+"""
+
+from repro.regress.compare import DriftReport, MetricDrift, diff_run
+from repro.regress.goldens import (
+    GoldenVersionError,
+    goldens_dir,
+    list_blessed,
+    read_golden,
+    write_golden,
+)
+from repro.regress.matrix import (
+    APPROX_EPS,
+    CASES,
+    COST_MODELS,
+    ENGINES,
+    GRAPH_BUILDERS,
+    RegressCase,
+    load_graph,
+    run_case,
+    run_matrix,
+    select_cases,
+)
+from repro.regress.oracle import (
+    EXACT_ENGINES,
+    OracleFinding,
+    check_approximate,
+    check_exact,
+    minimize_mismatch,
+    run_oracle,
+)
+from repro.regress.reduce import (
+    dump_reproducer,
+    load_reproducer,
+    minimize_graph,
+)
+from repro.regress.reporters import (
+    render_drift_json,
+    render_drift_text,
+    render_oracle_text,
+)
+
+__all__ = [
+    "APPROX_EPS",
+    "CASES",
+    "COST_MODELS",
+    "DriftReport",
+    "ENGINES",
+    "EXACT_ENGINES",
+    "GoldenVersionError",
+    "GRAPH_BUILDERS",
+    "MetricDrift",
+    "OracleFinding",
+    "RegressCase",
+    "check_approximate",
+    "check_exact",
+    "diff_run",
+    "dump_reproducer",
+    "goldens_dir",
+    "list_blessed",
+    "load_graph",
+    "load_reproducer",
+    "minimize_graph",
+    "minimize_mismatch",
+    "read_golden",
+    "render_drift_json",
+    "render_drift_text",
+    "render_oracle_text",
+    "run_case",
+    "run_matrix",
+    "run_oracle",
+    "select_cases",
+    "write_golden",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.regress`` dispatches to the regression CLI."""
+
+import sys
+
+from repro.regress.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro.regress <command>``.
+
+Commands:
+
+* ``run``    — execute the pinned matrix and compare against the blessed
+  goldens; exit 1 on any drift, unblessed engine, or stale golden;
+* ``diff``   — same comparison, always printing the full drift report
+  (the command to run when ``run`` fails and you want the details);
+* ``bless``  — overwrite the goldens with the current matrix results;
+* ``oracle`` — confront every exact engine with sequential BZ across the
+  suite, minimizing and dumping any mismatch; exit 1 on disagreement;
+* ``list``   — print the pinned matrix cases.
+
+Exit status: 0 clean, 1 drift/mismatch, 2 usage or version errors — the
+contract CI and ``make regress`` rely on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.regress.compare import diff_run
+from repro.regress.goldens import (
+    GoldenVersionError,
+    goldens_dir,
+    list_blessed,
+    read_golden,
+    write_golden,
+)
+from repro.regress.matrix import CASES, run_matrix, select_cases
+from repro.regress.oracle import run_oracle
+from repro.regress.reporters import DRIFT_REPORTERS, render_oracle_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-regress",
+        description=(
+            "Golden-metrics regression gate and cross-engine differential "
+            "oracle for the simulated runtime."
+        ),
+    )
+    parser.add_argument(
+        "--goldens-dir",
+        type=Path,
+        default=None,
+        help="goldens directory (default: <repo>/goldens or "
+        "$REPRO_GOLDENS_DIR)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, summary in (
+        ("run", "run the matrix and fail on any unblessed drift"),
+        ("diff", "run the matrix and print the full drift report"),
+        ("bless", "pin the current matrix results as the goldens"),
+    ):
+        cmd = sub.add_parser(name, help=summary)
+        cmd.add_argument(
+            "-k",
+            "--filter",
+            default=None,
+            help="only cases whose id contains this substring",
+        )
+        if name != "bless":
+            cmd.add_argument(
+                "--format",
+                choices=sorted(DRIFT_REPORTERS),
+                default="text",
+                help="report format (default: text)",
+            )
+
+    oracle = sub.add_parser(
+        "oracle", help="cross-check every exact engine against BZ"
+    )
+    oracle.add_argument(
+        "--graphs",
+        default=None,
+        help="comma-separated suite graph names (default: full suite)",
+    )
+    oracle.add_argument(
+        "--full-size",
+        action="store_true",
+        help="use the full-size suite graphs instead of the tiny ones",
+    )
+    oracle.add_argument(
+        "--dump-dir",
+        type=Path,
+        default=None,
+        help="directory for mismatch reproducer dumps",
+    )
+    oracle.add_argument(
+        "--no-minimize",
+        action="store_true",
+        help="skip ddmin minimization of mismatch witnesses",
+    )
+
+    sub.add_parser("list", help="print the pinned matrix cases")
+    return parser
+
+
+def _compare(args: argparse.Namespace, verbose: bool) -> int:
+    directory = args.goldens_dir
+    fresh = run_matrix(args.filter)
+    try:
+        blessed = {
+            engine: read_golden(engine, directory) for engine in fresh
+        }
+    except GoldenVersionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    known = set(fresh) | {
+        engine
+        for engine in list_blessed(directory)
+        if args.filter is None
+    }
+    blessed.update(
+        {
+            engine: read_golden(engine, directory)
+            for engine in known
+            if engine not in blessed
+        }
+    )
+    report = diff_run(blessed, fresh, filtered=args.filter is not None)
+    if verbose or not report.clean:
+        print(DRIFT_REPORTERS[args.format](report))
+    return 0 if report.clean else 1
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    return _compare(args, verbose=True)
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    return _compare(args, verbose=True)
+
+
+def cmd_bless(args: argparse.Namespace) -> int:
+    directory = args.goldens_dir
+    fresh = run_matrix(args.filter)
+    for engine, entries in fresh.items():
+        if args.filter is not None:
+            # Partial bless: merge into the existing golden entries.
+            try:
+                existing = read_golden(engine, directory) or {}
+            except GoldenVersionError:
+                existing = {}
+            existing.update(entries)
+            entries = existing
+        path = write_golden(engine, entries, directory)
+        print(f"blessed {len(entries)} entries -> {path}")
+    return 0
+
+
+def cmd_oracle(args: argparse.Namespace) -> int:
+    names = args.graphs.split(",") if args.graphs else None
+    findings = run_oracle(
+        graph_names=names,
+        tiny=not args.full_size,
+        minimize=not args.no_minimize,
+        dump_dir=args.dump_dir,
+    )
+    print(render_oracle_text(findings))
+    return 1 if findings else 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    for case in select_cases(None):
+        print(case.case_id)
+    print(f"{len(CASES)} cases; goldens dir: {goldens_dir()}")
+    return 0
+
+
+COMMANDS = {
+    "run": cmd_run,
+    "diff": cmd_diff,
+    "bless": cmd_bless,
+    "oracle": cmd_oracle,
+    "list": cmd_list,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""Comparators: blessed goldens vs a fresh matrix run.
+
+Comparison is *exact*: the simulated runtime is deterministic, so any
+difference — a 0.25 on one work counter included — is a drift that either
+gets explained and blessed or reveals an unintended change.  Drifts are
+collected per metric with old/new values so reports can show the magnitude
+and direction of every excursion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class MetricDrift:
+    """One golden metric whose value moved (or appeared / disappeared)."""
+
+    case_id: str
+    metric: str
+    old: object  # None when the case/metric is new
+    new: object  # None when the case/metric vanished
+
+    @property
+    def pct(self) -> float | None:
+        """Signed percent delta, when both endpoints are nonzero numbers."""
+        if not isinstance(self.old, (int, float)) or isinstance(
+            self.old, bool
+        ):
+            return None
+        if not isinstance(self.new, (int, float)) or isinstance(
+            self.new, bool
+        ):
+            return None
+        if self.old == 0:
+            return None
+        return 100.0 * (self.new - self.old) / abs(self.old)
+
+
+@dataclass
+class DriftReport:
+    """Outcome of one goldens-vs-fresh comparison."""
+
+    drifts: list[MetricDrift] = field(default_factory=list)
+    #: Engines in the fresh run with no blessed golden file.
+    unblessed: list[str] = field(default_factory=list)
+    #: Engines with a blessed golden but absent from the fresh run
+    #: (only when the run was unfiltered — a filtered run skips this).
+    stale: list[str] = field(default_factory=list)
+    #: Cases compared, drifted or not.
+    cases_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.drifts and not self.unblessed and not self.stale
+
+    def drifted_cases(self) -> list[str]:
+        """Distinct case ids with at least one drift, in report order."""
+        seen: dict[str, None] = {}
+        for drift in self.drifts:
+            seen.setdefault(drift.case_id, None)
+        return list(seen)
+
+
+def _flatten(payload: dict, prefix: str = "") -> dict[str, object]:
+    """Nested payload dicts to dotted scalar paths."""
+    flat: dict[str, object] = {}
+    for key, value in payload.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(_flatten(value, f"{path}."))
+        else:
+            flat[path] = value
+    return flat
+
+
+def diff_entries(
+    case_prefix: str,
+    old: dict[str, dict[str, object]],
+    new: dict[str, dict[str, object]],
+) -> list[MetricDrift]:
+    """Per-metric drifts between one engine's golden and fresh entries."""
+    drifts: list[MetricDrift] = []
+    for entry_key in list(new) + [k for k in old if k not in new]:
+        case_id = f"{case_prefix}/{entry_key}"
+        old_flat = _flatten(old.get(entry_key, {}))
+        new_flat = _flatten(new.get(entry_key, {}))
+        for metric in list(new_flat) + [
+            m for m in old_flat if m not in new_flat
+        ]:
+            before = old_flat.get(metric)
+            after = new_flat.get(metric)
+            if before != after:
+                drifts.append(MetricDrift(case_id, metric, before, after))
+    return drifts
+
+
+def diff_run(
+    blessed: dict[str, dict[str, dict[str, object]] | None],
+    fresh: dict[str, dict[str, dict[str, object]]],
+    filtered: bool = False,
+) -> DriftReport:
+    """Compare a fresh matrix run against the blessed goldens.
+
+    Args:
+        blessed: ``engine -> entries`` (None marks a missing golden file).
+        fresh: ``engine -> entries`` from :func:`repro.regress.run_matrix`.
+        filtered: The run was restricted by a pattern, so blessed engines
+            absent from ``fresh`` are expected and not reported as stale.
+    """
+    report = DriftReport()
+    for engine, entries in fresh.items():
+        report.cases_checked += len(entries)
+        golden = blessed.get(engine)
+        if golden is None:
+            report.unblessed.append(engine)
+            continue
+        if filtered:
+            # Compare only the entries the filtered run produced.
+            golden = {k: v for k, v in golden.items() if k in entries}
+        report.drifts.extend(diff_entries(engine, golden, entries))
+    if not filtered:
+        report.stale = [
+            engine for engine in blessed if engine not in fresh
+        ]
+    return report

@@ -1,0 +1,90 @@
+"""The goldens store: versioned JSON files pinning the regression matrix.
+
+One file per engine under ``goldens/`` at the repository root (override
+with ``REPRO_GOLDENS_DIR``), each carrying the serialization schema
+version, the cost-model version, and the full signature of every pinned
+cost-model variant.  Versions are checked *before* metrics are compared:
+a golden blessed under an older schema fails loudly instead of producing
+a nonsense drift report.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.analysis.export import dump_json, load_json
+from repro.regress.matrix import COST_MODELS
+from repro.runtime.cost_model import COST_MODEL_VERSION
+from repro.runtime.metrics import METRICS_SCHEMA_VERSION
+
+
+class GoldenVersionError(ValueError):
+    """A golden file was blessed under an incompatible schema version."""
+
+
+def goldens_dir() -> Path:
+    """The goldens directory (``REPRO_GOLDENS_DIR`` or ``<repo>/goldens``)."""
+    override = os.environ.get("REPRO_GOLDENS_DIR")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parents[3] / "goldens"
+
+
+def golden_path(engine: str, directory: Path | None = None) -> Path:
+    return (directory or goldens_dir()) / f"{engine}.json"
+
+
+def list_blessed(directory: Path | None = None) -> list[str]:
+    """Engines that have a blessed golden file, sorted."""
+    directory = directory or goldens_dir()
+    if not directory.is_dir():
+        return []
+    return sorted(path.stem for path in directory.glob("*.json"))
+
+
+def write_golden(
+    engine: str,
+    entries: dict[str, dict[str, object]],
+    directory: Path | None = None,
+) -> Path:
+    """Bless ``entries`` as the golden file for ``engine``."""
+    path = golden_path(engine, directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema_version": METRICS_SCHEMA_VERSION,
+        "cost_model_version": COST_MODEL_VERSION,
+        "engine": engine,
+        "cost_models": {
+            name: model.signature() for name, model in COST_MODELS.items()
+        },
+        "entries": entries,
+    }
+    dump_json(payload, path)
+    return path
+
+
+def read_golden(
+    engine: str, directory: Path | None = None
+) -> dict[str, dict[str, object]] | None:
+    """Blessed entries for ``engine``, or None when never blessed.
+
+    Raises :class:`GoldenVersionError` on a schema or cost-model version
+    mismatch — those goldens need re-blessing, not comparing.
+    """
+    path = golden_path(engine, directory)
+    if not path.exists():
+        return None
+    payload = load_json(path)
+    for field, current in (
+        ("schema_version", METRICS_SCHEMA_VERSION),
+        ("cost_model_version", COST_MODEL_VERSION),
+    ):
+        blessed = payload.get(field)
+        if blessed != current:
+            raise GoldenVersionError(
+                f"{path} was blessed under {field}={blessed}, the code is "
+                f"at {current}; re-bless with `python -m repro.regress "
+                f"bless` after auditing the change"
+            )
+    return payload["entries"]

@@ -1,0 +1,179 @@
+"""The cross-engine differential oracle.
+
+Every parallel engine must produce the *same* coreness array as the
+sequential Batagelj–Zaversnik baseline (which the test suite separately
+validates against an independent reference peeling and networkx).  The
+oracle runs each exact engine on each graph, compares arrays, and on a
+mismatch minimizes the witness graph with :mod:`repro.regress.reduce` and
+dumps a replayable reproducer.  The approximate engine is checked against
+its stated (1 + eps) guarantee instead of equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.core.sequential import bz_core
+from repro.generators import suite
+from repro.graphs.csr import CSRGraph
+from repro.regress.matrix import ENGINES, Runner
+from repro.regress.reduce import dump_reproducer, minimize_graph
+from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
+
+#: Engines whose output must equal BZ exactly (everything but the
+#: approximate engine and BZ itself, which is the oracle).
+EXACT_ENGINES: dict[str, Runner] = {
+    name: runner
+    for name, runner in ENGINES.items()
+    if name not in ("bz", "approx")
+}
+
+
+@dataclass
+class OracleFinding:
+    """One engine disagreeing with the sequential oracle on one graph."""
+
+    engine: str
+    graph_name: str
+    mismatched_vertices: int
+    first_mismatches: list[int]
+    reproducer: CSRGraph | None = None
+    reproducer_path: Path | None = None
+
+    def __str__(self) -> str:
+        where = (
+            f", reproducer n={self.reproducer.n} at {self.reproducer_path}"
+            if self.reproducer is not None
+            else ""
+        )
+        return (
+            f"MISMATCH {self.engine} on {self.graph_name}: "
+            f"{self.mismatched_vertices} vertices disagree with BZ "
+            f"(first: {self.first_mismatches}){where}"
+        )
+
+
+def engine_coreness(
+    runner: Runner, graph: CSRGraph, model: CostModel = DEFAULT_COST_MODEL
+) -> np.ndarray:
+    return runner(graph, model).coreness
+
+
+def check_exact(
+    engine: str,
+    graph: CSRGraph,
+    model: CostModel = DEFAULT_COST_MODEL,
+    runner: Runner | None = None,
+) -> np.ndarray:
+    """Vertices where ``engine`` disagrees with BZ (empty == agreement)."""
+    runner = runner if runner is not None else EXACT_ENGINES[engine]
+    expected = bz_core(graph, model).coreness
+    got = engine_coreness(runner, graph, model)
+    return np.nonzero(expected != got)[0]
+
+
+def check_approximate(
+    graph: CSRGraph,
+    eps: float,
+    estimate: np.ndarray,
+    exact: np.ndarray | None = None,
+) -> np.ndarray:
+    """Vertices violating the (1 + eps) guarantee (empty == all hold).
+
+    The contract (see :mod:`repro.core.approximate`): estimates vanish
+    exactly on coreness-0 vertices, and elsewhere
+    ``kappa(v) <= estimate(v) < (1 + eps) * kappa(v)``.
+    """
+    if exact is None:
+        exact = bz_core(graph).coreness
+    estimate = np.asarray(estimate)
+    ok = np.where(
+        exact == 0,
+        estimate == 0,
+        (estimate >= exact) & (estimate < (1.0 + eps) * exact + 1e-9),
+    )
+    return np.nonzero(~ok)[0]
+
+
+def minimize_mismatch(
+    runner: Runner,
+    graph: CSRGraph,
+    model: CostModel = DEFAULT_COST_MODEL,
+    budget: int | None = None,
+) -> CSRGraph:
+    """ddmin the witness graph while the engine still disagrees with BZ."""
+    def failing(candidate: CSRGraph) -> bool:
+        expected = bz_core(candidate, model).coreness
+        return not np.array_equal(
+            expected, engine_coreness(runner, candidate, model)
+        )
+
+    kwargs = {} if budget is None else {"budget": budget}
+    return minimize_graph(graph, failing, **kwargs)
+
+
+def run_oracle(
+    graph_names: Iterable[str] | None = None,
+    engines: dict[str, Runner] | None = None,
+    model: CostModel = DEFAULT_COST_MODEL,
+    tiny: bool = True,
+    minimize: bool = True,
+    dump_dir: str | Path | None = None,
+    graphs: dict[str, CSRGraph] | None = None,
+) -> list[OracleFinding]:
+    """Confront every exact engine with BZ across a graph corpus.
+
+    Args:
+        graph_names: Suite names to sweep (default: the full suite).
+        engines: Engine roster (default: :data:`EXACT_ENGINES`).
+        model: Cost model for every run.
+        tiny: Use the tiny suite renditions (the default — the oracle is
+            about agreement, which tiny graphs already exercise).
+        minimize: Shrink each mismatch witness to a reproducer.
+        dump_dir: Where to write reproducer JSON dumps (None: no dumps).
+        graphs: Explicit ``name -> graph`` corpus overriding the suite.
+    """
+    engines = engines if engines is not None else EXACT_ENGINES
+    if graphs is None:
+        names = list(graph_names) if graph_names is not None else list(
+            suite.SUITE
+        )
+        graphs = {name: suite.load(name, tiny=tiny) for name in names}
+
+    findings: list[OracleFinding] = []
+    for name, graph in graphs.items():
+        expected = bz_core(graph, model).coreness
+        for engine, runner in engines.items():
+            got = engine_coreness(runner, graph, model)
+            bad = np.nonzero(expected != got)[0]
+            if bad.size == 0:
+                continue
+            finding = OracleFinding(
+                engine=engine,
+                graph_name=name,
+                mismatched_vertices=int(bad.size),
+                first_mismatches=bad[:10].tolist(),
+            )
+            if minimize:
+                finding.reproducer = minimize_mismatch(
+                    runner, graph, model
+                )
+            if dump_dir is not None:
+                witness = (
+                    finding.reproducer
+                    if finding.reproducer is not None
+                    else graph
+                )
+                finding.reproducer_path = dump_reproducer(
+                    witness,
+                    Path(dump_dir) / f"{engine}-{name}.json",
+                    engine=engine,
+                    expected=bz_core(witness, model).coreness,
+                    got=engine_coreness(runner, witness, model),
+                )
+            findings.append(finding)
+    return findings

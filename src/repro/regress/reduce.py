@@ -1,0 +1,125 @@
+"""Minimize a failure-inducing graph to a small reproducer (ddmin).
+
+When the differential oracle catches an engine disagreeing with the
+sequential BZ baseline on some generated graph, a thousand-vertex witness
+is useless for debugging.  :func:`minimize_graph` runs delta debugging
+(Zeller & Hildebrandt 2002) over the *vertex set*: repeatedly try keeping
+only a complement of a chunk of vertices, re-testing the failure predicate
+on the induced subgraph, until no single chunk at the finest granularity
+can be dropped.  The result is 1-minimal with respect to the chunk
+partition — in practice a handful of vertices.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis.export import dump_json
+from repro.graphs.csr import CSRGraph
+
+#: Default cap on predicate evaluations; minimization is best-effort and
+#: returns the smallest failing graph found when the budget runs out.
+DEFAULT_BUDGET = 400
+
+
+def minimize_graph(
+    graph: CSRGraph,
+    failing: Callable[[CSRGraph], bool],
+    budget: int = DEFAULT_BUDGET,
+) -> CSRGraph:
+    """Smallest induced subgraph of ``graph`` on which ``failing`` holds.
+
+    Args:
+        graph: A graph for which ``failing(graph)`` is True.
+        failing: Deterministic predicate ("the engine still disagrees").
+        budget: Maximum predicate evaluations to spend.
+
+    Returns:
+        An induced subgraph (vertices relabeled) still failing; ``graph``
+        itself when nothing could be removed.
+    """
+    if not failing(graph):
+        raise ValueError("minimize_graph needs an initially failing graph")
+
+    current = graph
+    keep = np.arange(graph.n, dtype=np.int64)
+    chunks = 2
+    spent = 1
+    while keep.size > 1 and spent < budget:
+        boundaries = np.linspace(0, keep.size, chunks + 1, dtype=np.int64)
+        removed_any = False
+        for i in range(chunks):
+            lo, hi = int(boundaries[i]), int(boundaries[i + 1])
+            if lo == hi:
+                continue
+            complement = np.concatenate([keep[:lo], keep[hi:]])
+            if complement.size == 0:
+                continue
+            candidate = graph.induced_subgraph(complement)
+            spent += 1
+            if failing(candidate):
+                keep = complement
+                current = candidate
+                chunks = max(chunks - 1, 2)
+                removed_any = True
+                break
+            if spent >= budget:
+                break
+        if not removed_any:
+            if chunks >= keep.size:
+                break  # 1-minimal at single-vertex granularity
+            chunks = min(keep.size, chunks * 2)
+    current.name = f"{graph.name or 'graph'}/reproducer"
+    return current
+
+
+def dump_reproducer(
+    graph: CSRGraph,
+    path: str | Path,
+    engine: str = "",
+    expected: np.ndarray | None = None,
+    got: np.ndarray | None = None,
+) -> Path:
+    """Write a self-contained JSON reproducer for a failing graph.
+
+    The dump carries the full (tiny) edge list plus the expected and
+    observed coreness arrays, so a failure can be replayed with nothing
+    but this file: rebuild via ``CSRGraph.from_edges(n, edges)`` and rerun
+    the named engine.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    src = np.repeat(
+        np.arange(graph.n, dtype=np.int64), graph.degrees
+    )
+    mask = src < graph.indices  # each undirected edge once
+    payload = {
+        "engine": engine,
+        "graph": graph.name,
+        "n": graph.n,
+        "m": graph.m,
+        "edges": np.stack(
+            [src[mask], graph.indices[mask]], axis=1
+        ).tolist(),
+        "expected_coreness": (
+            expected.tolist() if expected is not None else None
+        ),
+        "got_coreness": got.tolist() if got is not None else None,
+    }
+    dump_json(payload, path)
+    return path
+
+
+def load_reproducer(path: str | Path) -> tuple[CSRGraph, dict]:
+    """Rebuild the graph from a reproducer dump; returns (graph, payload)."""
+    from repro.analysis.export import load_json
+
+    payload = load_json(path)
+    edges = [tuple(edge) for edge in payload["edges"]]
+    graph = CSRGraph.from_edges(
+        payload["n"], edges, name=payload.get("graph", "reproducer")
+    )
+    return graph, payload

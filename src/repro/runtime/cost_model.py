@@ -21,6 +21,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+#: Version of the cost-model *semantics*: the set of constants and the way
+#: runtimes charge them.  The regression goldens embed this tag; bump it
+#: (and re-bless) whenever a constant is added/removed or its meaning —
+#: not merely its value — changes, so stale goldens fail loudly instead of
+#: silently comparing incompatible numbers.  See docs/COST_MODEL.md.
+COST_MODEL_VERSION = 1
+
 
 @dataclass(frozen=True)
 class CostModel:
@@ -90,6 +97,17 @@ class CostModel:
         if threads <= self.n_cores:
             return float(threads)
         return self.n_cores + self.hyper_factor * (threads - self.n_cores)
+
+    def signature(self) -> dict[str, float]:
+        """Every constant of the model as a plain dict.
+
+        Embedded in regression goldens so a drift report can say *which*
+        constant moved, and compared field-by-field before metrics are.
+        """
+        return {
+            name: getattr(self, name)
+            for name in sorted(self.__dataclass_fields__)
+        }
 
 
 #: Shared default model; algorithms use this unless a caller injects another.

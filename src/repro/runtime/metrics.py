@@ -20,6 +20,16 @@ from dataclasses import dataclass, field
 
 from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
 
+#: Version of the stable serialization produced by
+#: :meth:`RunMetrics.to_stable_dict`.  Bump whenever a metric is added,
+#: removed or redefined — the regression goldens embed this tag and refuse
+#: to compare across versions.
+METRICS_SCHEMA_VERSION = 1
+
+#: Thread counts at which :meth:`RunMetrics.to_stable_dict` reports
+#: simulated running times (sequential, small-scale, the paper's machine).
+STABLE_THREAD_COUNTS = (1, 4, 96)
+
 
 @dataclass
 class StepRecord:
@@ -134,6 +144,38 @@ class RunMetrics:
         self.restarts += other.restarts
         self.peak_frontier = max(self.peak_frontier, other.peak_frontier)
         self.local_search_hits += other.local_search_hits
+
+    def to_stable_dict(
+        self, model: CostModel = DEFAULT_COST_MODEL
+    ) -> dict[str, float]:
+        """The full ledger summary under a fixed, versioned schema.
+
+        This is the serialization the golden-metrics regression gate pins:
+        every aggregate counter plus the burdened span and the simulated
+        running times at :data:`STABLE_THREAD_COUNTS`, all evaluated under
+        ``model``.  The runtime is deterministic, so two identical runs
+        produce bit-identical dicts; keys are emitted in a fixed order and
+        values are plain ints/floats that round-trip exactly through JSON.
+        """
+        out: dict[str, float] = {
+            "work": float(self.work),
+            "span": float(self.span),
+            "burdened_span": float(self.burdened_span_under(model)),
+            "barriers": int(self.barriers),
+            "rounds": int(self.rounds),
+            "subrounds": int(self.subrounds),
+            "atomics": int(self.atomics),
+            "max_contention": int(self.max_contention),
+            "sampled_vertices": int(self.sampled_vertices),
+            "resamples": int(self.resamples),
+            "restarts": int(self.restarts),
+            "peak_frontier": int(self.peak_frontier),
+            "local_search_hits": int(self.local_search_hits),
+            "steps": len(self.steps),
+        }
+        for threads in STABLE_THREAD_COUNTS:
+            out[f"time_p{threads}"] = float(self.time_on(threads, model))
+        return out
 
     def summary(self) -> dict[str, float]:
         """Aggregate counters as a plain dict (for tables and JSON dumps)."""

@@ -1,0 +1,37 @@
+"""Smoke test: every benchmark entry point runs in tiny-suite mode.
+
+Each ``benchmarks/bench_*.py`` has a ``__main__`` block that renders its
+paper table/figure to stdout.  Running them under ``REPRO_SUITE_TINY=1``
+(scaled-down generator suite, shared across cases through the suite's
+graph cache) keeps the whole sweep in seconds while still executing every
+sweep function end to end — so a bench that bit-rots against an API
+change fails here, in tier 1, not at the next full benchmark run.
+"""
+
+from __future__ import annotations
+
+import io
+import runpy
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parents[1] / "benchmarks"
+BENCHES = sorted(BENCH_DIR.glob("bench_*.py"))
+
+
+def test_discovers_all_benches():
+    assert len(BENCHES) >= 22
+
+
+@pytest.mark.parametrize(
+    "path", BENCHES, ids=lambda path: path.stem
+)
+def test_bench_main_runs_tiny(path, monkeypatch):
+    monkeypatch.setenv("REPRO_SUITE_TINY", "1")
+    out = io.StringIO()
+    with redirect_stdout(out):
+        runpy.run_path(str(path), run_name="__main__")
+    # Every bench renders at least one non-empty table/series line.
+    assert out.getvalue().strip(), f"{path.stem} printed nothing"

@@ -1,0 +1,220 @@
+"""The golden-metrics regression gate: matrix, store, comparators.
+
+The heart of this file is ``test_blessed_goldens_are_current``: it reruns
+the full pinned matrix and requires bit-exact agreement with the JSON
+files committed under ``goldens/``.  Any change to an algorithm or a cost
+constant that moves a number must come with a re-bless (and the diff
+review that implies).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.regress import (
+    CASES,
+    COST_MODELS,
+    ENGINES,
+    GRAPH_BUILDERS,
+    GoldenVersionError,
+    diff_run,
+    read_golden,
+    render_drift_json,
+    render_drift_text,
+    run_case,
+    run_matrix,
+    select_cases,
+    write_golden,
+)
+from repro.regress.compare import diff_entries
+from repro.regress.matrix import coreness_fingerprint, load_graph
+from repro.runtime.cost_model import CostModelOverrides
+from repro.runtime.metrics import (
+    METRICS_SCHEMA_VERSION,
+    STABLE_THREAD_COUNTS,
+    RunMetrics,
+)
+
+
+@pytest.fixture(scope="module")
+def fresh_matrix():
+    """One full matrix run shared by every test in this file."""
+    return run_matrix()
+
+
+class TestMatrix:
+    def test_matrix_covers_every_engine_and_graph(self):
+        assert {case.engine for case in CASES} == set(ENGINES)
+        assert {case.graph for case in CASES} >= set(GRAPH_BUILDERS)
+
+    def test_case_ids_unique(self):
+        ids = [case.case_id for case in CASES]
+        assert len(ids) == len(set(ids))
+
+    def test_select_cases_filters(self):
+        subset = select_cases("grid-24")
+        assert subset and all("grid-24" in c.case_id for c in subset)
+        assert select_cases(None) == list(CASES)
+
+    def test_matrix_is_deterministic(self, fresh_matrix):
+        again = run_matrix()
+        assert again == fresh_matrix
+
+    def test_payload_round_trips_through_json(self, fresh_matrix):
+        # Exact float round-trip is what lets goldens be compared with ==.
+        assert json.loads(json.dumps(fresh_matrix)) == fresh_matrix
+
+    def test_stable_dict_schema(self):
+        metrics = RunMetrics()
+        stable = metrics.to_stable_dict()
+        for threads in STABLE_THREAD_COUNTS:
+            assert f"time_p{threads}" in stable
+        for key in ("work", "span", "burdened_span", "subrounds"):
+            assert key in stable
+        assert METRICS_SCHEMA_VERSION == 1
+
+    def test_coreness_fingerprint_discriminates(self):
+        import numpy as np
+
+        a = np.array([1, 2, 3], dtype=np.int64)
+        b = np.array([1, 3, 2], dtype=np.int64)
+        fa, fb = coreness_fingerprint(a), coreness_fingerprint(b)
+        assert fa == coreness_fingerprint(a.copy())
+        assert fa["sha256"] != fb["sha256"]
+        assert fa["sum"] == fb["sum"] == 6
+
+    def test_load_graph_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown regression graph"):
+            load_graph("nope")
+
+
+class TestBlessedGoldens:
+    def test_blessed_goldens_are_current(self, fresh_matrix):
+        """The committed goldens/ files match a fresh matrix run exactly."""
+        blessed = {engine: read_golden(engine) for engine in fresh_matrix}
+        report = diff_run(blessed, fresh_matrix)
+        assert report.clean, "\n" + render_drift_text(report)
+        assert report.cases_checked == len(CASES)
+
+
+class TestGoldenStore:
+    def test_round_trip(self, tmp_path, fresh_matrix):
+        engine = "bz"
+        path = write_golden(engine, fresh_matrix[engine], tmp_path)
+        assert path.parent == tmp_path
+        assert read_golden(engine, tmp_path) == fresh_matrix[engine]
+
+    def test_missing_golden_is_none(self, tmp_path):
+        assert read_golden("bz", tmp_path) is None
+
+    def test_version_mismatch_raises(self, tmp_path, fresh_matrix):
+        path = write_golden("bz", fresh_matrix["bz"], tmp_path)
+        payload = json.loads(path.read_text())
+        payload["schema_version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(GoldenVersionError, match="schema_version=999"):
+            read_golden("bz", tmp_path)
+
+    def test_golden_header_records_cost_models(self, tmp_path, fresh_matrix):
+        path = write_golden("bz", fresh_matrix["bz"], tmp_path)
+        payload = json.loads(path.read_text())
+        assert set(payload["cost_models"]) == set(COST_MODELS)
+        assert payload["cost_models"]["default"]["omega"] == 15_000.0
+
+
+class TestDriftDetection:
+    def test_perturbed_omega_drifts_burdened_span(self, monkeypatch):
+        """The acceptance-criteria scenario: changing omega must drift."""
+        from repro.regress import matrix as matrix_mod
+
+        case = next(
+            c for c in CASES
+            if c.case_id == "julienne/grid-24/default"
+        )
+        before = {case.entry_key: run_case(case)}
+        monkeypatch.setitem(
+            matrix_mod.COST_MODELS,
+            "default",
+            CostModelOverrides().with_fields(omega=14_000.0),
+        )
+        after = {case.entry_key: run_case(case)}
+        drifts = diff_entries("julienne", before, after)
+        moved = {d.metric for d in drifts}
+        assert "metrics.burdened_span" in moved
+        span_drift = next(
+            d for d in drifts if d.metric == "metrics.burdened_span"
+        )
+        assert span_drift.new < span_drift.old
+        assert span_drift.pct is not None and span_drift.pct < 0
+
+    def test_perturbed_peel_charge_drifts_work(self, monkeypatch):
+        from repro.regress import matrix as matrix_mod
+
+        case = next(
+            c for c in CASES if c.case_id == "ours-plain/er-300/default"
+        )
+        before = {case.entry_key: run_case(case)}
+        monkeypatch.setitem(
+            matrix_mod.COST_MODELS,
+            "default",
+            CostModelOverrides().with_fields(edge_op=2.0),
+        )
+        after = {case.entry_key: run_case(case)}
+        moved = {
+            d.metric for d in diff_entries("ours-plain", before, after)
+        }
+        assert "metrics.work" in moved
+        assert "metrics.time_p1" in moved
+
+    def test_unblessed_and_stale_engines(self, fresh_matrix):
+        fresh = {"bz": fresh_matrix["bz"]}
+        report = diff_run({"bz": None, "ghost": {"x": {}}}, fresh)
+        assert report.unblessed == ["bz"]
+        assert report.stale == ["ghost"]
+        assert not report.clean
+
+    def test_filtered_run_skips_stale(self, fresh_matrix):
+        fresh = {"bz": fresh_matrix["bz"]}
+        report = diff_run(
+            {"bz": fresh_matrix["bz"], "ghost": {"x": {}}},
+            fresh,
+            filtered=True,
+        )
+        assert report.clean
+
+    def test_vanished_case_is_a_drift(self, fresh_matrix):
+        entries = dict(fresh_matrix["bz"])
+        key, removed = next(iter(entries.items()))
+        del entries[key]
+        drifts = diff_entries("bz", fresh_matrix["bz"], entries)
+        assert drifts and all(d.new is None for d in drifts)
+
+
+class TestReporters:
+    def test_text_report_shows_old_new_and_pct(self, fresh_matrix):
+        blessed = {engine: read_golden(engine) for engine in fresh_matrix}
+        # Fabricate one drift on top of the clean comparison.
+        import copy
+
+        mutated = copy.deepcopy(fresh_matrix)
+        entry = next(iter(mutated["bz"].values()))
+        entry["metrics"]["work"] = entry["metrics"]["work"] * 2
+        report = diff_run(blessed, mutated)
+        text = render_drift_text(report)
+        assert "DRIFT bz/" in text
+        assert "metrics.work" in text and "->" in text and "%" in text
+
+    def test_clean_report_says_ok(self, fresh_matrix):
+        blessed = {engine: read_golden(engine) for engine in fresh_matrix}
+        text = render_drift_text(diff_run(blessed, fresh_matrix))
+        assert text.startswith("OK:")
+
+    def test_json_report_parses(self, fresh_matrix):
+        blessed = {engine: read_golden(engine) for engine in fresh_matrix}
+        payload = json.loads(
+            render_drift_json(diff_run(blessed, fresh_matrix))
+        )
+        assert payload["clean"] is True
+        assert payload["cases_checked"] == len(CASES)

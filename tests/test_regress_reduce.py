@@ -1,0 +1,95 @@
+"""The ddmin graph reducer and reproducer dumps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators import complete_graph, erdos_renyi, path_graph
+from repro.graphs.csr import CSRGraph
+from repro.graphs.transform import disjoint_union
+from repro.regress import dump_reproducer, load_reproducer, minimize_graph
+
+
+def _has_triangle(graph: CSRGraph) -> bool:
+    for v in range(graph.n):
+        nbrs = graph.neighbors(v)
+        marks = set(nbrs.tolist())
+        for u in nbrs:
+            if u > v:
+                if any(w in marks for w in graph.neighbors(u) if w > u):
+                    return True
+    return False
+
+
+class TestMinimizeGraph:
+    def test_shrinks_to_the_triangle(self):
+        # One triangle buried in 60 vertices of chaff.
+        graph = disjoint_union(complete_graph(3), path_graph(60))
+        assert _has_triangle(graph)
+        small = minimize_graph(graph, _has_triangle)
+        assert small.n == 3
+        assert _has_triangle(small)
+
+    def test_requires_initially_failing(self):
+        with pytest.raises(ValueError, match="initially failing"):
+            minimize_graph(path_graph(10), _has_triangle)
+
+    def test_result_always_fails(self):
+        graph = erdos_renyi(120, 8.0, seed=5)
+        assert _has_triangle(graph)
+        small = minimize_graph(graph, _has_triangle)
+        assert _has_triangle(small)
+        assert small.n <= graph.n
+
+    def test_budget_caps_predicate_calls(self):
+        calls = []
+
+        def counting(graph: CSRGraph) -> bool:
+            calls.append(graph.n)
+            return _has_triangle(graph)
+
+        graph = erdos_renyi(150, 8.0, seed=6)
+        minimize_graph(graph, counting, budget=25)
+        assert len(calls) <= 26
+
+    def test_names_the_reproducer(self):
+        graph = disjoint_union(complete_graph(3), path_graph(5))
+        graph.name = "witness"
+        small = minimize_graph(graph, _has_triangle)
+        assert small.name == "witness/reproducer"
+
+
+class TestReproducerDump:
+    def test_round_trip(self, tmp_path):
+        graph = erdos_renyi(40, 4.0, seed=9)
+        graph.name = "er-40"
+        expected = np.arange(graph.n, dtype=np.int64)
+        got = expected + 1
+        path = dump_reproducer(
+            graph,
+            tmp_path / "repro.json",
+            engine="fake",
+            expected=expected,
+            got=got,
+        )
+        rebuilt, payload = load_reproducer(path)
+        assert rebuilt.n == graph.n
+        assert rebuilt.m == graph.m
+        assert np.array_equal(rebuilt.degrees, graph.degrees)
+        assert payload["engine"] == "fake"
+        assert payload["expected_coreness"] == expected.tolist()
+        assert payload["got_coreness"] == got.tolist()
+
+    def test_dump_without_arrays(self, tmp_path):
+        graph = path_graph(5)
+        path = dump_reproducer(graph, tmp_path / "bare.json")
+        rebuilt, payload = load_reproducer(path)
+        assert rebuilt.n == 5
+        assert payload["expected_coreness"] is None
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = dump_reproducer(
+            path_graph(4), tmp_path / "deep" / "nested" / "r.json"
+        )
+        assert path.exists()

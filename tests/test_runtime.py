@@ -119,26 +119,30 @@ class TestRunMetrics:
 
 
 class TestSimRuntime:
+    # These tests exercise the raw charging API with hand-picked literal
+    # costs and no tags on purpose: the assertions below pin down the
+    # exact work/span arithmetic, independent of any CostModel field.
+
     def test_parallel_for_scalar(self):
         rt = SimRuntime()
-        rt.parallel_for(2.0, count=10)
+        rt.parallel_for(2.0, count=10)  # lint: disable=R002,R005
         assert rt.metrics.work == 20.0
         assert rt.metrics.span == 2.0
 
     def test_parallel_for_array(self):
         rt = SimRuntime()
-        rt.parallel_for(np.array([1.0, 5.0, 2.0]))
+        rt.parallel_for(np.array([1.0, 5.0, 2.0]))  # lint: disable=R002,R005
         assert rt.metrics.work == 8.0
         assert rt.metrics.span == 5.0
 
     def test_parallel_for_scalar_requires_count(self):
         with pytest.raises(ValueError):
-            SimRuntime().parallel_for(2.0)
+            SimRuntime().parallel_for(2.0)  # lint: disable=R002,R005
 
     def test_parallel_update_contention(self):
         rt = SimRuntime()
         counts = np.array([3, 1, 1])
-        rt.parallel_update(0.0, counts, count=5)
+        rt.parallel_update(0.0, counts, count=5)  # lint: disable=R002
         model = rt.model
         assert rt.metrics.work == 5 * model.atomic_op
         assert rt.metrics.span == 3 * model.contended_atomic_op
@@ -147,24 +151,24 @@ class TestSimRuntime:
 
     def test_sequential_charge(self):
         rt = SimRuntime()
-        rt.sequential(7.0)
+        rt.sequential(7.0)  # lint: disable=R002,R005
         assert rt.metrics.work == 7.0
         assert rt.metrics.barriers == 0
 
     def test_sequential_zero_is_noop(self):
         rt = SimRuntime()
-        rt.sequential(0.0)
+        rt.sequential(0.0)  # lint: disable=R002
         assert len(rt.metrics.steps) == 0
 
     def test_imbalanced_step(self):
         rt = SimRuntime()
-        rt.imbalanced_step([10.0, 90.0, 20.0])
+        rt.imbalanced_step([10.0, 90.0, 20.0])  # lint: disable=R002,R005
         assert rt.metrics.work == 120.0
         assert rt.metrics.span == 90.0
 
     def test_barrier_only(self):
         rt = SimRuntime()
-        rt.barrier_only(3)
+        rt.barrier_only(3)  # lint: disable=R002
         assert rt.metrics.barriers == 3
         assert rt.metrics.work == 0.0
 
