@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench examples clean loc regress regress-bless oracle
+.PHONY: install test lint bench bench-figures examples clean loc regress regress-bless oracle
 
 install:
 	$(PYTHON) setup.py develop
@@ -23,6 +23,9 @@ oracle:
 	PYTHONPATH=src $(PYTHON) -m repro.regress oracle
 
 bench:
+	PYTHONPATH=src $(PYTHON) -m repro.bench
+
+bench-figures:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 examples:

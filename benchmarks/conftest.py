@@ -4,6 +4,13 @@ Benchmarks regenerate the paper's tables and figures.  Heavyweight runs
 are shared through a session-scoped :class:`ExperimentCache`, and every
 bench both prints its paper-shaped output and appends it to
 ``benchmark_results/`` so EXPERIMENTS.md can be refreshed from one run.
+
+Benchmark sessions default to the :mod:`repro.bench` disk cache
+(``REPRO_BENCH_CACHE``), so a re-run after an interrupted sweep — or
+after ``make bench`` populated the cache — skips completed runs.  The
+cache key pins the cost-model signature, size mode and metrics schema,
+so stale hits are impossible; set ``REPRO_BENCH_CACHE=`` (empty) to
+force recomputation.
 """
 
 from __future__ import annotations
@@ -11,6 +18,10 @@ from __future__ import annotations
 import os
 
 import pytest
+
+# Opt benchmark sessions into the disk cache unless the caller already
+# decided (must happen before ExperimentCache instances are built).
+os.environ.setdefault("REPRO_BENCH_CACHE", "1")
 
 from repro.analysis import ExperimentCache
 

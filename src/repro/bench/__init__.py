@@ -1,0 +1,45 @@
+"""Process-parallel benchmark matrix with cached, wall-clock-timed runs.
+
+``repro.bench`` is the orchestration half of the performance layer
+(:mod:`repro.perf` is the kernel half).  It fans the benchmark matrix —
+(engine x suite graph), full-size or tiny — over a process pool, caches
+every cell's *simulated* result payload on disk, and records the *host*
+wall-clock cost of producing it:
+
+* :mod:`repro.bench.runner` — the matrix, the pool fan-out, the report;
+* :mod:`repro.bench.cache` — content-keyed JSON disk cache (the key pins
+  engine, graph, size, cost-model signature and metrics schema, so a
+  stale hit is structurally impossible);
+* :mod:`repro.bench.wallclock` — the one sanctioned wall-clock reader
+  (everything else in ``src/`` is banned from wall clocks by lint R003);
+* ``python -m repro.bench`` — the CLI that writes
+  ``BENCH_wallclock.json``.
+
+The cached payloads are the regression gate's ``run_case`` shape (graph
+size, coreness fingerprint, stable metrics dict), so a cache cell is
+byte-comparable against the goldens and against a fresh run.
+"""
+
+from repro.bench.cache import DiskCache, cache_key
+from repro.bench.runner import (
+    BENCH_SCHEMA_VERSION,
+    BenchCell,
+    compare_kernels,
+    default_matrix,
+    execute,
+    run_cell,
+)
+from repro.bench.wallclock import WallSample, measure
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchCell",
+    "DiskCache",
+    "WallSample",
+    "cache_key",
+    "compare_kernels",
+    "default_matrix",
+    "execute",
+    "measure",
+    "run_cell",
+]

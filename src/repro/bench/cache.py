@@ -1,0 +1,71 @@
+"""Content-keyed JSON disk cache for benchmark cells and run records.
+
+A cache entry's key is the sha256 of a canonical JSON encoding of every
+input that determines the payload — engine, graph, size mode, the full
+cost-model signature, the metrics schema version.  Nothing is ever
+invalidated by time or version heuristics: change any determining input
+and the key changes, so stale hits are structurally impossible and the
+cache directory never needs manual flushing (though deleting it is
+always safe).
+
+Writes go through a temp file + ``os.replace`` so concurrent pool
+workers can race on the same key without ever exposing a torn file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+#: Environment variable overriding the cache directory.
+CACHE_DIR_ENV = "REPRO_BENCH_CACHE_DIR"
+
+#: Default cache directory (relative to the invoking process's cwd).
+DEFAULT_CACHE_DIR = ".bench_cache"
+
+
+def cache_key(fields: dict[str, object]) -> str:
+    """Deterministic key for a dict of determining inputs."""
+    canonical = json.dumps(
+        fields, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+    return hashlib.sha256(canonical.encode("ascii")).hexdigest()[:32]
+
+
+class DiskCache:
+    """A flat directory of ``<key>.json`` payloads."""
+
+    def __init__(self, root: str | os.PathLike[str] | None = None) -> None:
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+        self.root = Path(root)
+
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, object] | None:
+        """The cached payload for ``key``, or None (missing or corrupt)."""
+        path = self.path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def put(self, key: str, payload: dict[str, object]) -> Path:
+        """Atomically persist ``payload`` under ``key``."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True, indent=1)
+            handle.write("\n")
+        os.replace(tmp, path)
+        return path
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))

@@ -1,0 +1,140 @@
+"""``python -m repro.bench`` — run the matrix, write BENCH_wallclock.json.
+
+Typical invocations::
+
+    python -m repro.bench                     # full matrix, pool fan-out
+    python -m repro.bench --tiny              # smoke-sized matrix
+    python -m repro.bench --tiny --assert-all-hits   # warm-cache check
+    python -m repro.bench --compare-kernels   # cold kernel A/B evidence
+
+The report is written to ``--output`` (default ``BENCH_wallclock.json``)
+and a one-line-per-engine summary is printed to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.bench.cache import DiskCache
+from repro.bench.runner import compare_kernels, default_matrix, execute
+from repro.perf import REFERENCE, VECTORIZED
+
+DEFAULT_OUTPUT = "BENCH_wallclock.json"
+
+
+def _csv(value: str) -> list[str]:
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Cached, wall-clock-instrumented benchmark matrix.",
+    )
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="run the tiny renditions of every suite graph",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=os.cpu_count() or 1,
+        help="process-pool width for cache misses (default: CPU count)",
+    )
+    parser.add_argument(
+        "--engines",
+        type=_csv,
+        default=None,
+        help="comma-separated engine subset (default: all)",
+    )
+    parser.add_argument(
+        "--graphs",
+        type=_csv,
+        default=None,
+        help="comma-separated suite-graph subset (default: all)",
+    )
+    parser.add_argument(
+        "--kernels",
+        choices=(VECTORIZED, REFERENCE),
+        default=None,
+        help="kernel mode for the matrix (default: REPRO_KERNELS)",
+    )
+    parser.add_argument(
+        "--refresh",
+        action="store_true",
+        help="ignore cached payloads and re-run every cell",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default: REPRO_BENCH_CACHE_DIR or "
+        ".bench_cache)",
+    )
+    parser.add_argument(
+        "--output",
+        default=DEFAULT_OUTPUT,
+        help=f"report path (default: {DEFAULT_OUTPUT}); '-' for stdout only",
+    )
+    parser.add_argument(
+        "--assert-all-hits",
+        action="store_true",
+        help="exit non-zero unless every cell was a cache hit",
+    )
+    parser.add_argument(
+        "--compare-kernels",
+        action="store_true",
+        help="also run the cold reference-vs-vectorized A/B on 'ours'",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    cache = DiskCache(args.cache_dir)
+    cells = default_matrix(
+        engines=args.engines,
+        graphs=args.graphs,
+        tiny=args.tiny,
+        kernels=args.kernels,
+    )
+    report = execute(
+        cells, jobs=args.jobs, cache=cache, refresh=args.refresh
+    )
+    if args.compare_kernels:
+        report["kernel_comparison"] = compare_kernels(
+            graphs=args.graphs, tiny=args.tiny
+        )
+
+    summary = report["summary"]
+    print(
+        f"bench: {summary['cells']} cells, {summary['hits']} hits, "
+        f"{summary['misses']} misses, "
+        f"{summary['measured_wall_s']:.2f}s measured"
+    )
+    for engine, wall in summary["by_engine_wall_s"].items():
+        print(f"  {engine:12s} {wall:8.2f}s")
+    if "kernel_comparison" in report:
+        comp = report["kernel_comparison"]
+        print(
+            f"kernels: reference {comp['reference_wall_s']:.2f}s vs "
+            f"vectorized {comp['vectorized_wall_s']:.2f}s -> "
+            f"{comp['speedup']:.2f}x"
+        )
+
+    if args.output != "-":
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+
+    if args.assert_all_hits and summary["misses"]:
+        print(
+            f"error: expected all hits, got {summary['misses']} misses",
+            file=sys.stderr,
+        )
+        return 1
+    return 0

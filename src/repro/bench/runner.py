@@ -1,0 +1,232 @@
+"""The benchmark matrix runner: pool fan-out, disk cache, wall report.
+
+A *cell* is one ``(engine, graph)`` pair at one size (full or tiny)
+under one kernel mode.  :func:`execute` resolves every cell against the
+disk cache, fans the misses over a ``ProcessPoolExecutor``, and returns
+a report with one entry per cell: the simulated payload (regression
+``run_case`` shape) plus the host wall-clock and peak-RSS cost and the
+cache disposition.
+
+The cache key deliberately includes the kernel mode even though both
+kernel implementations produce bit-identical payloads (the regression
+gate enforces that): the *wall* numbers attached to a cell are only
+meaningful for the mode that produced them.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.bench.cache import DiskCache, cache_key
+from repro.bench.wallclock import measure
+from repro.generators import suite
+from repro.perf import KERNELS_ENV, kernel_mode, REFERENCE, VECTORIZED
+from repro.regress.matrix import ENGINES, coreness_fingerprint
+from repro.runtime.cost_model import DEFAULT_COST_MODEL
+from repro.runtime.metrics import METRICS_SCHEMA_VERSION
+
+#: Schema of the BENCH_wallclock.json report.
+BENCH_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BenchCell:
+    """One benchmark matrix cell."""
+
+    engine: str
+    graph: str
+    tiny: bool = False
+    kernels: str = VECTORIZED
+
+    def key_fields(self) -> dict[str, object]:
+        """Every input that determines this cell's payload and timing."""
+        return {
+            "kind": "bench_cell",
+            "engine": self.engine,
+            "graph": self.graph,
+            "tiny": self.tiny,
+            "kernels": self.kernels,
+            "model": DEFAULT_COST_MODEL.signature(),
+            "metrics_schema": METRICS_SCHEMA_VERSION,
+        }
+
+    def key(self) -> str:
+        return cache_key(self.key_fields())
+
+    @property
+    def label(self) -> str:
+        size = "tiny" if self.tiny else "full"
+        return f"{self.engine}/{self.graph}/{size}/{self.kernels}"
+
+
+def default_matrix(
+    engines: list[str] | None = None,
+    graphs: list[str] | None = None,
+    tiny: bool = False,
+    kernels: str | None = None,
+) -> list[BenchCell]:
+    """The benchmark matrix: every engine on every suite graph."""
+    engines = list(engines) if engines else list(ENGINES)
+    graphs = list(graphs) if graphs else list(suite.SUITE)
+    for engine in engines:
+        if engine not in ENGINES:
+            known = ", ".join(ENGINES)
+            raise KeyError(f"unknown engine {engine!r}; known: {known}")
+    for graph in graphs:
+        if graph not in suite.SUITE:
+            known = ", ".join(suite.SUITE)
+            raise KeyError(f"unknown suite graph {graph!r}; known: {known}")
+    if kernels is None:
+        kernels = kernel_mode()
+    return [
+        BenchCell(engine, graph, tiny=tiny, kernels=kernels)
+        for engine in engines
+        for graph in graphs
+    ]
+
+
+def run_cell(cell: BenchCell) -> dict[str, object]:
+    """Execute one cell in this process and return its payload.
+
+    The payload mirrors the regression gate's ``run_case`` entries
+    (graph size, coreness fingerprint, stable metrics dict) plus the
+    wall-clock sample of the decomposition itself (graph construction
+    is deliberately outside the timed region).
+    """
+    previous = os.environ.get(KERNELS_ENV)
+    os.environ[KERNELS_ENV] = cell.kernels
+    try:
+        graph = suite.load(cell.graph, tiny=cell.tiny)
+        with measure() as wall:
+            result = ENGINES[cell.engine](graph, DEFAULT_COST_MODEL)
+    finally:
+        if previous is None:
+            os.environ.pop(KERNELS_ENV, None)
+        else:
+            os.environ[KERNELS_ENV] = previous
+    return {
+        "graph": {"n": graph.n, "m": graph.m},
+        "coreness": coreness_fingerprint(result.coreness),
+        "metrics": result.metrics.to_stable_dict(DEFAULT_COST_MODEL),
+        "wall": wall.to_dict(),
+    }
+
+
+def execute(
+    cells: list[BenchCell],
+    jobs: int | None = None,
+    cache: DiskCache | None = None,
+    refresh: bool = False,
+) -> dict[str, object]:
+    """Resolve every cell (cache or fresh run) and build the report.
+
+    Cache misses run in a process pool of ``jobs`` workers (``None`` or
+    ``<= 1`` runs them inline).  Fresh payloads are written back to the
+    cache, so an immediately repeated invocation is 100% hits.
+    """
+    cache = cache if cache is not None else DiskCache()
+    resolved: dict[BenchCell, tuple[str, dict[str, object]]] = {}
+    pending: list[BenchCell] = []
+    for cell in cells:
+        payload = None if refresh else cache.get(cell.key())
+        if payload is not None:
+            resolved[cell] = ("hit", payload)
+        else:
+            pending.append(cell)
+
+    if pending:
+        if jobs is not None and jobs > 1:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                fresh = list(pool.map(run_cell, pending))
+        else:
+            fresh = [run_cell(cell) for cell in pending]
+        for cell, payload in zip(pending, fresh):
+            cache.put(cell.key(), payload)
+            resolved[cell] = ("miss", payload)
+
+    report_cells = []
+    measured_wall = 0.0
+    by_engine: dict[str, float] = {}
+    hits = 0
+    for cell in cells:
+        disposition, payload = resolved[cell]
+        wall = payload.get("wall", {})
+        wall_s = float(wall.get("wall_s", 0.0))
+        if disposition == "miss":
+            measured_wall += wall_s
+            by_engine[cell.engine] = by_engine.get(cell.engine, 0.0) + wall_s
+        else:
+            hits += 1
+        report_cells.append(
+            {
+                "engine": cell.engine,
+                "graph": cell.graph,
+                "tiny": cell.tiny,
+                "kernels": cell.kernels,
+                "cache": disposition,
+                "key": cell.key(),
+                "wall_s": wall_s,
+                "max_rss_kb": int(wall.get("max_rss_kb", 0)),
+                "n": payload["graph"]["n"],
+                "m": payload["graph"]["m"],
+                "coreness_sha256": payload["coreness"]["sha256"],
+            }
+        )
+
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "metrics_schema_version": METRICS_SCHEMA_VERSION,
+        "model_signature": DEFAULT_COST_MODEL.signature(),
+        "cells": report_cells,
+        "summary": {
+            "cells": len(cells),
+            "hits": hits,
+            "misses": len(cells) - hits,
+            "measured_wall_s": round(measured_wall, 6),
+            "by_engine_wall_s": {
+                engine: round(total, 6)
+                for engine, total in sorted(by_engine.items())
+            },
+        },
+    }
+
+
+def compare_kernels(
+    graphs: list[str] | None = None,
+    tiny: bool = False,
+    engine: str = "ours",
+) -> dict[str, object]:
+    """Cold A/B of the two kernel modes on one engine over the suite.
+
+    Runs every graph under the reference loop, then under the vectorized
+    kernels, both uncached, and reports the aggregate wall-clock speedup
+    — the evidence figure behind the perf layer.
+    """
+    graphs = list(graphs) if graphs else list(suite.SUITE)
+    totals: dict[str, float] = {}
+    per_graph: dict[str, dict[str, float]] = {name: {} for name in graphs}
+    for mode in (REFERENCE, VECTORIZED):
+        total = 0.0
+        for name in graphs:
+            payload = run_cell(
+                BenchCell(engine, name, tiny=tiny, kernels=mode)
+            )
+            wall_s = float(payload["wall"]["wall_s"])
+            per_graph[name][mode] = round(wall_s, 6)
+            total += wall_s
+        totals[mode] = round(total, 6)
+    speedup = (
+        totals[REFERENCE] / totals[VECTORIZED]
+        if totals[VECTORIZED] > 0
+        else float("inf")
+    )
+    return {
+        "engine": engine,
+        "tiny": tiny,
+        "graphs": per_graph,
+        "reference_wall_s": totals[REFERENCE],
+        "vectorized_wall_s": totals[VECTORIZED],
+        "speedup": round(speedup, 3),
+    }

@@ -1,0 +1,53 @@
+"""Host wall-clock and peak-RSS measurement for the benchmark runner.
+
+This module is the *only* sanctioned wall-clock reader under ``src/``:
+the simulated runtime's results must be pure functions of graph and seed
+(lint rule R003 enforces this), but the benchmark runner's whole job is
+to time the host harness itself, so its clock reads carry explicit
+suppressions.
+
+Peak RSS comes from ``getrusage(RUSAGE_SELF)`` and is a *process-level*
+high-water mark: it only ever grows, so in a pool worker that runs many
+cells the value reported for a cell is the worker's peak so far, not the
+cell's own footprint.  It still bounds the memory needed to run the cell
+and is reported as such (see docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+import resource
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass
+class WallSample:
+    """One measured execution: elapsed host time and peak memory."""
+
+    wall_s: float = 0.0
+    max_rss_kb: int = 0
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "wall_s": round(self.wall_s, 6),
+            "max_rss_kb": self.max_rss_kb,
+        }
+
+
+def max_rss_kb() -> int:
+    """Peak resident set size of this process, in kilobytes."""
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+@contextmanager
+def measure() -> Iterator[WallSample]:
+    """Time a block; the yielded sample is filled in on exit."""
+    sample = WallSample()
+    start = time.perf_counter()  # lint: disable=R003
+    try:
+        yield sample
+    finally:
+        sample.wall_s = time.perf_counter() - start  # lint: disable=R003
+        sample.max_rss_kb = max_rss_kb()

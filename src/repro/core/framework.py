@@ -36,6 +36,7 @@ from repro.core.state import PeelState
 from repro.core.vgc import DEFAULT_QUEUE_SIZE, VGCConfig
 from repro.errors import SamplingRestartError
 from repro.graphs.csr import CSRGraph
+from repro.primitives.bitops import sorted_member_mask
 from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.runtime.metrics import RunMetrics
 from repro.runtime.simulator import SimRuntime
@@ -196,7 +197,7 @@ def _run_once(
             if failures.size:
                 before = dtilde[failures]
                 low = sampling.resample_bulk(failures, k)
-                survivors_mask = ~np.isin(failures, low)
+                survivors_mask = ~sorted_member_mask(failures, low)
                 survivors = failures[survivors_mask]
                 if survivors.size:
                     buckets.on_decrements(survivors, before[survivors_mask])
@@ -212,11 +213,13 @@ def _run_once(
             if still_sampled.size:
                 before = dtilde[still_sampled]
                 low = sampling.resample_bulk(still_sampled, k)
-                not_low = still_sampled[~np.isin(still_sampled, low)]
+                # One sorted-membership pass selects the survivors and
+                # pairs them with their pre-resample keys (``low`` is a
+                # sorted subset of ``still_sampled``).
+                in_low = sorted_member_mask(still_sampled, low)
+                not_low = still_sampled[~in_low]
                 if not_low.size:
-                    buckets.on_decrements(
-                        not_low, before[np.isin(still_sampled, not_low)]
-                    )
+                    buckets.on_decrements(not_low, before[~in_low])
 
             # A resample may have pushed an extracted vertex's exact degree
             # away from k; return such vertices to the structure.

@@ -14,6 +14,9 @@ import numpy as np
 
 from repro.core.state import PeelState
 from repro.core.vgc import VGCConfig
+from repro.perf import VECTORIZED, kernel_mode
+from repro.perf.kernels import VGCTaskResult, vgc_peel_tasks
+from repro.primitives.bitops import sorted_member_mask
 from repro.runtime.atomics import batch_decrement
 
 
@@ -96,6 +99,60 @@ class OnlinePeel:
     def _subround_vgc(
         self, state: PeelState, frontier: np.ndarray, k: int
     ) -> np.ndarray:
+        """Run the local searches, then the shared subround epilogue.
+
+        The task loop comes in two bit-exact implementations — the
+        vectorized kernel (default) and the original reference loop —
+        selected by ``REPRO_KERNELS``; everything after it (contention
+        accounting, resampling, bucket updates, frontier merge) is
+        shared, so the implementations can only differ inside the loop.
+        """
+        assert self.vgc is not None
+        runtime = state.runtime
+        model = runtime.model
+        if kernel_mode() == VECTORIZED:
+            result = vgc_peel_tasks(
+                state,
+                frontier,
+                k,
+                self.vgc.queue_size,
+                self.vgc.edge_budget,
+            )
+        else:
+            result = self._vgc_task_loop_reference(state, frontier, k)
+        runtime.metrics.local_search_hits += result.local_search_hits
+
+        # Contention accounting: concurrent updates per location across
+        # the whole subround (decrements and sampler hits alike).
+        runtime.parallel_update(
+            result.task_costs,
+            result.target_counts,
+            barriers=model.online_barriers,
+            tag="vgc_peel",
+        )
+
+        resampled_low = np.zeros(0, dtype=np.int64)
+        if state.sampling is not None and result.saturated.size:
+            resampled_low = _resample_and_rebucket(
+                state, result.saturated, k
+            )
+
+        # Bucket updates for surviving touched vertices.
+        if result.touched.size:
+            survivors = (state.dtilde[result.touched] > k) & (
+                ~state.peeled[result.touched]
+            )
+            if np.any(survivors):
+                state.buckets.on_decrements(
+                    result.touched[survivors],
+                    result.touched_old[survivors],
+                )
+        return _merge_frontier(state, result.next_frontier, resampled_low)
+
+    def _vgc_task_loop_reference(
+        self, state: PeelState, frontier: np.ndarray, k: int
+    ) -> VGCTaskResult:
+        """The original per-edge Python task loop (equivalence oracle)."""
         graph, runtime = state.graph, state.runtime
         model = runtime.model
         dtilde, peeled, coreness = state.dtilde, state.peeled, state.coreness
@@ -114,6 +171,7 @@ class OnlinePeel:
 
         mode = sampling.mode if sampling is not None else None
         rng = sampling.rng if sampling is not None else None
+        local_search_hits = 0
         for task_id, seed in enumerate(frontier):
             queue: list[int] = [int(seed)]
             head = 0
@@ -150,49 +208,33 @@ class OnlinePeel:
                             peeled[u] = True
                             if mode is not None:
                                 mode[u] = False
-                            runtime.metrics.local_search_hits += 1
+                            local_search_hits += 1
                         else:
                             next_frontier.append(u)
             task_costs[task_id] = cost
 
-        # Contention accounting: concurrent updates per location across the
-        # whole subround (decrements and sampler hits alike).
-        all_targets = np.asarray(
-            decrement_targets + hit_targets, dtype=np.int64
+        touched = np.fromiter(
+            first_seen_key.keys(), dtype=np.int64, count=len(first_seen_key)
         )
-        if all_targets.size:
-            _, counts = np.unique(all_targets, return_counts=True)
+        olds = np.fromiter(
+            first_seen_key.values(),
+            dtype=np.int64,
+            count=len(first_seen_key),
+        )
+        targets = np.asarray(decrement_targets + hit_targets, dtype=np.int64)
+        if targets.size:
+            _, counts = np.unique(targets, return_counts=True)
         else:
             counts = np.zeros(0, dtype=np.int64)
-        runtime.parallel_update(
-            task_costs, counts, barriers=model.online_barriers,
-            tag="vgc_peel",
+        return VGCTaskResult(
+            task_costs=task_costs,
+            next_frontier=np.asarray(next_frontier, dtype=np.int64),
+            saturated=np.asarray(saturated, dtype=np.int64),
+            target_counts=counts,
+            touched=touched,
+            touched_old=olds,
+            local_search_hits=local_search_hits,
         )
-
-        resampled_low = np.zeros(0, dtype=np.int64)
-        if sampling is not None and saturated:
-            resampled_low = _resample_and_rebucket(
-                state, np.asarray(saturated, dtype=np.int64), k
-            )
-
-        # Bucket updates for surviving touched vertices.
-        if first_seen_key:
-            touched = np.fromiter(
-                first_seen_key.keys(), dtype=np.int64, count=len(first_seen_key)
-            )
-            olds = np.fromiter(
-                first_seen_key.values(),
-                dtype=np.int64,
-                count=len(first_seen_key),
-            )
-            survivors = (dtilde[touched] > k) & (~peeled[touched])
-            if np.any(survivors):
-                state.buckets.on_decrements(
-                    touched[survivors], olds[survivors]
-                )
-
-        crossed = np.asarray(next_frontier, dtype=np.int64)
-        return _merge_frontier(state, crossed, resampled_low)
 
 
 def _resample_and_rebucket(
@@ -203,13 +245,12 @@ def _resample_and_rebucket(
     saturated = np.unique(saturated)
     before = state.dtilde[saturated]
     low = state.sampling.resample_bulk(saturated, k)
-    low_set = set(low.tolist())
-    survivors = np.asarray(
-        [v for v in saturated if v not in low_set], dtype=np.int64
-    )
+    # One sorted-membership pass serves both the survivor selection and
+    # the old-key pairing (``low`` is a sorted subset of ``saturated``).
+    in_low = sorted_member_mask(saturated, low)
+    survivors = saturated[~in_low]
     if survivors.size:
-        old_keys = before[np.isin(saturated, survivors)]
-        state.buckets.on_decrements(survivors, old_keys)
+        state.buckets.on_decrements(survivors, before[~in_low])
     return low
 
 

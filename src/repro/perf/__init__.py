@@ -1,0 +1,44 @@
+"""Wall-clock performance layer (kernel-mode switch + vectorized kernels).
+
+The simulated runtime's *accounting* is independent of how fast the host
+Python actually executes a peel; ``repro.perf`` is about the latter.  It
+provides vectorized NumPy kernels for the hot peel paths that reproduce
+the reference implementations' metrics ledger bit-for-bit (enforced by
+the regression goldens), plus the ``REPRO_KERNELS`` switch that selects
+between them:
+
+* ``vectorized`` (default) — the batched kernels in
+  :mod:`repro.perf.kernels`;
+* ``reference`` — the original straight-line Python loops, kept as the
+  equivalence oracle for property tests and A/B wall-clock comparisons.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Environment variable selecting the kernel implementation.
+KERNELS_ENV = "REPRO_KERNELS"
+
+VECTORIZED = "vectorized"
+REFERENCE = "reference"
+
+_VALID_MODES = (VECTORIZED, REFERENCE)
+
+
+def kernel_mode() -> str:
+    """The active kernel implementation (``vectorized`` or ``reference``)."""
+    mode = os.environ.get(KERNELS_ENV, VECTORIZED).strip().lower()
+    if mode not in _VALID_MODES:
+        raise ValueError(
+            f"{KERNELS_ENV} must be one of {_VALID_MODES}, got {mode!r}"
+        )
+    return mode
+
+
+__all__ = [
+    "KERNELS_ENV",
+    "REFERENCE",
+    "VECTORIZED",
+    "kernel_mode",
+]

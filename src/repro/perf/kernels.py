@@ -1,0 +1,321 @@
+"""Vectorized VGC peel kernel, bit-exact with the reference loop.
+
+The VGC subround is the wall-clock hot path of the ``ours`` engine: a
+per-edge Python loop over every local-search queue.  This kernel batches
+it with NumPy while reproducing the reference execution *exactly* — same
+coreness output, same ``RunMetrics`` ledger, same RNG stream — which the
+regression goldens and the kernel-equivalence property tests enforce.
+
+The exactness argument, per mechanism:
+
+* **RNG stream.**  ``numpy.random.Generator`` produces the identical
+  sequence whether values are drawn one at a time (``rng.random()``) or
+  as arrays (``rng.random(m)``), in any interleaving.  Sample-mode
+  membership cannot change mid-subround (absorption only touches
+  vertices whose mode bit is already clear; resampling runs at subround
+  end), so the sampled targets of an expansion are known up front and
+  one array draw in CSR order reproduces the per-edge draws.
+* **Decrement stream.**  Within one expansion the targets are distinct
+  (simple graph), so a gathered ``old = dtilde[t]; dtilde[t] = old - 1``
+  matches the sequential per-edge decrements, and the frontier-crossing
+  observation ``old == k + 1`` is exact.
+* **Absorption.**  Both exhaustion conditions — queue length at the
+  ``queue_size`` budget, edges seen at the ``edge_budget`` — are
+  monotone within a task, so once either holds the rest of the queue is
+  absorption-free and is processed as one batched tail (the batch
+  crossing test ``old > k and new <= k`` fires exactly when some unit
+  decrement observed ``k + 1``).  Before that point, absorption
+  decisions are replayed per crossing edge in encounter order with the
+  exact ``edges_seen`` value of the reference loop.
+* **First-seen keys.**  The reference records ``dtilde[u]`` at a
+  vertex's first decrement of the subround; since nothing else mutates
+  ``dtilde`` inside the task loop, that value *is* the subround-start
+  snapshot, so one ``dtilde.copy()`` per subround replaces all per-edge
+  bookkeeping.
+* **Cost accumulation.**  Per-task costs are accumulated as
+  ``count * constant`` instead of repeated addition; this is exact
+  because every pinned cost model uses dyadic-rational constants (see
+  docs/PERFORMANCE.md).  Aggregation orderings the kernel changes
+  (contention multisets, touched sets, bucket updates, frontier merges)
+  are all canonicalized downstream (``np.unique``) or order-insensitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.runtime.atomics import batch_decrement, batch_increment_clamped
+
+#: Expansions below this degree run a tuned scalar loop: per-expansion
+#: NumPy dispatch overhead only pays off on larger neighbor lists.  Both
+#: regimes are bit-exact, so the threshold is purely a speed knob.
+SMALL_EXPANSION = 32
+
+
+@dataclass
+class VGCTaskResult:
+    """Everything a VGC task loop produces for the shared epilogue.
+
+    Attributes:
+        task_costs: Per-task simulated cost (vertex/edge/flip ops).
+        next_frontier: Crossing vertices denied absorption (each crossing
+            fires exactly once per vertex per subround).
+        saturated: Sample counters that reached ``mu`` this subround.
+        target_counts: Atomic-update multiplicities per distinct target
+            (decrements and sampler hits), in no specified order — the
+            subround's contention histogram.
+        touched: Distinct decremented vertices; ordering is not
+            specified (consumers are order-insensitive).
+        touched_old: ``dtilde`` value of each touched vertex before its
+            first decrement of the subround.
+        local_search_hits: Number of absorptions performed.
+    """
+
+    task_costs: np.ndarray
+    next_frontier: np.ndarray
+    saturated: np.ndarray
+    target_counts: np.ndarray
+    touched: np.ndarray
+    touched_old: np.ndarray
+    local_search_hits: int
+
+
+def _gather(chunks: list[np.ndarray], scalars: list[int]) -> np.ndarray:
+    """Concatenate array chunks and scalar-path collections (any order)."""
+    if scalars:
+        chunks = chunks + [np.asarray(scalars, dtype=np.int64)]
+    if not chunks:
+        return np.zeros(0, dtype=np.int64)
+    if len(chunks) == 1:
+        return np.asarray(chunks[0], dtype=np.int64)
+    return np.concatenate(chunks)
+
+
+def vgc_peel_tasks(
+    state,
+    frontier: np.ndarray,
+    k: int,
+    budget: int,
+    edge_budget: int,
+) -> VGCTaskResult:
+    """Run every local search of a VGC subround (vectorized regimes)."""
+    graph = state.graph
+    dtilde, peeled, coreness = state.dtilde, state.peeled, state.coreness
+    sampling = state.sampling
+    indptr, indices = graph.indptr, graph.indices
+    model = state.runtime.model
+    vertex_op = model.vertex_op
+    edge_op = model.edge_op
+    flip_op = model.sample_flip_op
+
+    # Sample-mode membership is constant within a subround; when nothing
+    # is in sample mode the whole sampling branch is dead (no RNG draws
+    # would occur), so the non-sampled fast path is exact.
+    if sampling is not None and bool(sampling.mode.any()):
+        mode, rate, cnt = sampling.mode, sampling.rate, sampling.cnt
+        rng, mu = sampling.rng, sampling.mu
+    else:
+        mode = rate = cnt = rng = None
+        mu = 0
+
+    # First-seen keys are subround-start values (see module docstring).
+    dtilde_start = dtilde.copy()
+
+    # Memoryviews give the tuned scalar loop native-Python-int element
+    # access (no NumPy scalar boxing), sharing the arrays' buffers with
+    # the vectorized regimes.
+    dt_mv = memoryview(dtilde)
+    pe_mv = memoryview(peeled)
+    co_mv = memoryview(coreness)
+    ip_mv = memoryview(indptr)
+    if mode is not None:
+        mode_mv = memoryview(mode)
+        rate_mv = memoryview(rate)
+        cnt_mv = memoryview(cnt)
+        rng_random = rng.random
+    k1 = k + 1
+
+    task_costs = np.empty(frontier.size, dtype=np.float64)
+    next_frontier: list[int] = []
+    dec_scalar: list[int] = []
+    hit_scalar: list[int] = []
+    sat_scalar: list[int] = []
+    dec_chunks: list[np.ndarray] = []
+    hit_chunks: list[np.ndarray] = []
+    sat_chunks: list[np.ndarray] = []
+    frontier_append = next_frontier.append
+    ls_hits = 0
+
+    for task_id in range(frontier.size):
+        queue: list[int] = [int(frontier[task_id])]
+        head = 0
+        qlen = 1
+        nv = 0  # queue items processed (vertex_op each)
+        ne = 0  # edges seen (edge_op each)
+        ns = 0  # sampled edges seen (sample_flip_op each)
+        while head < qlen:
+            if qlen >= budget or ne >= edge_budget:
+                # Absorption-free tail: both conditions are monotone, so
+                # no remaining edge can absorb — batch the rest at once.
+                tail = np.asarray(queue[head:], dtype=np.int64)
+                head = qlen
+                nv += int(tail.size)
+                tgt = graph.gather_neighbors(tail)
+                ne += int(tgt.size)
+                if tgt.size == 0:
+                    break
+                if mode is not None:
+                    smask = mode[tgt]
+                    sampled = tgt[smask]
+                    direct = tgt[~smask]
+                    ns += int(sampled.size)
+                    if sampled.size:
+                        draws = rng.random(sampled.size)
+                        hits = sampled[draws < rate[sampled]]
+                        if hits.size:
+                            hit_chunks.append(hits)
+                            _, reached = batch_increment_clamped(
+                                cnt, hits, mu
+                            )
+                            if reached.size:
+                                sat_chunks.append(reached)
+                else:
+                    direct = tgt
+                if direct.size:
+                    outcome = batch_decrement(dtilde, direct, k)
+                    dec_chunks.append(direct)
+                    crossed = outcome.crossed
+                    crossed = crossed[~peeled[crossed]]
+                    if crossed.size:
+                        next_frontier.extend(crossed.tolist())
+                break
+            v = queue[head]
+            head += 1
+            nv += 1
+            s = ip_mv[v]
+            deg = ip_mv[v + 1] - s
+            if deg == 0:
+                continue
+            if deg < SMALL_EXPANSION:
+                # Tuned scalar loop (memoryviews, native Python ints).
+                nbrs = indices[s : s + deg]
+                nbrs_l = nbrs.tolist()
+                ne_base = ne
+                ne += deg
+                if mode is None:
+                    # Every edge is a direct decrement.
+                    dec_chunks.append(nbrs)
+                    pos = 0
+                    for u in nbrs_l:
+                        pos += 1
+                        old = dt_mv[u]
+                        dt_mv[u] = old - 1
+                        if old == k1 and not pe_mv[u]:
+                            if (
+                                qlen < budget
+                                and ne_base + pos < edge_budget
+                            ):
+                                queue.append(u)
+                                qlen += 1
+                                co_mv[u] = k
+                                pe_mv[u] = True
+                                ls_hits += 1
+                            else:
+                                frontier_append(u)
+                    continue
+                pos = 0
+                for u in nbrs_l:
+                    pos += 1
+                    if mode_mv[u]:
+                        ns += 1
+                        if rng_random() < rate_mv[u]:
+                            hit_scalar.append(u)
+                            c = cnt_mv[u] + 1
+                            cnt_mv[u] = c
+                            if c == mu:
+                                sat_scalar.append(u)
+                        continue
+                    old = dt_mv[u]
+                    dt_mv[u] = old - 1
+                    dec_scalar.append(u)
+                    if old == k1 and not pe_mv[u]:
+                        if qlen < budget and ne_base + pos < edge_budget:
+                            queue.append(u)
+                            qlen += 1
+                            co_mv[u] = k
+                            pe_mv[u] = True
+                            ls_hits += 1
+                        else:
+                            frontier_append(u)
+                continue
+            # Vectorized expansion: targets are distinct within one row.
+            nbrs = indices[s : s + deg]
+            ne_base = ne
+            ne += deg
+            pos = None
+            if mode is not None:
+                smask = mode[nbrs]
+                if smask.any():
+                    sampled = nbrs[smask]
+                    ns += int(sampled.size)
+                    draws = rng.random(sampled.size)
+                    hits = sampled[draws < rate[sampled]]
+                    if hits.size:
+                        hit_chunks.append(hits)
+                        newc = cnt[hits] + 1
+                        cnt[hits] = newc
+                        sat = hits[newc == mu]
+                        if sat.size:
+                            sat_chunks.append(sat)
+                    pos = np.flatnonzero(~smask)
+                    direct = nbrs[pos]
+                else:
+                    direct = nbrs
+            else:
+                direct = nbrs
+            if direct.size == 0:
+                continue
+            old = dtilde[direct]
+            dtilde[direct] = old - 1
+            dec_chunks.append(direct)
+            cidx = np.flatnonzero((old == k1) & ~peeled[direct])
+            if cidx.size:
+                cpos = cidx if pos is None else pos[cidx]
+                # Replay absorption decisions in encounter order with the
+                # reference loop's exact edges_seen at each check.
+                for u, seen in zip(
+                    direct[cidx].tolist(),
+                    (ne_base + cpos + 1).tolist(),
+                ):
+                    if qlen < budget and seen < edge_budget:
+                        queue.append(u)
+                        qlen += 1
+                        co_mv[u] = k
+                        pe_mv[u] = True
+                        ls_hits += 1
+                    else:
+                        frontier_append(u)
+        task_costs[task_id] = (
+            vertex_op * nv + edge_op * ne + flip_op * ns
+        )
+
+    decrements = _gather(dec_chunks, dec_scalar)
+    hits_all = _gather(hit_chunks, hit_scalar)
+    # Decrement targets (mode clear) and hit targets (mode set) are
+    # disjoint — mode never changes inside a subround — so the combined
+    # contention histogram is the per-stream histograms side by side.
+    touched, counts = np.unique(decrements, return_counts=True)
+    if hits_all.size:
+        _, hit_counts = np.unique(hits_all, return_counts=True)
+        counts = np.concatenate([counts, hit_counts])
+    return VGCTaskResult(
+        task_costs=task_costs,
+        next_frontier=_gather([], next_frontier),
+        saturated=_gather(sat_chunks, sat_scalar),
+        target_counts=counts,
+        touched=touched,
+        touched_old=dtilde_start[touched],
+        local_search_hits=ls_hits,
+    )

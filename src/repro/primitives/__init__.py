@@ -1,5 +1,6 @@
 """Instrumented parallel primitives: PACK, HISTOGRAM, scans, reductions."""
 
+from repro.primitives.bitops import bit_length64, sorted_member_mask
 from repro.primitives.histogram import (
     HistogramResult,
     dense_histogram,
@@ -15,6 +16,7 @@ from repro.primitives.scan import (
 
 __all__ = [
     "HistogramResult",
+    "bit_length64",
     "dense_histogram",
     "exclusive_scan",
     "filter_by",
@@ -24,4 +26,5 @@ __all__ = [
     "pack_index",
     "reduce_max",
     "reduce_sum",
+    "sorted_member_mask",
 ]

@@ -14,6 +14,8 @@ vertex sets of the hierarchical bucketing structure.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.runtime.simulator import SimRuntime
@@ -130,6 +132,8 @@ class HashBag:
         values = np.asarray(values, dtype=np.int64)
         if values.size == 0:
             return
+        if int(values.min()) < 0:
+            raise ValueError("hash bag stores non-negative ints")
         if self.runtime is not None:
             self.runtime.parallel_for(
                 self.runtime.model.bag_insert_op,
@@ -137,12 +141,29 @@ class HashBag:
                 barriers=0,
                 tag="bag_insert_many",
             )
-        saved, self.runtime = self.runtime, None  # avoid double charging
-        try:
-            for value in values:
-                self.insert(int(value))
-        finally:
-            self.runtime = saved
+        # Batched fill: chunk occupancy (and hence chunk advancement and
+        # extraction cost) matches element-by-element insertion exactly;
+        # only slot placement within a chunk differs, which no consumer
+        # observes — extraction is an unordered multiset.
+        offset = 0
+        total = int(values.size)
+        while offset < total:
+            start, end = self._chunk_range()
+            width = end - start
+            room = math.ceil(width * LOAD_FACTOR) - self._chunk_count
+            if room <= 0:
+                self._advance_chunk()
+                continue
+            batch = values[offset : offset + room]
+            window = self._slots[start:end]
+            if self._chunk_count == 0:
+                window[: batch.size] = batch
+            else:
+                free = np.flatnonzero(window == _EMPTY)
+                window[free[: batch.size]] = batch
+            self._chunk_count += int(batch.size)
+            self._count += int(batch.size)
+            offset += int(batch.size)
 
     def extract_all(self) -> np.ndarray:
         """BagExtractAll: remove and return all elements as an array.

@@ -32,6 +32,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graphs.csr import CSRGraph
+from repro.primitives.bitops import bit_length64
 from repro.structures.buckets_base import BucketStructure
 from repro.structures.hash_bag import HashBag
 from repro.structures.single_bucket import SingleBucket
@@ -85,9 +86,11 @@ def bucket_indices(keys: np.ndarray, base: int) -> np.ndarray:
     ids = offsets.copy()
     high = offsets >= SINGLE_KEY_BUCKETS
     if np.any(high):
-        ids[high] = SINGLE_KEY_BUCKETS + np.floor(
-            np.log2((offsets[high] >> 3).astype(np.float64))
-        ).astype(np.int64)
+        # Integer bit-length arithmetic: float64 log2 loses exactness near
+        # power-of-two boundaries once offsets outgrow the 53-bit mantissa.
+        ids[high] = (
+            SINGLE_KEY_BUCKETS + bit_length64(offsets[high] >> 3) - 1
+        )
     return ids
 
 
@@ -98,8 +101,15 @@ class HierarchicalBuckets(BucketStructure):
 
     def __init__(self) -> None:
         super().__init__()
+        # Drained front buckets are skipped via ``_head`` rather than
+        # ``list.pop(0)``: popping shifts every remaining element, which is
+        # O(B) per drop and O(B^2) over a run.  ``_intervals``/``_bags``
+        # keep the full layout; indices ``>= _head`` are live, and ``_los``
+        # always mirrors the live intervals (it is resliced when the head
+        # advances and rebuilt on splits).
         self._intervals: list[tuple[int, int]] = []
         self._bags: list[HashBag] = []
+        self._head = 0
         self._los: np.ndarray = np.zeros(0, dtype=np.int64)
         self._capacity = 1
 
@@ -129,10 +139,15 @@ class HierarchicalBuckets(BucketStructure):
             HashBag(self._capacity, runtime=self.runtime)
             for _ in intervals
         ]
+        self._head = 0
         self._los = np.asarray([lo for lo, _ in intervals], dtype=np.int64)
 
     def _bucket_of(self, keys: np.ndarray) -> np.ndarray:
-        """Index of the interval covering each key (vectorized)."""
+        """Live-bucket offset of the interval covering each key.
+
+        Offsets are relative to ``_head``; callers add it back when
+        indexing ``_bags``.
+        """
         idx = np.searchsorted(self._los, keys, side="right") - 1
         if idx.size and idx.min() < 0:
             raise ValueError("key below the current interval layout")
@@ -140,34 +155,40 @@ class HierarchicalBuckets(BucketStructure):
 
     def _scatter(self, vertices: np.ndarray, keys: np.ndarray) -> None:
         """Insert vertices into the bags covering their keys."""
+        if vertices.size == 0:
+            return
         ids = self._bucket_of(keys)
         order = np.argsort(ids, kind="stable")
         ids_sorted = ids[order]
         verts_sorted = vertices[order]
-        boundaries = np.searchsorted(
-            ids_sorted, np.arange(len(self._bags) + 1)
+        # Visit only the occupied buckets (ascending): run boundaries in
+        # the sorted id array, instead of probing every bucket in the
+        # layout per scatter.
+        starts = np.flatnonzero(
+            np.diff(ids_sorted, prepend=ids_sorted[0] - 1)
         )
-        for bucket in range(len(self._bags)):
-            lo, hi = boundaries[bucket], boundaries[bucket + 1]
-            if hi > lo:
-                self._bags[bucket].insert_many(verts_sorted[lo:hi])
+        ends = np.append(starts[1:], ids_sorted.size)
+        for lo, hi in zip(starts, ends):
+            bucket = self._head + int(ids_sorted[lo])
+            self._bags[bucket].insert_many(verts_sorted[lo:hi])
 
     def _split_front(self, live: np.ndarray, keys: np.ndarray) -> None:
         """Refine the front (range) interval and rescatter its members."""
-        lo, hi = self._intervals[0]
+        lo, hi = self._intervals[self._head]
         refined = interval_layout(lo, hi)
         # Keep only the refined intervals that stay within [lo, hi]; the
         # construction covers it exactly for power-of-two widths and may
         # overshoot otherwise, which is harmless (clamp the last hi).
         refined = [(a, min(b, hi)) for a, b in refined if a <= hi]
-        tail_intervals = self._intervals[1:]
-        tail_bags = self._bags[1:]
+        tail_intervals = self._intervals[self._head + 1 :]
+        tail_bags = self._bags[self._head + 1 :]
         new_bags = [
             HashBag(self._capacity, runtime=self.runtime)
             for _ in refined
         ]
         self._intervals = refined + tail_intervals
         self._bags = new_bags + tail_bags
+        self._head = 0
         self._los = np.asarray(
             [a for a, _ in self._intervals], dtype=np.int64
         )
@@ -178,18 +199,18 @@ class HierarchicalBuckets(BucketStructure):
     def next_round(self) -> tuple[int, np.ndarray] | None:
         assert self.dtilde is not None and self.peeled is not None
         while True:
-            # Drop drained front buckets (their key ranges are consumed).
-            while self._bags and len(self._bags[0]) == 0:
-                self._bags.pop(0)
-                self._intervals.pop(0)
-            if not self._bags:
+            # Skip drained front buckets (their key ranges are consumed) by
+            # advancing the head index — O(1) per drop.
+            while (
+                self._head < len(self._bags)
+                and len(self._bags[self._head]) == 0
+            ):
+                self._head += 1
+                self._los = self._los[1:]
+            if self._head >= len(self._bags):
                 return None
-            if len(self._los) != len(self._intervals):
-                self._los = np.asarray(
-                    [a for a, _ in self._intervals], dtype=np.int64
-                )
-            lo, hi = self._intervals[0]
-            members = self._bags[0].extract_all()
+            lo, hi = self._intervals[self._head]
+            members = self._bags[self._head].extract_all()
             live = np.unique(members[~self.peeled[members]])
             if live.size == 0:
                 continue
@@ -210,12 +231,8 @@ class HierarchicalBuckets(BucketStructure):
     ) -> None:
         assert self.dtilde is not None and self.runtime is not None
         vertices = np.asarray(vertices, dtype=np.int64)
-        if vertices.size == 0 or not self._bags:
+        if vertices.size == 0 or self._head >= len(self._bags):
             return
-        if len(self._los) != len(self._intervals):
-            self._los = np.asarray(
-                [a for a, _ in self._intervals], dtype=np.int64
-            )
         keys = self.dtilde[vertices]
         new_ids = self._bucket_of(keys)
         if old_keys is not None:

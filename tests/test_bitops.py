@@ -1,0 +1,101 @@
+"""Integer bit tricks: bit_length64, sorted_member_mask, bucket_indices.
+
+The HBS bucket map must be exact for *any* representable key: float64
+``log2`` loses exactness near power-of-two boundaries once offsets
+outgrow the 53-bit mantissa, which is why :func:`bucket_indices` uses
+integer bit-length arithmetic.  These tests pin the scalar/vectorized
+equivalence far past that boundary (keys up to ``2**40`` and beyond).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.primitives.bitops import bit_length64, sorted_member_mask
+from repro.structures.hbs import bucket_index, bucket_indices
+
+
+def _boundary_values(limit: int) -> np.ndarray:
+    """0, 1 and every 2**k - 1, 2**k, 2**k + 1 up to ``limit``."""
+    values = {0, 1}
+    power = 2
+    while power <= limit:
+        values.update((power - 1, power, power + 1))
+        power *= 2
+    return np.array(sorted(v for v in values if v <= limit), dtype=np.int64)
+
+
+class TestBitLength64:
+    def test_matches_python_bit_length_on_boundaries(self):
+        values = _boundary_values(2**62)
+        got = bit_length64(values)
+        expected = [int(v).bit_length() for v in values.tolist()]
+        assert got.tolist() == expected
+
+    def test_matches_python_bit_length_randomized(self):
+        rng = np.random.default_rng(42)
+        exponents = rng.integers(0, 63, size=2000)
+        values = (
+            rng.integers(0, 2**62, size=2000) >> (62 - exponents)
+        ).astype(np.int64)
+        got = bit_length64(values)
+        expected = [int(v).bit_length() for v in values.tolist()]
+        assert got.tolist() == expected
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bit_length64(np.array([3, -1], dtype=np.int64))
+
+    def test_empty(self):
+        assert bit_length64(np.zeros(0, dtype=np.int64)).size == 0
+
+
+class TestSortedMemberMask:
+    def test_matches_isin_randomized(self):
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            values = rng.integers(0, 200, size=rng.integers(0, 60))
+            targets = np.unique(rng.integers(0, 200, size=rng.integers(0, 40)))
+            got = sorted_member_mask(values, targets)
+            expected = np.isin(values, targets)
+            assert np.array_equal(got, expected)
+
+    def test_empty_targets(self):
+        values = np.array([1, 2, 3], dtype=np.int64)
+        mask = sorted_member_mask(values, np.zeros(0, dtype=np.int64))
+        assert not mask.any() and mask.size == 3
+
+    def test_empty_values(self):
+        mask = sorted_member_mask(
+            np.zeros(0, dtype=np.int64), np.array([1], dtype=np.int64)
+        )
+        assert mask.size == 0
+
+
+class TestBucketIndicesEquivalence:
+    @pytest.mark.parametrize("base", [0, 1, 7, 1000])
+    def test_matches_scalar_small_offsets(self, base):
+        keys = np.arange(base, base + 600, dtype=np.int64)
+        got = bucket_indices(keys, base)
+        expected = [bucket_index(int(k), base) for k in keys.tolist()]
+        assert got.tolist() == expected
+
+    def test_matches_scalar_up_to_2_pow_40(self):
+        base = 5
+        offsets = _boundary_values(2**40)
+        keys = offsets + base
+        got = bucket_indices(keys, base)
+        expected = [bucket_index(int(k), base) for k in keys.tolist()]
+        assert got.tolist() == expected
+
+    def test_matches_scalar_randomized_large(self):
+        rng = np.random.default_rng(11)
+        keys = rng.integers(0, 2**40, size=3000).astype(np.int64)
+        got = bucket_indices(keys, 0)
+        expected = [bucket_index(int(k), 0) for k in keys.tolist()]
+        assert got.tolist() == expected
+
+    def test_rejects_key_below_base(self):
+        with pytest.raises(ValueError):
+            bucket_indices(np.array([3], dtype=np.int64), 4)

@@ -1,0 +1,90 @@
+"""Kernel equivalence: the vectorized peel kernels vs the reference loops.
+
+The ``REPRO_KERNELS`` switch selects between two implementations of the
+VGC task loop that must be *bit-exact*: identical coreness arrays and an
+identical stable metrics ledger (work, span, contention, subrounds, RNG
+consumption) on every graph family, with and without sampling.  These
+tests run full decompositions under both modes and compare everything;
+the regression goldens enforce the same property on the pinned matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.framework import FrameworkConfig, decompose
+from repro.generators import (
+    barabasi_albert,
+    erdos_renyi,
+    grid_2d,
+    hcns,
+    knn_graph,
+    power_law_with_hub,
+    road_like,
+)
+from repro.perf import KERNELS_ENV, REFERENCE, VECTORIZED, kernel_mode
+from repro.runtime.cost_model import DEFAULT_COST_MODEL
+
+#: One randomized builder per generator family (seeded — the *pair* of
+#: runs must see the identical graph, not two draws of it).
+GRAPHS = {
+    "er": lambda seed: erdos_renyi(240, 5.0, seed=seed),
+    "hub": lambda seed: power_law_with_hub(
+        300, 3, hub_count=2, hub_degree=80, seed=seed
+    ),
+    "ba": lambda seed: barabasi_albert(320, 5, seed=seed, attach_min=2),
+    "grid": lambda seed: grid_2d(14 + seed % 5, 18),
+    "road": lambda seed: road_like(400, seed=seed),
+    "knn": lambda seed: knn_graph(260, 4, dim=2, clusters=5, seed=seed),
+    "hcns": lambda seed: hcns(32 + 8 * (seed % 3)),
+}
+
+CONFIGS = {
+    "vgc": FrameworkConfig(vgc=True),
+    "vgc-sample": FrameworkConfig(vgc=True, sampling=True),
+    "vgc-sample-hbs": FrameworkConfig(
+        vgc=True, sampling=True, buckets="adaptive"
+    ),
+    "flat": FrameworkConfig(),
+}
+
+
+def _run(monkeypatch, mode: str, family: str, seed: int, config_name: str):
+    monkeypatch.setenv(KERNELS_ENV, mode)
+    graph = GRAPHS[family](seed)
+    result = decompose(graph, CONFIGS[config_name], DEFAULT_COST_MODEL)
+    return (
+        result.coreness,
+        result.metrics.to_stable_dict(DEFAULT_COST_MODEL),
+    )
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+@pytest.mark.parametrize("family", sorted(GRAPHS))
+def test_modes_bit_exact(monkeypatch, family, config_name):
+    for seed in (3, 104):
+        core_v, metrics_v = _run(
+            monkeypatch, VECTORIZED, family, seed, config_name
+        )
+        core_r, metrics_r = _run(
+            monkeypatch, REFERENCE, family, seed, config_name
+        )
+        assert np.array_equal(core_v, core_r), (family, config_name, seed)
+        assert metrics_v == metrics_r, (family, config_name, seed)
+
+
+def test_default_mode_is_vectorized(monkeypatch):
+    monkeypatch.delenv(KERNELS_ENV, raising=False)
+    assert kernel_mode() == VECTORIZED
+
+
+def test_mode_env_roundtrip(monkeypatch):
+    monkeypatch.setenv(KERNELS_ENV, " Reference ")
+    assert kernel_mode() == REFERENCE
+
+
+def test_unknown_mode_rejected(monkeypatch):
+    monkeypatch.setenv(KERNELS_ENV, "turbo")
+    with pytest.raises(ValueError, match="REPRO_KERNELS"):
+        kernel_mode()
