@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-figures examples clean loc regress regress-bless oracle
+.PHONY: install test lint bench bench-figures examples clean loc regress regress-bless oracle trace
 
 install:
 	$(PYTHON) setup.py develop
@@ -24,6 +24,9 @@ oracle:
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro.bench
+
+trace:
+	PYTHONPATH=src $(PYTHON) -m repro.trace ours LJ-S --flame LJ-S.folded
 
 bench-figures:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -85,6 +85,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero unless every cell was a cache hit",
     )
     parser.add_argument(
+        "--trace",
+        nargs="?",
+        const="traces",
+        default=None,
+        metavar="DIR",
+        help="write a Perfetto trace per cell into DIR (default: traces/); "
+        "implies --refresh, since traces only come from fresh runs",
+    )
+    parser.add_argument(
+        "--no-progress",
+        action="store_true",
+        help="suppress the per-cell progress lines on stderr",
+    )
+    parser.add_argument(
         "--compare-kernels",
         action="store_true",
         help="also run the cold reference-vs-vectorized A/B on 'ours'",
@@ -102,7 +116,12 @@ def main(argv: list[str] | None = None) -> int:
         kernels=args.kernels,
     )
     report = execute(
-        cells, jobs=args.jobs, cache=cache, refresh=args.refresh
+        cells,
+        jobs=args.jobs,
+        cache=cache,
+        refresh=args.refresh,
+        trace_dir=args.trace,
+        progress=not args.no_progress,
     )
     if args.compare_kernels:
         report["kernel_comparison"] = compare_kernels(
@@ -117,6 +136,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     for engine, wall in summary["by_engine_wall_s"].items():
         print(f"  {engine:12s} {wall:8.2f}s")
+    if args.trace:
+        print(f"wrote per-cell traces to {args.trace}/")
     if "kernel_comparison" in report:
         comp = report["kernel_comparison"]
         print(

@@ -16,7 +16,8 @@ meaningful for the mode that produced them.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import sys
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 
 from repro.bench.cache import DiskCache, cache_key
@@ -26,6 +27,7 @@ from repro.perf import KERNELS_ENV, kernel_mode, REFERENCE, VECTORIZED
 from repro.regress.matrix import ENGINES, coreness_fingerprint
 from repro.runtime.cost_model import DEFAULT_COST_MODEL
 from repro.runtime.metrics import METRICS_SCHEMA_VERSION
+from repro.trace import Tracer, tracing, write_trace
 
 #: Schema of the BENCH_wallclock.json report.
 BENCH_SCHEMA_VERSION = 1
@@ -87,20 +89,46 @@ def default_matrix(
     ]
 
 
-def run_cell(cell: BenchCell) -> dict[str, object]:
+def trace_path(cell: BenchCell, trace_dir: str) -> str:
+    """Where :func:`run_cell` writes ``cell``'s Perfetto trace."""
+    return os.path.join(
+        trace_dir, cell.label.replace("/", "-") + ".trace.json"
+    )
+
+
+def run_cell(
+    cell: BenchCell, trace_dir: str | None = None
+) -> dict[str, object]:
     """Execute one cell in this process and return its payload.
 
     The payload mirrors the regression gate's ``run_case`` entries
     (graph size, coreness fingerprint, stable metrics dict) plus the
     wall-clock sample of the decomposition itself (graph construction
     is deliberately outside the timed region).
+
+    With ``trace_dir``, the measured region runs under an attached
+    :class:`repro.trace.Tracer` and the Perfetto JSON is written to
+    :func:`trace_path`.  Tracing is observational, so the payload —
+    and hence the cache entry — is bit-identical either way; the trace
+    file itself stays outside the cache.
     """
     previous = os.environ.get(KERNELS_ENV)
     os.environ[KERNELS_ENV] = cell.kernels
     try:
         graph = suite.load(cell.graph, tiny=cell.tiny)
-        with measure() as wall:
-            result = ENGINES[cell.engine](graph, DEFAULT_COST_MODEL)
+        if trace_dir is None:
+            with measure() as wall:
+                result = ENGINES[cell.engine](graph, DEFAULT_COST_MODEL)
+        else:
+            tracer = Tracer(label=cell.label)
+            with tracing(tracer):
+                with measure() as wall:
+                    result = ENGINES[cell.engine](graph, DEFAULT_COST_MODEL)
+            tracer.host_span(
+                cell.label, wall.wall_s, max_rss_kb=wall.max_rss_kb
+            )
+            os.makedirs(trace_dir, exist_ok=True)
+            write_trace(tracer, trace_path(cell, trace_dir))
     finally:
         if previous is None:
             os.environ.pop(KERNELS_ENV, None)
@@ -119,32 +147,61 @@ def execute(
     jobs: int | None = None,
     cache: DiskCache | None = None,
     refresh: bool = False,
+    trace_dir: str | None = None,
+    progress: bool = False,
 ) -> dict[str, object]:
     """Resolve every cell (cache or fresh run) and build the report.
 
     Cache misses run in a process pool of ``jobs`` workers (``None`` or
     ``<= 1`` runs them inline).  Fresh payloads are written back to the
     cache, so an immediately repeated invocation is 100% hits.
+
+    ``trace_dir`` traces every cell's measured region (see
+    :func:`run_cell`); traces only come from fresh runs, so it implies
+    ``refresh``.  ``progress`` prints one line per cell to stderr as it
+    resolves, in completion order.
     """
     cache = cache if cache is not None else DiskCache()
+    if trace_dir is not None:
+        refresh = True
+    done = 0
+
+    def note(cell: BenchCell, disposition: str, wall_s: float) -> None:
+        nonlocal done
+        done += 1
+        if progress:
+            line = f"bench: [{done}/{len(cells)}] {cell.label} {disposition}"
+            if disposition == "ran":
+                line += f" {wall_s:.2f}s"
+            print(line, file=sys.stderr, flush=True)
+
     resolved: dict[BenchCell, tuple[str, dict[str, object]]] = {}
     pending: list[BenchCell] = []
     for cell in cells:
         payload = None if refresh else cache.get(cell.key())
         if payload is not None:
             resolved[cell] = ("hit", payload)
+            note(cell, "cached", 0.0)
         else:
             pending.append(cell)
+
+    def finish(cell: BenchCell, payload: dict[str, object]) -> None:
+        cache.put(cell.key(), payload)
+        resolved[cell] = ("miss", payload)
+        note(cell, "ran", float(payload["wall"]["wall_s"]))
 
     if pending:
         if jobs is not None and jobs > 1:
             with ProcessPoolExecutor(max_workers=jobs) as pool:
-                fresh = list(pool.map(run_cell, pending))
+                futures = {
+                    pool.submit(run_cell, cell, trace_dir): cell
+                    for cell in pending
+                }
+                for future in as_completed(futures):
+                    finish(futures[future], future.result())
         else:
-            fresh = [run_cell(cell) for cell in pending]
-        for cell, payload in zip(pending, fresh):
-            cache.put(cell.key(), payload)
-            resolved[cell] = ("miss", payload)
+            for cell in pending:
+                finish(cell, run_cell(cell, trace_dir))
 
     report_cells = []
     measured_wall = 0.0
@@ -159,21 +216,22 @@ def execute(
             by_engine[cell.engine] = by_engine.get(cell.engine, 0.0) + wall_s
         else:
             hits += 1
-        report_cells.append(
-            {
-                "engine": cell.engine,
-                "graph": cell.graph,
-                "tiny": cell.tiny,
-                "kernels": cell.kernels,
-                "cache": disposition,
-                "key": cell.key(),
-                "wall_s": wall_s,
-                "max_rss_kb": int(wall.get("max_rss_kb", 0)),
-                "n": payload["graph"]["n"],
-                "m": payload["graph"]["m"],
-                "coreness_sha256": payload["coreness"]["sha256"],
-            }
-        )
+        record = {
+            "engine": cell.engine,
+            "graph": cell.graph,
+            "tiny": cell.tiny,
+            "kernels": cell.kernels,
+            "cache": disposition,
+            "key": cell.key(),
+            "wall_s": wall_s,
+            "max_rss_kb": int(wall.get("max_rss_kb", 0)),
+            "n": payload["graph"]["n"],
+            "m": payload["graph"]["m"],
+            "coreness_sha256": payload["coreness"]["sha256"],
+        }
+        if trace_dir is not None:
+            record["trace"] = trace_path(cell, trace_dir)
+        report_cells.append(record)
 
     return {
         "schema_version": BENCH_SCHEMA_VERSION,

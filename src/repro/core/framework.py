@@ -39,7 +39,7 @@ from repro.graphs.csr import CSRGraph
 from repro.primitives.bitops import sorted_member_mask
 from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.runtime.metrics import RunMetrics
-from repro.runtime.simulator import SimRuntime
+from repro.runtime.simulator import SimRuntime, active_tracer
 from repro.structures.buckets_base import BucketStructure
 from repro.structures.fixed_buckets import FixedBuckets
 from repro.structures.hbs import AdaptiveHBS, HierarchicalBuckets
@@ -104,23 +104,30 @@ def decompose(
     graph: CSRGraph,
     config: FrameworkConfig | None = None,
     model: CostModel = DEFAULT_COST_MODEL,
+    tracer=None,
 ) -> CorenessResult:
     """Run the framework on ``graph`` and return the coreness of every vertex.
 
     Restarts transparently on (whp-rare) sampling errors.
+
+    ``tracer`` optionally attaches a :class:`repro.trace.Tracer` to the
+    run; tracing is observational only (the ledger is bit-identical with
+    and without it) and spans every restart attempt.
     """
     config = config if config is not None else FrameworkConfig()
     if config.peel not in ("online", "offline"):
         raise ValueError(f"unknown peel strategy {config.peel!r}")
     if config.sampling and config.peel == "offline":
         raise ValueError("sampling applies to the online peel only")
+    if tracer is None:
+        tracer = active_tracer()
 
     carried = None  # metrics from failed attempts
     mu_boost = 1
     attempt_config = config
     while True:
         try:
-            result = _run_once(graph, attempt_config, model, mu_boost)
+            result = _run_once(graph, attempt_config, model, mu_boost, tracer)
         except SamplingRestartError:
             # Las-Vegas recovery (Sec. 4.1.4): retry with a stronger mu,
             # then give up on sampling entirely.
@@ -128,6 +135,12 @@ def decompose(
             if carried is None:
                 carried = RunMetrics()
             carried.restarts += 1
+            if tracer is not None:
+                tracer.instant(
+                    "sampling_restart",
+                    restarts=carried.restarts,
+                    mu_boost=mu_boost,
+                )
             if carried.restarts > MAX_RESTARTS:
                 attempt_config = replace(attempt_config, sampling=False)
             continue
@@ -142,9 +155,10 @@ def _run_once(
     config: FrameworkConfig,
     model: CostModel,
     mu_boost: int,
+    tracer=None,
 ) -> CorenessResult:
     """One attempt of the decomposition (may raise SamplingRestartError)."""
-    runtime = SimRuntime(model)
+    runtime = SimRuntime(model, tracer=tracer)
     n = graph.n
     dtilde = graph.degrees.astype(np.int64).copy()
     peeled = np.zeros(n, dtype=bool)
@@ -188,7 +202,7 @@ def _run_once(
         if step is None:
             break
         k, frontier = step
-        runtime.begin_round()
+        runtime.begin_round(k)
 
         if sampling is not None:
             # Alg. 4 lines 5-6: validate every sample-mode vertex; failed

@@ -79,9 +79,13 @@ class ParallelKCore:
         return "+".join(techniques)
 
     # ------------------------------------------------------------------
-    def decompose(self, graph: CSRGraph) -> CorenessResult:
-        """Coreness of every vertex of ``graph``."""
-        return decompose(graph, self.config(), model=self.model)
+    def decompose(self, graph: CSRGraph, tracer=None) -> CorenessResult:
+        """Coreness of every vertex of ``graph``.
+
+        ``tracer`` optionally attaches a :class:`repro.trace.Tracer`;
+        tracing is observational only (see docs/OBSERVABILITY.md).
+        """
+        return decompose(graph, self.config(), model=self.model, tracer=tracer)
 
     def coreness(self, graph: CSRGraph) -> np.ndarray:
         """Convenience: just the coreness array."""

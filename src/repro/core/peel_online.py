@@ -111,6 +111,7 @@ class OnlinePeel:
         runtime = state.runtime
         model = runtime.model
         if kernel_mode() == VECTORIZED:
+            regime = "vectorized"
             result = vgc_peel_tasks(
                 state,
                 frontier,
@@ -119,8 +120,19 @@ class OnlinePeel:
                 self.vgc.edge_budget,
             )
         else:
+            regime = "reference"
             result = self._vgc_task_loop_reference(state, frontier, k)
         runtime.metrics.local_search_hits += result.local_search_hits
+        if runtime.tracer is not None:
+            runtime.tracer.instant(
+                "vgc_tasks",
+                regime=regime,
+                tasks=int(frontier.size),
+                absorbed=int(result.local_search_hits),
+                sample_draws=int(result.sample_draws),
+                sample_hits=int(result.sample_hits),
+                saturated=int(result.saturated.size),
+            )
 
         # Contention accounting: concurrent updates per location across
         # the whole subround (decrements and sampler hits alike).
@@ -172,6 +184,7 @@ class OnlinePeel:
         mode = sampling.mode if sampling is not None else None
         rng = sampling.rng if sampling is not None else None
         local_search_hits = 0
+        sample_draws = 0
         for task_id, seed in enumerate(frontier):
             queue: list[int] = [int(seed)]
             head = 0
@@ -187,6 +200,7 @@ class OnlinePeel:
                     edges_seen += 1
                     if mode is not None and mode[u]:
                         cost += model.sample_flip_op
+                        sample_draws += 1
                         assert rng is not None and sampling is not None
                         if rng.random() < sampling.rate[u]:
                             # Atomic cost is charged by parallel_update
@@ -234,6 +248,8 @@ class OnlinePeel:
             touched=touched,
             touched_old=olds,
             local_search_hits=local_search_hits,
+            sample_draws=sample_draws,
+            sample_hits=len(hit_targets),
         )
 
 

@@ -170,7 +170,14 @@ class SamplingState:
         sample_ok = self.cnt[sampled] < (
             self.rate[sampled] * (degrees - k) / 4.0
         )
-        return sampled[~(headroom_ok & sample_ok)]
+        failures = sampled[~(headroom_ok & sample_ok)]
+        if self.runtime.tracer is not None:
+            self.runtime.tracer.instant(
+                "validate",
+                sampled=int(sampled.size),
+                failures=int(failures.size),
+            )
+        return failures
 
     # ------------------------------------------------------------------
     # RESAMPLE (Alg. 5 lines 18-21)
@@ -236,6 +243,12 @@ class SamplingState:
                 )
         self.dtilde[vertices] = exact
         self.set_sampler_bulk(vertices[~low], k)
+        if self.runtime.tracer is not None:
+            self.runtime.tracer.instant(
+                "resample",
+                count=int(vertices.size),
+                low=int(np.count_nonzero(low)),
+            )
         return vertices[low]
 
     def _had_error_before_round(
@@ -292,7 +305,14 @@ class SamplingState:
             tag="sample_flips",
         )
         flips = self.rng.random(sampled_targets.size)
-        return sampled_targets[flips < self.rate[sampled_targets]]
+        hits = sampled_targets[flips < self.rate[sampled_targets]]
+        if self.runtime.tracer is not None:
+            self.runtime.tracer.instant(
+                "sample_draw",
+                drawn=int(sampled_targets.size),
+                hits=int(hits.size),
+            )
+        return hits
 
     def apply_hits(self, hits: np.ndarray) -> np.ndarray:
         """Atomically increment sample counters; return vertices reaching mu.
@@ -307,6 +327,11 @@ class SamplingState:
             0.0, counts, count=int(hits.size), barriers=0,
             tag="sample_increments",
         )
+        if reached.size:
+            if self.runtime.tracer is not None:
+                self.runtime.tracer.instant(
+                    "sample_saturated", count=int(reached.size)
+                )
         return reached
 
     def exit_sample_mode(self, vertices: np.ndarray) -> None:

@@ -18,6 +18,7 @@ from repro.core.result import CorenessResult
 from repro.graphs.csr import CSRGraph
 from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.runtime.metrics import RunMetrics
+from repro.runtime.simulator import active_tracer
 
 
 def _bz_peel(graph: CSRGraph) -> tuple[np.ndarray, np.ndarray, int]:
@@ -74,6 +75,12 @@ def bz_core(
     coreness, _, ops = _bz_peel(graph)
     metrics = RunMetrics()
     metrics.record_sequential(float(ops), tag="bz")
+    # BZ runs without a SimRuntime, so the process-wide tracer (if any)
+    # is fed its single sequential step directly.
+    tracer = active_tracer()
+    if tracer is not None:
+        tracer.attach_model(model)
+        tracer.on_step("sequential", float(ops), float(ops), 0, "bz")
     return CorenessResult(
         coreness=coreness, metrics=metrics, algorithm="bz", model=model
     )

@@ -11,4 +11,5 @@ from repro.lint.rules import (  # noqa: F401
     r003_determinism,
     r004_simulated_race,
     r005_magic_cost_constant,
+    r006_trace_side_effect,
 )

@@ -1,0 +1,219 @@
+"""R006 trace-side-effect: tracing must stay observational.
+
+The trace layer's contract (docs/OBSERVABILITY.md) is that attaching a
+:class:`repro.trace.Tracer` changes *nothing*: the regression goldens
+pass bit-exactly with tracing on and off, and two traced runs of the
+same input produce identical trace files.  Three disciplines keep that
+true, and this rule enforces each syntactically:
+
+* **(A) clock containment** — no wall-clock read anywhere under the
+  ``repro`` package except ``repro/bench/wallclock.py``, the single
+  sanctioned host-clock reader.  R003 already flags clocks in algorithm
+  code via suppressions; R006 pins the *location* structurally, so a
+  stray ``# lint: disable=R003`` cannot quietly add a second reader.
+* **(B) trace purity** — code under ``repro/trace/`` must not charge
+  the simulated ledger (no ``parallel_for`` / ``sequential`` / ...,
+  no ``record_*``), must not draw randomness, and must not assign to
+  ``*.metrics.*``; the tracer only *reads* the execution.
+* **(C) guarded hooks** — every tracer method call outside
+  ``repro/trace/`` (``on_step``, ``instant``, ...) on an optional slot
+  (a name ending in ``tracer``) must sit inside an
+  ``if <slot> is not None:`` guard, so the untraced path stays
+  zero-cost and can never raise.  A local variable assigned directly
+  from a ``Tracer(...)`` constructor is known non-None and exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.lint import astutil
+from repro.lint.context import ModuleContext
+from repro.lint.finding import Finding
+from repro.lint.registry import rule
+from repro.lint.rules.r003_determinism import CLOCK_FUNCTIONS, _time_aliases
+
+#: Tracer methods that record into the trace (the optional-slot hooks).
+TRACER_MUTATORS = frozenset(
+    {
+        "attach",
+        "attach_model",
+        "on_step",
+        "on_round",
+        "on_subround",
+        "instant",
+        "host_span",
+    }
+)
+
+#: Ledger-charging calls forbidden inside ``repro/trace/``.
+CHARGING_METHODS = astutil.CHARGE_METHODS | {
+    "record_parallel",
+    "record_sequential",
+}
+
+
+def _is_wallclock_module(ctx: ModuleContext) -> bool:
+    return ctx.in_package("repro", "bench") and (
+        Path(ctx.path).name == "wallclock.py"
+    )
+
+
+def _parents(tree: ast.Module) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _constructed_tracers(tree: ast.Module) -> set[str]:
+    """Bare names assigned from a ``Tracer(...)`` constructor call."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not isinstance(node.value, ast.Call):
+            continue
+        callee = astutil.call_name(node.value)
+        if callee is None or not callee.split(".")[-1].endswith("Tracer"):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _is_guarded(
+    call: ast.Call, base: str, parents: dict[ast.AST, ast.AST]
+) -> bool:
+    """Whether ``call`` is in the body of ``if <base> is not None:``."""
+    child: ast.AST = call
+    parent = parents.get(call)
+    while parent is not None:
+        if isinstance(parent, ast.If) and any(
+            child is stmt for stmt in parent.body
+        ):
+            test = parent.test
+            if (
+                isinstance(test, ast.Compare)
+                and len(test.ops) == 1
+                and isinstance(test.ops[0], ast.IsNot)
+                and isinstance(test.comparators[0], ast.Constant)
+                and test.comparators[0].value is None
+                and astutil.dotted_name(test.left) == base
+            ):
+                return True
+        child, parent = parent, parents.get(parent)
+    return False
+
+
+@rule(
+    "R006",
+    "trace-side-effect",
+    "tracing is observational: clocks only in bench.wallclock, pure "
+    "trace/ package, tracer hooks behind 'is not None' guards",
+)
+def check(ctx: ModuleContext) -> Iterator[Finding]:
+    if ctx.in_package("repro"):
+        if not _is_wallclock_module(ctx):
+            yield from _check_clocks(ctx)
+        if ctx.in_package("repro", "trace"):
+            yield from _check_purity(ctx)
+            return
+    yield from _check_guards(ctx)
+
+
+def _check_clocks(ctx: ModuleContext) -> Iterator[Finding]:
+    time_modules, clock_names = _time_aliases(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = astutil.call_name(node)
+        if name is None:
+            continue
+        head, _, tail = name.rpartition(".")
+        if (head in time_modules and tail in CLOCK_FUNCTIONS) or (
+            not head and name in clock_names
+        ):
+            yield ctx.finding(
+                node,
+                "R006",
+                f"wall-clock read '{name}()' outside repro.bench.wallclock;"
+                " host timing must go through wallclock.measure() so traces"
+                " stay deterministic",
+            )
+
+
+def _check_purity(ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            name = astutil.call_name(node)
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in CHARGING_METHODS
+            ):
+                yield ctx.finding(
+                    node,
+                    "R006",
+                    f"trace code must not charge the ledger "
+                    f"('{func.attr}'); the tracer only observes the run",
+                )
+            elif name is not None and (
+                name.startswith(("np.random.", "numpy.random."))
+                or name.split(".")[-1] == "random"
+            ):
+                yield ctx.finding(
+                    node,
+                    "R006",
+                    f"trace code must not draw randomness ('{name}()'); "
+                    "a traced run must equal the untraced run bit-exactly",
+                )
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                dotted = astutil.dotted_name(target)
+                if dotted is not None and ".metrics." in dotted + ".":
+                    yield ctx.finding(
+                        node,
+                        "R006",
+                        f"trace code must not mutate runtime metrics "
+                        f"('{dotted}')",
+                    )
+
+
+def _check_guards(ctx: ModuleContext) -> Iterator[Finding]:
+    parents: dict[ast.AST, ast.AST] | None = None
+    constructed: set[str] | None = None
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = astutil.call_name(node)
+        if name is None or "." not in name:
+            continue
+        base, _, method = name.rpartition(".")
+        if method not in TRACER_MUTATORS:
+            continue
+        if not (base == "tracer" or base.endswith("tracer")):
+            continue
+        if constructed is None:
+            constructed = _constructed_tracers(ctx.tree)
+        if base in constructed:
+            continue
+        if parents is None:
+            parents = _parents(ctx.tree)
+        if not _is_guarded(node, base, parents):
+            yield ctx.finding(
+                node,
+                "R006",
+                f"tracer hook '{name}()' outside an "
+                f"'if {base} is not None:' guard; the untraced path must "
+                "stay zero-cost",
+            )

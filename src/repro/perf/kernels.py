@@ -71,6 +71,8 @@ class VGCTaskResult:
         touched_old: ``dtilde`` value of each touched vertex before its
             first decrement of the subround.
         local_search_hits: Number of absorptions performed.
+        sample_draws: Sampled edges seen (RNG draws) across all tasks.
+        sample_hits: Draws that hit (incremented a sample counter).
     """
 
     task_costs: np.ndarray
@@ -80,6 +82,8 @@ class VGCTaskResult:
     touched: np.ndarray
     touched_old: np.ndarray
     local_search_hits: int
+    sample_draws: int = 0
+    sample_hits: int = 0
 
 
 def _gather(chunks: list[np.ndarray], scalars: list[int]) -> np.ndarray:
@@ -147,6 +151,7 @@ def vgc_peel_tasks(
     sat_chunks: list[np.ndarray] = []
     frontier_append = next_frontier.append
     ls_hits = 0
+    draws_total = 0
 
     for task_id in range(frontier.size):
         queue: list[int] = [int(frontier[task_id])]
@@ -300,6 +305,7 @@ def vgc_peel_tasks(
         task_costs[task_id] = (
             vertex_op * nv + edge_op * ne + flip_op * ns
         )
+        draws_total += ns
 
     decrements = _gather(dec_chunks, dec_scalar)
     hits_all = _gather(hit_chunks, hit_scalar)
@@ -318,4 +324,6 @@ def vgc_peel_tasks(
         touched=touched,
         touched_old=dtilde_start[touched],
         local_search_hits=ls_hits,
+        sample_draws=draws_total,
+        sample_hits=int(hits_all.size),
     )

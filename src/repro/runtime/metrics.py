@@ -31,6 +31,28 @@ METRICS_SCHEMA_VERSION = 1
 STABLE_THREAD_COUNTS = (1, 4, 96)
 
 
+def step_time_parts(
+    work: float,
+    span: float,
+    barriers: int,
+    p_eff: float,
+    model: CostModel,
+) -> tuple[float, float]:
+    """One ledger step's simulated running time, split into its two parts.
+
+    Returns ``(compute, sync)`` where ``compute = max(work / p_eff, span)``
+    is the work-stealing bound of the step body and ``sync = barriers *
+    omega_time`` is its scheduling cost.  This is the single definition of
+    the per-step bound shared by :meth:`RunMetrics.time_on`, the profiler's
+    per-tag breakdown, and the tracer's simulated clock.
+
+    The parts are returned separately (rather than pre-summed) because
+    :meth:`RunMetrics.time_on` accumulates them as two distinct float
+    additions — a summation order the regression goldens pin bit-exactly.
+    """
+    return max(work / p_eff, span), barriers * model.omega_time
+
+
 @dataclass
 class StepRecord:
     """One parallel step of the simulated execution."""
@@ -125,8 +147,11 @@ class RunMetrics:
         p_eff = model.effective_cores(threads)
         total = 0.0
         for step in self.steps:
-            total += max(step.work / p_eff, step.span)
-            total += step.barriers * model.omega_time
+            compute, sync = step_time_parts(
+                step.work, step.span, step.barriers, p_eff, model
+            )
+            total += compute
+            total += sync
         return total
 
     def merge(self, other: "RunMetrics") -> None:

@@ -10,11 +10,21 @@ algorithm spends its simulated time.
 
 from __future__ import annotations
 
+import json
 from collections import defaultdict
 from dataclasses import dataclass
 
 from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
-from repro.runtime.metrics import RunMetrics
+from repro.runtime.metrics import RunMetrics, step_time_parts
+
+#: Display/return sentinel for steps charged without a tag.  Both
+#: :meth:`ParallelismReport.dominant_tag` and :func:`render_report` use
+#: this same value, so "the dominant cost is untagged" reads identically
+#: whether you compare the return value or grep the rendered report.
+UNTAGGED = "<untagged>"
+
+#: Thread count of the per-tag breakdown (the paper's machine).
+PROFILE_THREADS = 96
 
 
 @dataclass(frozen=True)
@@ -27,6 +37,17 @@ class TagCost:
     barriers: int
     steps: int
     time96: float
+
+    def to_json(self) -> dict[str, float]:
+        """Plain-dict form (JSON-ready), with the display sentinel."""
+        return {
+            "tag": self.tag or UNTAGGED,
+            "work": float(self.work),
+            "span": float(self.span),
+            "barriers": int(self.barriers),
+            "steps": int(self.steps),
+            "time96": float(self.time96),
+        }
 
 
 @dataclass(frozen=True)
@@ -43,10 +64,38 @@ class ParallelismReport:
     tags: tuple[TagCost, ...]
 
     def dominant_tag(self) -> str:
-        """Ledger tag consuming the most simulated 96-thread time."""
+        """Ledger tag consuming the most simulated 96-thread time.
+
+        Untagged-dominant (and empty) runs return :data:`UNTAGGED` — the
+        same sentinel :func:`render_report` prints — never ``""``.
+        """
         if not self.tags:
-            return ""
-        return max(self.tags, key=lambda t: t.time96).tag
+            return UNTAGGED
+        return max(self.tags, key=lambda t: t.time96).tag or UNTAGGED
+
+    def to_json(self) -> dict[str, object]:
+        """The full report as a plain dict of JSON-safe values.
+
+        Machine-readable counterpart of :func:`render_report`, in the
+        style of the lint/regress JSON reporters.  Infinities (empty
+        ledgers) are mapped to ``None`` so the dict round-trips through
+        strict JSON.
+        """
+
+        def finite(value: float) -> float | None:
+            return float(value) if value != float("inf") else None
+
+        return {
+            "work": float(self.work),
+            "span": float(self.span),
+            "burdened_span": float(self.burdened_span),
+            "parallelism": finite(self.parallelism),
+            "burdened_parallelism": finite(self.burdened_parallelism),
+            "barriers": int(self.barriers),
+            "speedup_96": finite(self.speedup_96),
+            "dominant_tag": self.dominant_tag(),
+            "tags": [tag.to_json() for tag in self.tags],
+        }
 
 
 def profile(
@@ -56,6 +105,7 @@ def profile(
     work = metrics.work
     span = metrics.span
     burdened = metrics.burdened_span_under(model)
+    p_eff = model.effective_cores(PROFILE_THREADS)
     per_tag: dict[str, list[float]] = defaultdict(
         lambda: [0.0, 0.0, 0, 0, 0.0]
     )
@@ -65,10 +115,10 @@ def profile(
         slot[1] += step.span
         slot[2] += step.barriers
         slot[3] += 1
-        slot[4] += (
-            max(step.work / model.effective_cores(96), step.span)
-            + step.barriers * model.omega_time
+        compute, sync = step_time_parts(
+            step.work, step.span, step.barriers, p_eff, model
         )
+        slot[4] += compute + sync
     tags = tuple(
         sorted(
             (
@@ -78,7 +128,7 @@ def profile(
             key=lambda t: -t.time96,
         )
     )
-    t96 = metrics.time_on(96, model)
+    t96 = metrics.time_on(PROFILE_THREADS, model)
     return ParallelismReport(
         work=work,
         span=span,
@@ -110,9 +160,14 @@ def render_report(report: ParallelismReport, title: str = "") -> str:
     )
     for tag in report.tags:
         lines.append(
-            f"  {tag.tag or '<untagged>':20s} "
+            f"  {tag.tag or UNTAGGED:20s} "
             f"t96={tag.time96 / 1e3:9.1f}us work={tag.work / 1e3:9.1f}k "
             f"span={tag.span:9.0f} barriers={tag.barriers:5d} "
             f"steps={tag.steps}"
         )
     return "\n".join(lines)
+
+
+def render_report_json(report: ParallelismReport) -> str:
+    """The report serialized as JSON (one object, stable key order)."""
+    return json.dumps(report.to_json(), indent=1, sort_keys=True)

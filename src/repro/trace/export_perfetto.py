@@ -1,0 +1,180 @@
+"""Chrome/Perfetto trace-event JSON exporter.
+
+Produces the legacy Chrome trace-event format (the JSON flavour
+ui.perfetto.dev and ``chrome://tracing`` both load): a ``traceEvents``
+list of complete spans (``ph: "X"``), instants (``ph: "i"``) and counter
+samples (``ph: "C"``), plus process/thread metadata (``ph: "M"``).
+
+Track layout:
+
+* pid 1 — the simulated core group (one work-stealing pool).  Rounds,
+  subrounds and individual ledger steps live on three stacked threads so
+  the nesting reads top-down; ``frontier`` and ``contention`` are
+  counter tracks.
+* pid 2 — the host: wall-clock spans injected by the benchmark runner
+  (a different clock domain, deliberately a separate process track).
+
+Timestamps: the simulated clock counts ops == nanoseconds; trace-event
+``ts``/``dur`` are microseconds, so values are divided by 1000 (floats
+are legal and keep the export bit-deterministic).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.trace.tracer import TRACE_SCHEMA_VERSION, Tracer
+
+#: Process id of the simulated core-group tracks.
+SIM_PID = 1
+#: Process id of the host wall-clock tracks.
+HOST_PID = 2
+
+#: Thread ids inside the simulated process.
+TID_ROUNDS = 1
+TID_SUBROUNDS = 2
+TID_STEPS = 3
+
+_NS_PER_US = 1000.0
+
+
+def _meta(pid: int, tid: int | None, key: str, name: str) -> dict:
+    event: dict = {
+        "name": key,
+        "ph": "M",
+        "pid": pid,
+        "ts": 0,
+        "args": {"name": name},
+    }
+    event["tid"] = 0 if tid is None else tid
+    return event
+
+
+def to_perfetto(tracer: Tracer) -> dict:
+    """The full trace as a Chrome/Perfetto trace-event JSON object."""
+    tracer.finish()
+    events: list[dict] = [
+        _meta(SIM_PID, None, "process_name",
+              f"simulated @{tracer.threads} threads: {tracer.label}"),
+        _meta(SIM_PID, TID_ROUNDS, "thread_name", "rounds"),
+        _meta(SIM_PID, TID_SUBROUNDS, "thread_name", "subrounds"),
+        _meta(SIM_PID, TID_STEPS, "thread_name", "steps"),
+    ]
+    if tracer.host_spans:
+        events.append(_meta(HOST_PID, None, "process_name",
+                            "host wall-clock"))
+        events.append(_meta(HOST_PID, 1, "thread_name", "bench"))
+
+    for span in tracer.spans:
+        tid = TID_ROUNDS if span.kind == "round" else TID_SUBROUNDS
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.kind,
+                "ph": "X",
+                "ts": span.t0 / _NS_PER_US,
+                "dur": (span.t1 - span.t0) / _NS_PER_US,
+                "pid": SIM_PID,
+                "tid": tid,
+                "args": span.args,
+            }
+        )
+
+    for step in tracer.steps:
+        args: dict = {
+            "kind": step.kind,
+            "work": step.work,
+            "span": step.span,
+            "barriers": step.barriers,
+            "round": step.round_index,
+            "subround": step.subround_index,
+        }
+        if step.atomics:
+            args["atomics"] = step.atomics
+            args["max_contention"] = step.max_contention
+        events.append(
+            {
+                "name": step.tag or step.kind,
+                "cat": "step",
+                "ph": "X",
+                "ts": step.t0 / _NS_PER_US,
+                "dur": (step.t1 - step.t0) / _NS_PER_US,
+                "pid": SIM_PID,
+                "tid": TID_STEPS,
+                "args": args,
+            }
+        )
+
+    for inst in tracer.instants:
+        events.append(
+            {
+                "name": inst.name,
+                "cat": "event",
+                "ph": "i",
+                "s": "t",
+                "ts": inst.ts / _NS_PER_US,
+                "pid": SIM_PID,
+                "tid": TID_STEPS,
+                "args": inst.args,
+            }
+        )
+
+    for sample in tracer.counters:
+        events.append(
+            {
+                "name": sample.name,
+                "cat": "counter",
+                "ph": "C",
+                "ts": sample.ts / _NS_PER_US,
+                "pid": SIM_PID,
+                "tid": 0,
+                "args": {"value": sample.value},
+            }
+        )
+
+    host_ts = 0.0
+    for host in tracer.host_spans:
+        dur_us = host.wall_s * 1e6
+        events.append(
+            {
+                "name": host.name,
+                "cat": "host",
+                "ph": "X",
+                "ts": host_ts,
+                "dur": dur_us,
+                "pid": HOST_PID,
+                "tid": 1,
+                "args": dict(host.args, wall_s=host.wall_s),
+            }
+        )
+        host_ts += dur_us
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "trace_schema_version": TRACE_SCHEMA_VERSION,
+            "label": tracer.label,
+            "threads": tracer.threads,
+            "attempts": tracer.attempts,
+            "clock_domain": "simulated ops (=ns); ts/dur in us",
+            "simulated_ns": tracer.clock,
+            "rounds": len(tracer.rounds),
+            "model_signature": (
+                tracer.model.signature() if tracer.model is not None else {}
+            ),
+        },
+    }
+
+
+def render_perfetto(tracer: Tracer) -> str:
+    """The Perfetto JSON serialized with a stable key order."""
+    return json.dumps(to_perfetto(tracer), indent=1, sort_keys=True)
+
+
+def write_trace(tracer: Tracer, path: str) -> str:
+    """Write the Perfetto JSON to ``path``; returns ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_perfetto(tracer))
+        handle.write("\n")
+    return path

@@ -34,6 +34,15 @@ def test_quickstart_runs(capsys):
     assert "decomposition verified." in out
 
 
+def test_trace_flagship_runs(tmp_path, capsys):
+    load_example("trace_flagship").main(output_dir=str(tmp_path))
+    out = capsys.readouterr().out
+    assert "trace: All/LJ-S.tiny" in out
+    assert "busiest round" in out
+    assert (tmp_path / "flagship.trace.json").exists()
+    assert (tmp_path / "flagship.folded").exists()
+
+
 def test_waves_visualization_runs(capsys):
     load_example("peeling_waves_visualization").main()
     out = capsys.readouterr().out

@@ -40,9 +40,9 @@ def rule_ids(findings) -> list[str]:
 # Registry
 # ----------------------------------------------------------------------
 class TestRegistry:
-    def test_all_five_rules_registered(self):
+    def test_all_six_rules_registered(self):
         ids = [rule.rule_id for rule in all_rules()]
-        assert ids == ["R001", "R002", "R003", "R004", "R005"]
+        assert ids == ["R001", "R002", "R003", "R004", "R005", "R006"]
 
     def test_rules_have_names_and_summaries(self):
         for rule in all_rules():
@@ -216,7 +216,8 @@ class TestR003Determinism:
 
             def f():
                 return time.perf_counter()
-            """
+            """,
+            select=["R003"],
         )
         assert rule_ids(findings) == ["R003"]
 
@@ -227,7 +228,8 @@ class TestR003Determinism:
 
             def f():
                 return clock()
-            """
+            """,
+            select=["R003"],
         )
         assert rule_ids(findings) == ["R003"]
 
@@ -409,6 +411,145 @@ class TestR005MagicCostConstant:
             def f(runtime, model):
                 runtime.parallel_for(model.scan_op, count=4096, tag="scan")
             """
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# R006 trace-side-effect
+# ----------------------------------------------------------------------
+class TestR006TraceSideEffect:
+    def test_clock_read_in_repro_package_is_flagged(self):
+        findings = lint(
+            """
+            import time
+
+            def f():
+                return time.monotonic()
+            """,
+            select=["R006"],
+        )
+        assert rule_ids(findings) == ["R006"]
+        assert "wallclock" in findings[0].message
+
+    def test_bench_wallclock_module_is_exempt(self):
+        findings = lint(
+            """
+            import time
+
+            def measure():
+                return time.perf_counter()
+            """,
+            path="src/repro/bench/wallclock.py",
+            select=["R006"],
+        )
+        assert findings == []
+
+    def test_charge_inside_trace_package_is_flagged(self):
+        findings = lint(
+            """
+            def export(runtime):
+                runtime.parallel_for(1.0, count=1, tag="oops")
+            """,
+            path="src/repro/trace/export.py",
+            select=["R006"],
+        )
+        assert rule_ids(findings) == ["R006"]
+        assert "charge" in findings[0].message
+
+    def test_randomness_inside_trace_package_is_flagged(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def jitter():
+                return np.random.default_rng(0).random()
+            """,
+            path="src/repro/trace/export.py",
+            select=["R006"],
+        )
+        assert findings and all(f.rule_id == "R006" for f in findings)
+
+    def test_metrics_mutation_inside_trace_package_is_flagged(self):
+        findings = lint(
+            """
+            def poke(runtime):
+                runtime.metrics.restarts = 1
+            """,
+            path="src/repro/trace/export.py",
+            select=["R006"],
+        )
+        assert rule_ids(findings) == ["R006"]
+        assert "metrics" in findings[0].message
+
+    def test_unguarded_tracer_hook_is_flagged(self):
+        findings = lint(
+            """
+            def f(self, n):
+                self.tracer.on_step("seq", 1.0, 1.0, 0, "t")
+            """,
+            select=["R006"],
+        )
+        assert rule_ids(findings) == ["R006"]
+        assert "is not None" in findings[0].message
+
+    def test_guarded_tracer_hook_is_clean(self):
+        findings = lint(
+            """
+            def f(self, n):
+                if self.tracer is not None:
+                    self.tracer.on_step("seq", 1.0, 1.0, 0, "t")
+            """,
+            select=["R006"],
+        )
+        assert findings == []
+
+    def test_guard_on_wrong_name_does_not_count(self):
+        findings = lint(
+            """
+            def f(self, other):
+                if other is not None:
+                    self.tracer.instant("x")
+            """,
+            select=["R006"],
+        )
+        assert rule_ids(findings) == ["R006"]
+
+    def test_else_branch_of_guard_is_still_flagged(self):
+        findings = lint(
+            """
+            def f(tracer):
+                if tracer is not None:
+                    pass
+                else:
+                    tracer.instant("x")
+            """,
+            select=["R006"],
+        )
+        assert rule_ids(findings) == ["R006"]
+
+    def test_constructed_tracer_is_exempt(self):
+        findings = lint(
+            """
+            from repro.trace import Tracer
+
+            def f():
+                tracer = Tracer()
+                tracer.instant("x")
+                return tracer
+            """,
+            path="tests/snippet.py",
+            select=["R006"],
+        )
+        assert findings == []
+
+    def test_reading_tracer_state_is_clean(self):
+        findings = lint(
+            """
+            def f(self):
+                return self.tracer.telemetry()
+            """,
+            select=["R006"],
         )
         assert findings == []
 

@@ -1,11 +1,18 @@
 """Tests for the Cilkview-style parallelism profiler."""
 
+import json
+
 import pytest
 
 from repro.core.parallel_kcore import ParallelKCore
 from repro.generators import grid_2d
 from repro.runtime.metrics import RunMetrics
-from repro.runtime.profiler import profile, render_report
+from repro.runtime.profiler import (
+    UNTAGGED,
+    profile,
+    render_report,
+    render_report_json,
+)
 
 
 class TestProfile:
@@ -31,7 +38,7 @@ class TestProfile:
     def test_empty_metrics(self):
         report = profile(RunMetrics())
         assert report.work == 0.0
-        assert report.dominant_tag() == ""
+        assert report.dominant_tag() == UNTAGGED
 
     def test_real_run_dominant_tag_is_peel_or_barriers(self):
         # Large enough that parallelism pays for the barriers.
@@ -60,4 +67,42 @@ class TestRender:
     def test_untagged_label(self):
         m = RunMetrics()
         m.record_parallel(1.0, 1.0, barriers=0, tag="")
-        assert "<untagged>" in render_report(profile(m))
+        assert UNTAGGED in render_report(profile(m))
+
+    def test_dominant_tag_matches_rendered_sentinel(self):
+        # Regression: dominant_tag() used to return "" for untagged-
+        # dominant runs while render_report printed "<untagged>"; both
+        # sides now share the same sentinel.
+        m = RunMetrics()
+        m.record_parallel(100.0, 10.0, barriers=1, tag="")
+        report = profile(m)
+        assert report.dominant_tag() == UNTAGGED
+        assert report.dominant_tag() in render_report(report)
+
+
+class TestJsonReport:
+    def test_to_json_round_trips(self):
+        m = RunMetrics()
+        m.record_parallel(1000.0, 10.0, barriers=2, tag="peel")
+        m.record_parallel(10.0, 1.0, barriers=0, tag="")
+        report = profile(m)
+        data = json.loads(render_report_json(report))
+        assert data["work"] == report.work
+        assert data["barriers"] == report.barriers
+        assert data["dominant_tag"] == "peel"
+        tags = {t["tag"]: t for t in data["tags"]}
+        assert set(tags) == {"peel", UNTAGGED}
+        assert tags["peel"]["steps"] == 1
+
+    def test_to_json_maps_infinities_to_none(self):
+        data = profile(RunMetrics()).to_json()
+        assert data["parallelism"] is None
+        assert data["speedup_96"] is None
+        assert data["dominant_tag"] == UNTAGGED
+        json.dumps(data)  # strict-JSON serializable
+
+    def test_tag_time96_consistent_with_time_on(self):
+        result = ParallelKCore.plain().decompose(grid_2d(15, 15))
+        data = profile(result.metrics).to_json()
+        total = sum(t["time96"] for t in data["tags"])
+        assert total == pytest.approx(result.time_on(96), rel=1e-9)
