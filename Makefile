@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-figures examples clean loc regress regress-bless oracle trace
+.PHONY: install test lint bench bench-large bench-figures examples clean loc regress regress-bless oracle trace
 
 install:
 	$(PYTHON) setup.py develop
@@ -24,6 +24,9 @@ oracle:
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro.bench
+
+bench-large:
+	PYTHONPATH=src REPRO_GRAPH_CACHE=.graph_cache $(PYTHON) -m repro.bench --large --output BENCH_wallclock_large.json
 
 trace:
 	PYTHONPATH=src $(PYTHON) -m repro.trace ours LJ-S --flame LJ-S.folded

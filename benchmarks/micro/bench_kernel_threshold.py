@@ -1,0 +1,80 @@
+"""Micro-benchmark behind ``DEFAULT_KERNEL_THRESHOLD``.
+
+The flat NumPy VGC kernel processes a queue item's adjacency list one of
+two ways: a scalar Python loop (cheap for short lists — no array-slicing
+overhead) or a vectorized expansion (cheap for long lists — the per-edge
+work amortizes the slicing).  ``REPRO_KERNEL_THRESHOLD`` is the degree at
+which the kernel switches from the first to the second.
+
+This script sweeps candidate thresholds over a scalar-heavy sparse graph
+(road: average degree ~2.5), a vector-heavy dense graph (BA: hubs) and a
+mixed one, running the flagship engine cold under ``REPRO_KERNELS=
+vectorized`` each time, and writes ``kernel_threshold.json`` next to
+itself: the evidence for the committed default.  Re-run with::
+
+    PYTHONPATH=src python benchmarks/micro/bench_kernel_threshold.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+os.environ["REPRO_KERNELS"] = "vectorized"
+
+from repro.generators import suite  # noqa: E402  (after env setup)
+from repro.perf import THRESHOLD_ENV  # noqa: E402
+from repro.regress.matrix import ENGINES  # noqa: E402
+from repro.runtime.cost_model import DEFAULT_COST_MODEL  # noqa: E402
+
+THRESHOLDS = (0, 8, 16, 32, 64, 128, 1 << 30)
+GRAPHS = ("EU-S", "LJ-S", "HPL")
+ENGINE = "ours"
+REPEATS = 3
+
+
+def time_run(graph) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        ENGINES[ENGINE](graph, DEFAULT_COST_MODEL)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main() -> None:
+    graphs = {name: suite.load(name, size="full") for name in GRAPHS}
+    table: dict[str, dict[str, float]] = {}
+    totals: dict[int, float] = {}
+    for threshold in THRESHOLDS:
+        os.environ[THRESHOLD_ENV] = str(threshold)
+        total = 0.0
+        for name, graph in graphs.items():
+            wall = time_run(graph)
+            table.setdefault(name, {})[str(threshold)] = round(wall, 5)
+            total += wall
+        totals[threshold] = round(total, 5)
+        print(f"threshold {threshold:>10}: {totals[threshold]:.3f}s")
+    os.environ.pop(THRESHOLD_ENV, None)
+    best = min(totals, key=lambda t: totals[t])
+    out = {
+        "engine": ENGINE,
+        "kernels": "vectorized",
+        "repeats": REPEATS,
+        "per_graph_wall_s": table,
+        "total_wall_s": {str(t): w for t, w in totals.items()},
+        "best_threshold": best,
+        "note": (
+            "0 = always vectorize, 2**30 = always scalar; "
+            "DEFAULT_KERNEL_THRESHOLD in repro.perf pins the winner"
+        ),
+    }
+    path = Path(__file__).with_name("kernel_threshold.json")
+    path.write_text(json.dumps(out, indent=1, sort_keys=True) + "\n")
+    print(f"best threshold: {best}; wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

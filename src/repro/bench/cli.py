@@ -4,8 +4,9 @@ Typical invocations::
 
     python -m repro.bench                     # full matrix, pool fan-out
     python -m repro.bench --tiny              # smoke-sized matrix
+    python -m repro.bench --large             # ~10x scaled matrix
     python -m repro.bench --tiny --assert-all-hits   # warm-cache check
-    python -m repro.bench --compare-kernels   # cold kernel A/B evidence
+    python -m repro.bench --compare-kernels   # cold kernel A/B/C evidence
 
 The report is written to ``--output`` (default ``BENCH_wallclock.json``)
 and a one-line-per-engine summary is printed to stdout.
@@ -20,7 +21,7 @@ import sys
 
 from repro.bench.cache import DiskCache
 from repro.bench.runner import compare_kernels, default_matrix, execute
-from repro.perf import REFERENCE, VECTORIZED
+from repro.perf import NATIVE, REFERENCE, VECTORIZED
 
 DEFAULT_OUTPUT = "BENCH_wallclock.json"
 
@@ -34,10 +35,16 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.bench",
         description="Cached, wall-clock-instrumented benchmark matrix.",
     )
-    parser.add_argument(
+    size = parser.add_mutually_exclusive_group()
+    size.add_argument(
         "--tiny",
         action="store_true",
         help="run the tiny renditions of every suite graph",
+    )
+    size.add_argument(
+        "--large",
+        action="store_true",
+        help="run the large (~10x full) renditions of every suite graph",
     )
     parser.add_argument(
         "--jobs",
@@ -59,7 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--kernels",
-        choices=(VECTORIZED, REFERENCE),
+        choices=(NATIVE, VECTORIZED, REFERENCE),
         default=None,
         help="kernel mode for the matrix (default: REPRO_KERNELS)",
     )
@@ -83,6 +90,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--assert-all-hits",
         action="store_true",
         help="exit non-zero unless every cell was a cache hit",
+    )
+    parser.add_argument(
+        "--assert-wall-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit non-zero if the measured (cold) wall time exceeds "
+        "SECONDS — the CI scaling-regression tripwire",
     )
     parser.add_argument(
         "--trace",
@@ -109,10 +124,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     cache = DiskCache(args.cache_dir)
+    size = "tiny" if args.tiny else ("large" if args.large else "full")
     cells = default_matrix(
         engines=args.engines,
         graphs=args.graphs,
-        tiny=args.tiny,
+        size=size,
         kernels=args.kernels,
     )
     report = execute(
@@ -125,14 +141,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     if args.compare_kernels:
         report["kernel_comparison"] = compare_kernels(
-            graphs=args.graphs, tiny=args.tiny
+            graphs=args.graphs, size=size
         )
 
     summary = report["summary"]
     print(
         f"bench: {summary['cells']} cells, {summary['hits']} hits, "
         f"{summary['misses']} misses, "
-        f"{summary['measured_wall_s']:.2f}s measured"
+        f"{summary['measured_wall_s']:.2f}s measured, "
+        f"{summary['cached_wall_s']:.2f}s cached"
     )
     for engine, wall in summary["by_engine_wall_s"].items():
         print(f"  {engine:12s} {wall:8.2f}s")
@@ -140,11 +157,10 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote per-cell traces to {args.trace}/")
     if "kernel_comparison" in report:
         comp = report["kernel_comparison"]
-        print(
-            f"kernels: reference {comp['reference_wall_s']:.2f}s vs "
-            f"vectorized {comp['vectorized_wall_s']:.2f}s -> "
-            f"{comp['speedup']:.2f}x"
+        walls = " vs ".join(
+            f"{mode} {wall:.2f}s" for mode, wall in comp["wall_s"].items()
         )
+        print(f"kernels: {walls} -> {comp['speedup']:.2f}x")
 
     if args.output != "-":
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -155,6 +171,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.assert_all_hits and summary["misses"]:
         print(
             f"error: expected all hits, got {summary['misses']} misses",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.assert_wall_budget is not None
+        and summary["measured_wall_s"] > args.assert_wall_budget
+    ):
+        print(
+            f"error: measured wall {summary['measured_wall_s']:.2f}s "
+            f"exceeds budget {args.assert_wall_budget:.2f}s",
             file=sys.stderr,
         )
         return 1

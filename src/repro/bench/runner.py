@@ -1,13 +1,13 @@
 """The benchmark matrix runner: pool fan-out, disk cache, wall report.
 
-A *cell* is one ``(engine, graph)`` pair at one size (full or tiny)
-under one kernel mode.  :func:`execute` resolves every cell against the
-disk cache, fans the misses over a ``ProcessPoolExecutor``, and returns
-a report with one entry per cell: the simulated payload (regression
-``run_case`` shape) plus the host wall-clock and peak-RSS cost and the
-cache disposition.
+A *cell* is one ``(engine, graph)`` pair at one suite size tier (tiny /
+full / large) under one kernel mode.  :func:`execute` resolves every
+cell against the disk cache, fans the misses over a
+``ProcessPoolExecutor``, and returns a report with one entry per cell:
+the simulated payload (regression ``run_case`` shape) plus the host
+wall-clock and peak-RSS cost and the cache disposition.
 
-The cache key deliberately includes the kernel mode even though both
+The cache key deliberately includes the kernel mode even though all
 kernel implementations produce bit-identical payloads (the regression
 gate enforces that): the *wall* numbers attached to a cell are only
 meaningful for the mode that produced them.
@@ -23,14 +23,23 @@ from dataclasses import dataclass
 from repro.bench.cache import DiskCache, cache_key
 from repro.bench.wallclock import measure
 from repro.generators import suite
-from repro.perf import KERNELS_ENV, kernel_mode, REFERENCE, VECTORIZED
+from repro.perf import (
+    KERNELS_ENV,
+    NATIVE,
+    REFERENCE,
+    VECTORIZED,
+    kernel_mode,
+    native_available,
+)
 from repro.regress.matrix import ENGINES, coreness_fingerprint
 from repro.runtime.cost_model import DEFAULT_COST_MODEL
 from repro.runtime.metrics import METRICS_SCHEMA_VERSION
 from repro.trace import Tracer, tracing, write_trace
 
 #: Schema of the BENCH_wallclock.json report.
-BENCH_SCHEMA_VERSION = 1
+#: v2: cells carry ``size`` (was ``tiny``); the summary separates
+#: measured from cached wall time and aggregates engines over all cells.
+BENCH_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -39,7 +48,7 @@ class BenchCell:
 
     engine: str
     graph: str
-    tiny: bool = False
+    size: str = "full"
     kernels: str = VECTORIZED
 
     def key_fields(self) -> dict[str, object]:
@@ -48,7 +57,7 @@ class BenchCell:
             "kind": "bench_cell",
             "engine": self.engine,
             "graph": self.graph,
-            "tiny": self.tiny,
+            "size": self.size,
             "kernels": self.kernels,
             "model": DEFAULT_COST_MODEL.signature(),
             "metrics_schema": METRICS_SCHEMA_VERSION,
@@ -59,14 +68,13 @@ class BenchCell:
 
     @property
     def label(self) -> str:
-        size = "tiny" if self.tiny else "full"
-        return f"{self.engine}/{self.graph}/{size}/{self.kernels}"
+        return f"{self.engine}/{self.graph}/{self.size}/{self.kernels}"
 
 
 def default_matrix(
     engines: list[str] | None = None,
     graphs: list[str] | None = None,
-    tiny: bool = False,
+    size: str = "full",
     kernels: str | None = None,
 ) -> list[BenchCell]:
     """The benchmark matrix: every engine on every suite graph."""
@@ -80,10 +88,13 @@ def default_matrix(
         if graph not in suite.SUITE:
             known = ", ".join(suite.SUITE)
             raise KeyError(f"unknown suite graph {graph!r}; known: {known}")
+    if size not in suite.SIZES:
+        known = ", ".join(suite.SIZES)
+        raise ValueError(f"unknown suite size {size!r}; known: {known}")
     if kernels is None:
         kernels = kernel_mode()
     return [
-        BenchCell(engine, graph, tiny=tiny, kernels=kernels)
+        BenchCell(engine, graph, size=size, kernels=kernels)
         for engine in engines
         for graph in graphs
     ]
@@ -115,7 +126,7 @@ def run_cell(
     previous = os.environ.get(KERNELS_ENV)
     os.environ[KERNELS_ENV] = cell.kernels
     try:
-        graph = suite.load(cell.graph, tiny=cell.tiny)
+        graph = suite.load(cell.graph, size=cell.size)
         if trace_dir is None:
             with measure() as wall:
                 result = ENGINES[cell.engine](graph, DEFAULT_COST_MODEL)
@@ -205,21 +216,28 @@ def execute(
 
     report_cells = []
     measured_wall = 0.0
+    cached_wall = 0.0
     by_engine: dict[str, float] = {}
     hits = 0
     for cell in cells:
         disposition, payload = resolved[cell]
         wall = payload.get("wall", {})
         wall_s = float(wall.get("wall_s", 0.0))
+        # Every cell carries the wall-clock of the run that produced its
+        # payload, whether that run happened now or in a previous
+        # invocation — the per-engine totals aggregate all of them, and
+        # measured/cached record how the total splits.  (An all-hits
+        # warm run therefore still reports full per-engine timings.)
+        by_engine[cell.engine] = by_engine.get(cell.engine, 0.0) + wall_s
         if disposition == "miss":
             measured_wall += wall_s
-            by_engine[cell.engine] = by_engine.get(cell.engine, 0.0) + wall_s
         else:
             hits += 1
+            cached_wall += wall_s
         record = {
             "engine": cell.engine,
             "graph": cell.graph,
-            "tiny": cell.tiny,
+            "size": cell.size,
             "kernels": cell.kernels,
             "cache": disposition,
             "key": cell.key(),
@@ -243,6 +261,8 @@ def execute(
             "hits": hits,
             "misses": len(cells) - hits,
             "measured_wall_s": round(measured_wall, 6),
+            "cached_wall_s": round(cached_wall, 6),
+            "total_wall_s": round(measured_wall + cached_wall, 6),
             "by_engine_wall_s": {
                 engine: round(total, 6)
                 for engine, total in sorted(by_engine.items())
@@ -253,38 +273,50 @@ def execute(
 
 def compare_kernels(
     graphs: list[str] | None = None,
-    tiny: bool = False,
+    size: str = "full",
     engine: str = "ours",
+    modes: tuple[str, ...] | None = None,
 ) -> dict[str, object]:
-    """Cold A/B of the two kernel modes on one engine over the suite.
+    """Cold A/B/C of the kernel modes on one engine over the suite.
 
-    Runs every graph under the reference loop, then under the vectorized
-    kernels, both uncached, and reports the aggregate wall-clock speedup
-    — the evidence figure behind the perf layer.
+    Runs every graph under each mode (the reference loop, the flat
+    NumPy kernel, and — when a compiler is present — the native kernel),
+    all uncached, and reports the aggregate wall-clock speedup of the
+    fastest mode over the reference — the evidence figure behind the
+    perf layer.
     """
     graphs = list(graphs) if graphs else list(suite.SUITE)
+    if modes is None:
+        modes = (REFERENCE, VECTORIZED) + (
+            (NATIVE,) if native_available() else ()
+        )
     totals: dict[str, float] = {}
     per_graph: dict[str, dict[str, float]] = {name: {} for name in graphs}
-    for mode in (REFERENCE, VECTORIZED):
+    for mode in modes:
         total = 0.0
         for name in graphs:
             payload = run_cell(
-                BenchCell(engine, name, tiny=tiny, kernels=mode)
+                BenchCell(engine, name, size=size, kernels=mode)
             )
             wall_s = float(payload["wall"]["wall_s"])
             per_graph[name][mode] = round(wall_s, 6)
             total += wall_s
         totals[mode] = round(total, 6)
+    fastest = min(
+        (mode for mode in modes if mode != REFERENCE),
+        key=lambda mode: totals[mode],
+        default=REFERENCE,
+    )
     speedup = (
-        totals[REFERENCE] / totals[VECTORIZED]
-        if totals[VECTORIZED] > 0
+        totals[REFERENCE] / totals[fastest]
+        if totals.get(fastest, 0.0) > 0
         else float("inf")
     )
     return {
         "engine": engine,
-        "tiny": tiny,
+        "size": size,
         "graphs": per_graph,
-        "reference_wall_s": totals[REFERENCE],
-        "vectorized_wall_s": totals[VECTORIZED],
+        "wall_s": totals,
+        "fastest": fastest,
         "speedup": round(speedup, 3),
     }

@@ -14,8 +14,12 @@ import numpy as np
 
 from repro.core.state import PeelState
 from repro.core.vgc import VGCConfig
-from repro.perf import VECTORIZED, kernel_mode
-from repro.perf.kernels import VGCTaskResult, vgc_peel_tasks
+from repro.perf import NATIVE, REFERENCE, kernel_mode
+from repro.perf.kernels import (
+    VGCTaskResult,
+    vgc_peel_tasks,
+    vgc_peel_tasks_native,
+)
 from repro.primitives.bitops import sorted_member_mask
 from repro.runtime.atomics import batch_decrement
 
@@ -101,18 +105,21 @@ class OnlinePeel:
     ) -> np.ndarray:
         """Run the local searches, then the shared subround epilogue.
 
-        The task loop comes in two bit-exact implementations — the
-        vectorized kernel (default) and the original reference loop —
-        selected by ``REPRO_KERNELS``; everything after it (contention
-        accounting, resampling, bucket updates, frontier merge) is
-        shared, so the implementations can only differ inside the loop.
+        The task loop comes in three bit-exact implementations — the
+        compiled native kernel, the flat NumPy kernel, and the original
+        reference loop — selected by ``REPRO_KERNELS``; everything
+        after it (contention accounting, resampling, bucket updates,
+        frontier merge) is shared, so the implementations can only
+        differ inside the loop.
         """
         assert self.vgc is not None
         runtime = state.runtime
         model = runtime.model
-        if kernel_mode() == VECTORIZED:
-            regime = "vectorized"
-            result = vgc_peel_tasks(
+        regime = kernel_mode()
+        if regime == REFERENCE:
+            result = self._vgc_task_loop_reference(state, frontier, k)
+        elif regime == NATIVE:
+            result = vgc_peel_tasks_native(
                 state,
                 frontier,
                 k,
@@ -120,8 +127,13 @@ class OnlinePeel:
                 self.vgc.edge_budget,
             )
         else:
-            regime = "reference"
-            result = self._vgc_task_loop_reference(state, frontier, k)
+            result = vgc_peel_tasks(
+                state,
+                frontier,
+                k,
+                self.vgc.queue_size,
+                self.vgc.edge_budget,
+            )
         runtime.metrics.local_search_hits += result.local_search_hits
         if runtime.tracer is not None:
             runtime.tracer.instant(

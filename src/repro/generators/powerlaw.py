@@ -44,37 +44,54 @@ def barabasi_albert(
         )
     rng = np.random.default_rng(seed)
 
-    # Urn of endpoints; seeded with a (attach+1)-clique.
+    # Urn of endpoints in a preallocated flat array (two slots per edge);
+    # seeded with a (attach+1)-clique.  The layout — and the RNG stream —
+    # are bit-identical to the reference list-based builder in
+    # :mod:`repro.generators.reference` (pinned by the generator
+    # equivalence tests): the urn contents are appended in the same
+    # order, and a block draw of ``count`` bounded integers consumes the
+    # generator exactly like ``count`` scalar draws.
     seed_size = attach + 1
-    src_list: list[np.ndarray] = []
-    dst_list: list[np.ndarray] = []
     clique = np.arange(seed_size, dtype=np.int64)
     cs, cd = np.meshgrid(clique, clique)
     mask = cs < cd
-    src_list.append(cs[mask].ravel())
-    dst_list.append(cd[mask].ravel())
-    urn = np.concatenate([src_list[0], dst_list[0]]).tolist()
+    clique_src = cs[mask].ravel()
+    clique_dst = cd[mask].ravel()
+    clique_edges = clique_src.size
+
+    max_edges = clique_edges + (n - seed_size) * attach
+    src = np.empty(max_edges, dtype=np.int64)
+    dst = np.empty(max_edges, dtype=np.int64)
+    urn = np.empty(2 * max_edges, dtype=np.int64)
+    src[:clique_edges] = clique_src
+    dst[:clique_edges] = clique_dst
+    urn[:clique_edges] = clique_src
+    urn[clique_edges : 2 * clique_edges] = clique_dst
+    ep = clique_edges  # edges written
+    ulen = 2 * clique_edges  # urn endpoints written
 
     for v in range(seed_size, n):
         # Draw the attachment count, then that many distinct targets by
-        # degree-proportional sampling.
+        # degree-proportional sampling: one block of ``count`` draws,
+        # then scalar rejection draws only if the block had duplicates
+        # (the reference draws until the target *set* reaches count).
         if attach_min is None:
             count = attach
         else:
             count = int(rng.integers(attach_min, attach + 1))
-        targets: set[int] = set()
+        picks = urn[rng.integers(0, ulen, size=count)]
+        targets = set(picks.tolist())
         while len(targets) < count:
-            pick = urn[int(rng.integers(len(urn)))]
-            targets.add(int(pick))
+            targets.add(int(urn[int(rng.integers(ulen))]))
         tarr = np.fromiter(targets, dtype=np.int64, count=len(targets))
-        src_list.append(np.full(tarr.size, v, dtype=np.int64))
-        dst_list.append(tarr)
-        urn.extend(tarr.tolist())
-        urn.extend([v] * tarr.size)
+        src[ep : ep + count] = v
+        dst[ep : ep + count] = tarr
+        urn[ulen : ulen + count] = tarr
+        urn[ulen + count : ulen + 2 * count] = v
+        ep += count
+        ulen += 2 * count
 
-    edges = np.stack(
-        [np.concatenate(src_list), np.concatenate(dst_list)], axis=1
-    )
+    edges = np.stack([src[:ep], dst[:ep]], axis=1)
     return CSRGraph.from_edges(n, edges, name=name or f"ba-{n}-{attach}")
 
 

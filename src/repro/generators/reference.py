@@ -1,0 +1,68 @@
+"""Reference (pre-vectorization) generator builders.
+
+These are the original straight-line Python implementations the
+vectorized generators in this package replaced.  They are *not* used by
+the suite — they exist as equivalence oracles: the generator tests pin
+the vectorized builders bit-identical (same RNG stream, same edge list,
+same CSR arrays) to these references for every suite seed, so a
+performance change to a generator can never silently change the graphs
+the benchmarks and goldens run on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+
+def barabasi_albert_reference(
+    n: int,
+    attach: int,
+    seed: int = 0,
+    name: str = "",
+    attach_min: int | None = None,
+) -> CSRGraph:
+    """The original list-based Barabási–Albert urn construction."""
+    if attach < 1:
+        raise ValueError(f"attach must be >= 1, got {attach}")
+    if n <= attach:
+        raise ValueError(f"need n > attach, got n={n}, attach={attach}")
+    if attach_min is not None and not 1 <= attach_min <= attach:
+        raise ValueError(
+            f"need 1 <= attach_min <= attach, got {attach_min}"
+        )
+    rng = np.random.default_rng(seed)
+
+    # Urn of endpoints; seeded with a (attach+1)-clique.
+    seed_size = attach + 1
+    src_list: list[np.ndarray] = []
+    dst_list: list[np.ndarray] = []
+    clique = np.arange(seed_size, dtype=np.int64)
+    cs, cd = np.meshgrid(clique, clique)
+    mask = cs < cd
+    src_list.append(cs[mask].ravel())
+    dst_list.append(cd[mask].ravel())
+    urn = np.concatenate([src_list[0], dst_list[0]]).tolist()
+
+    for v in range(seed_size, n):
+        # Draw the attachment count, then that many distinct targets by
+        # degree-proportional sampling.
+        if attach_min is None:
+            count = attach
+        else:
+            count = int(rng.integers(attach_min, attach + 1))
+        targets: set[int] = set()
+        while len(targets) < count:
+            pick = urn[int(rng.integers(len(urn)))]
+            targets.add(int(pick))
+        tarr = np.fromiter(targets, dtype=np.int64, count=len(targets))
+        src_list.append(np.full(tarr.size, v, dtype=np.int64))
+        dst_list.append(tarr)
+        urn.extend(tarr.tolist())
+        urn.extend([v] * tarr.size)
+
+    edges = np.stack(
+        [np.concatenate(src_list), np.concatenate(dst_list)], axis=1
+    )
+    return CSRGraph.from_edges(n, edges, name=name or f"ba-{n}-{attach}")

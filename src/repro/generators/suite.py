@@ -10,15 +10,22 @@ sweep in minutes:
 * HCNS                 -> one vertex per coreness value (HBS's target),
 * HPL                  -> Barabási–Albert, as in the paper.
 
+Every entry comes in three sizes: ``tiny`` (hundreds of vertices; smoke
+tests and the differential oracle), ``full`` (the default benchmark tier)
+and ``large`` (roughly 10x full; the scaling tier the vectorized kernels
+exist for).  A spec is a *recipe* — a generator name plus its keyword
+parameters — rather than a closure, so the graph cache can derive a
+content key from the recipe itself (see :func:`repro.graphs.io.graph_cache_key`).
+
 Use :func:`load` to build (and memoize) a graph by name.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Callable
+from typing import Callable, Mapping
 
 from repro.generators.grid import cube_3d, grid_2d
 from repro.generators.highcore import hcns
@@ -32,6 +39,25 @@ from repro.generators.powerlaw import (
 from repro.generators.road import road_like
 from repro.graphs.csr import CSRGraph
 
+#: Suite tiers, smallest first.
+SIZES: tuple[str, ...] = ("tiny", "full", "large")
+
+#: Generator registry: the names usable in a :class:`GraphSpec` recipe.
+GENERATORS: dict[str, Callable[..., CSRGraph]] = {
+    "barabasi_albert": barabasi_albert,
+    "rmat": rmat,
+    "power_law_with_hub": power_law_with_hub,
+    "road_like": road_like,
+    "knn_graph": knn_graph,
+    "delaunay_mesh": delaunay_mesh,
+    "grid_2d": grid_2d,
+    "cube_3d": cube_3d,
+    "hcns": hcns,
+}
+
+#: A recipe: generator name + keyword parameters (the cache-key content).
+Recipe = tuple[str, Mapping[str, object]]
+
 
 @dataclass(frozen=True)
 class GraphSpec:
@@ -42,27 +68,48 @@ class GraphSpec:
         family: Table 2 family ("social", "web", "road", "knn", "other").
         paper_name: The dataset this entry scales down.
         dense: The paper's dense/sparse classification of the family.
-        build: Zero-argument builder returning the graph.
-        build_tiny: Builder for the tiny (hundreds-of-vertices) rendition of
-            the same family, used by smoke tests and the differential
-            oracle so they can sweep the full suite breadth in seconds.
+        recipes: Size tier -> ``(generator, params)`` recipe.
     """
 
     name: str
     family: str
     paper_name: str
     dense: bool
-    build: Callable[[], CSRGraph]
-    build_tiny: Callable[[], CSRGraph]
+    recipes: Mapping[str, Recipe] = field(default_factory=dict)
 
+    def recipe(self, size: str) -> Recipe:
+        """The ``(generator, params)`` recipe for a size tier."""
+        if size not in SIZES:
+            raise ValueError(
+                f"unknown suite size {size!r}; known: {', '.join(SIZES)}"
+            )
+        return self.recipes[size]
 
-def _named(builder: Callable[[], CSRGraph], name: str) -> Callable[[], CSRGraph]:
-    def build() -> CSRGraph:
-        graph = builder()
-        graph.name = name
+    def cache_key(self, size: str) -> str:
+        """Content key of this entry at a tier (recipe hash, seeds included)."""
+        from repro.graphs.io import graph_cache_key
+
+        generator, params = self.recipe(size)
+        return graph_cache_key(generator, params)
+
+    def build_size(self, size: str) -> CSRGraph:
+        """Build the graph at a tier (no caching; see :func:`load`)."""
+        generator, params = self.recipe(size)
+        graph = GENERATORS[generator](**params)
+        graph.name = self.name
         return graph
 
-    return build
+    def build(self) -> CSRGraph:
+        """Build the default (full) tier."""
+        return self.build_size("full")
+
+    def build_tiny(self) -> CSRGraph:
+        """Build the tiny tier (smoke tests, differential oracle)."""
+        return self.build_size("tiny")
+
+    def build_large(self) -> CSRGraph:
+        """Build the large tier (~10x full; the scaling benchmarks)."""
+        return self.build_size("large")
 
 
 def _spec(
@@ -70,12 +117,15 @@ def _spec(
     family: str,
     paper_name: str,
     dense: bool,
-    builder: Callable[[], CSRGraph],
-    tiny: Callable[[], CSRGraph],
+    generator: str,
+    tiny: dict,
+    full: dict,
+    large: dict,
 ) -> GraphSpec:
     return GraphSpec(
         name, family, paper_name, dense,
-        _named(builder, name), _named(tiny, name),
+        {"tiny": (generator, tiny), "full": (generator, full),
+         "large": (generator, large)},
     )
 
 
@@ -83,92 +133,135 @@ SUITE: dict[str, GraphSpec] = {
     spec.name: spec
     for spec in [
         # ----- social networks (dense, power-law) ---------------------
-        _spec("LJ-S", "social", "soc-LiveJournal1", True,
-              lambda: barabasi_albert(8_000, 12, seed=11, attach_min=2),
-              lambda: barabasi_albert(400, 6, seed=11, attach_min=2)),
-        _spec("OK-S", "social", "com-orkut", True,
-              lambda: barabasi_albert(6_000, 20, seed=12, attach_min=4),
-              lambda: barabasi_albert(300, 10, seed=12, attach_min=4)),
-        _spec("WB-S", "social", "soc-sinaweibo", True,
-              lambda: rmat(13, 8, seed=13),
-              lambda: rmat(8, 8, seed=13)),
-        _spec("TW-S", "social", "Twitter", True,
-              lambda: power_law_with_hub(
-                  12_000, 6, hub_count=6, hub_degree=3_000, seed=14),
-              lambda: power_law_with_hub(
-                  600, 4, hub_count=2, hub_degree=150, seed=14)),
-        _spec("FS-S", "social", "Friendster", True,
-              lambda: barabasi_albert(16_000, 16, seed=15, attach_min=3),
-              lambda: barabasi_albert(500, 8, seed=15, attach_min=3)),
+        _spec("LJ-S", "social", "soc-LiveJournal1", True, "barabasi_albert",
+              dict(n=400, attach=6, seed=11, attach_min=2),
+              dict(n=8_000, attach=12, seed=11, attach_min=2),
+              dict(n=100_000, attach=12, seed=11, attach_min=2)),
+        _spec("OK-S", "social", "com-orkut", True, "barabasi_albert",
+              dict(n=300, attach=10, seed=12, attach_min=4),
+              dict(n=6_000, attach=20, seed=12, attach_min=4),
+              dict(n=60_000, attach=20, seed=12, attach_min=4)),
+        _spec("WB-S", "social", "soc-sinaweibo", True, "rmat",
+              dict(scale=8, edge_factor=8, seed=13),
+              dict(scale=13, edge_factor=8, seed=13),
+              dict(scale=16, edge_factor=8, seed=13)),
+        _spec("TW-S", "social", "Twitter", True, "power_law_with_hub",
+              dict(n=600, attach=4, hub_count=2, hub_degree=150, seed=14),
+              dict(n=12_000, attach=6, hub_count=6, hub_degree=3_000,
+                   seed=14),
+              dict(n=120_000, attach=6, hub_count=6, hub_degree=30_000,
+                   seed=14)),
+        _spec("FS-S", "social", "Friendster", True, "barabasi_albert",
+              dict(n=500, attach=8, seed=15, attach_min=3),
+              dict(n=16_000, attach=16, seed=15, attach_min=3),
+              dict(n=120_000, attach=16, seed=15, attach_min=3)),
         # ----- web graphs (dense, very skewed) ------------------------
-        _spec("EH-S", "web", "eu-host", True,
-              lambda: rmat(14, 16, a=0.65, b=0.16, c=0.16, seed=21),
-              lambda: rmat(8, 16, a=0.65, b=0.16, c=0.16, seed=21)),
-        _spec("SD-S", "web", "sd-arc", True,
-              lambda: rmat(14, 32, a=0.65, b=0.16, c=0.16, seed=22),
-              lambda: rmat(8, 32, a=0.65, b=0.16, c=0.16, seed=22)),
-        _spec("CW-S", "web", "ClueWeb", True,
-              lambda: rmat(15, 24, a=0.66, b=0.16, c=0.16, seed=23),
-              lambda: rmat(9, 24, a=0.66, b=0.16, c=0.16, seed=23)),
-        _spec("HL14-S", "web", "Hyperlink14", True,
-              lambda: rmat(15, 16, a=0.65, b=0.16, c=0.16, seed=24),
-              lambda: rmat(9, 16, a=0.65, b=0.16, c=0.16, seed=24)),
-        _spec("HL12-S", "web", "Hyperlink12", True,
-              lambda: rmat(15, 20, a=0.65, b=0.16, c=0.16, seed=25),
-              lambda: rmat(9, 20, a=0.65, b=0.16, c=0.16, seed=25)),
+        _spec("EH-S", "web", "eu-host", True, "rmat",
+              dict(scale=8, edge_factor=16, a=0.65, b=0.16, c=0.16,
+                   seed=21),
+              dict(scale=14, edge_factor=16, a=0.65, b=0.16, c=0.16,
+                   seed=21),
+              dict(scale=17, edge_factor=16, a=0.65, b=0.16, c=0.16,
+                   seed=21)),
+        _spec("SD-S", "web", "sd-arc", True, "rmat",
+              dict(scale=8, edge_factor=32, a=0.65, b=0.16, c=0.16,
+                   seed=22),
+              dict(scale=14, edge_factor=32, a=0.65, b=0.16, c=0.16,
+                   seed=22),
+              dict(scale=17, edge_factor=32, a=0.65, b=0.16, c=0.16,
+                   seed=22)),
+        _spec("CW-S", "web", "ClueWeb", True, "rmat",
+              dict(scale=9, edge_factor=24, a=0.66, b=0.16, c=0.16,
+                   seed=23),
+              dict(scale=15, edge_factor=24, a=0.66, b=0.16, c=0.16,
+                   seed=23),
+              dict(scale=18, edge_factor=24, a=0.66, b=0.16, c=0.16,
+                   seed=23)),
+        _spec("HL14-S", "web", "Hyperlink14", True, "rmat",
+              dict(scale=9, edge_factor=16, a=0.65, b=0.16, c=0.16,
+                   seed=24),
+              dict(scale=15, edge_factor=16, a=0.65, b=0.16, c=0.16,
+                   seed=24),
+              dict(scale=18, edge_factor=16, a=0.65, b=0.16, c=0.16,
+                   seed=24)),
+        _spec("HL12-S", "web", "Hyperlink12", True, "rmat",
+              dict(scale=9, edge_factor=20, a=0.65, b=0.16, c=0.16,
+                   seed=25),
+              dict(scale=15, edge_factor=20, a=0.65, b=0.16, c=0.16,
+                   seed=25),
+              dict(scale=18, edge_factor=20, a=0.65, b=0.16, c=0.16,
+                   seed=25)),
         # ----- road networks (sparse) ---------------------------------
-        _spec("AF-S", "road", "OSM Africa", False,
-              lambda: road_like(20_000, seed=31),
-              lambda: road_like(700, seed=31)),
-        _spec("NA-S", "road", "OSM North America", False,
-              lambda: road_like(30_000, seed=32),
-              lambda: road_like(900, seed=32)),
-        _spec("AS-S", "road", "OSM Asia", False,
-              lambda: road_like(34_000, seed=33),
-              lambda: road_like(1_000, seed=33)),
-        _spec("EU-S", "road", "OSM Europe", False,
-              lambda: road_like(40_000, seed=34),
-              lambda: road_like(1_200, seed=34)),
+        _spec("AF-S", "road", "OSM Africa", False, "road_like",
+              dict(n=700, seed=31),
+              dict(n=20_000, seed=31),
+              dict(n=200_000, seed=31)),
+        _spec("NA-S", "road", "OSM North America", False, "road_like",
+              dict(n=900, seed=32),
+              dict(n=30_000, seed=32),
+              dict(n=300_000, seed=32)),
+        _spec("AS-S", "road", "OSM Asia", False, "road_like",
+              dict(n=1_000, seed=33),
+              dict(n=34_000, seed=33),
+              dict(n=340_000, seed=33)),
+        _spec("EU-S", "road", "OSM Europe", False, "road_like",
+              dict(n=1_200, seed=34),
+              dict(n=40_000, seed=34),
+              dict(n=400_000, seed=34)),
         # ----- k-NN graphs (sparse) -----------------------------------
-        _spec("CH5-S", "knn", "Chem, k=5", False,
-              lambda: knn_graph(8_000, 5, dim=16, clusters=12, seed=41),
-              lambda: knn_graph(400, 5, dim=16, clusters=6, seed=41)),
-        _spec("GL2-S", "knn", "GeoLife, k=2", False,
-              lambda: knn_graph(12_000, 2, dim=3, clusters=16, seed=42),
-              lambda: knn_graph(500, 2, dim=3, clusters=8, seed=42)),
-        _spec("GL5-S", "knn", "GeoLife, k=5", False,
-              lambda: knn_graph(12_000, 5, dim=3, clusters=16, seed=42),
-              lambda: knn_graph(500, 5, dim=3, clusters=8, seed=42)),
-        _spec("GL10-S", "knn", "GeoLife, k=10", False,
-              lambda: knn_graph(12_000, 10, dim=3, clusters=16, seed=42),
-              lambda: knn_graph(500, 10, dim=3, clusters=8, seed=42)),
-        _spec("COS5-S", "knn", "Cosmo50, k=5", False,
-              lambda: knn_graph(20_000, 5, dim=3, clusters=24, seed=43),
-              lambda: knn_graph(700, 5, dim=3, clusters=10, seed=43)),
+        _spec("CH5-S", "knn", "Chem, k=5", False, "knn_graph",
+              dict(n=400, k=5, dim=16, clusters=6, seed=41),
+              dict(n=8_000, k=5, dim=16, clusters=12, seed=41),
+              dict(n=80_000, k=5, dim=16, clusters=12, seed=41)),
+        _spec("GL2-S", "knn", "GeoLife, k=2", False, "knn_graph",
+              dict(n=500, k=2, dim=3, clusters=8, seed=42),
+              dict(n=12_000, k=2, dim=3, clusters=16, seed=42),
+              dict(n=120_000, k=2, dim=3, clusters=16, seed=42)),
+        _spec("GL5-S", "knn", "GeoLife, k=5", False, "knn_graph",
+              dict(n=500, k=5, dim=3, clusters=8, seed=42),
+              dict(n=12_000, k=5, dim=3, clusters=16, seed=42),
+              dict(n=120_000, k=5, dim=3, clusters=16, seed=42)),
+        _spec("GL10-S", "knn", "GeoLife, k=10", False, "knn_graph",
+              dict(n=500, k=10, dim=3, clusters=8, seed=42),
+              dict(n=12_000, k=10, dim=3, clusters=16, seed=42),
+              dict(n=120_000, k=10, dim=3, clusters=16, seed=42)),
+        _spec("COS5-S", "knn", "Cosmo50, k=5", False, "knn_graph",
+              dict(n=700, k=5, dim=3, clusters=10, seed=43),
+              dict(n=20_000, k=5, dim=3, clusters=24, seed=43),
+              dict(n=200_000, k=5, dim=3, clusters=24, seed=43)),
         # ----- other graphs --------------------------------------------
-        _spec("TRCE-S", "other", "Huge traces", False,
-              lambda: delaunay_mesh(16_000, seed=51),
-              lambda: delaunay_mesh(600, seed=51)),
-        _spec("BBL-S", "other", "Huge bubbles", False,
-              lambda: delaunay_mesh(20_000, seed=52),
-              lambda: delaunay_mesh(700, seed=52)),
-        _spec("GRID", "other", "Synthetic grid", False,
-              lambda: grid_2d(280, 280),
-              lambda: grid_2d(36, 36)),
-        _spec("CUBE", "other", "Synthetic cube", False,
-              lambda: cube_3d(24, 24, 24),
-              lambda: cube_3d(10, 10, 10)),
-        _spec("HCNS", "other", "High-coreness synthetic", True,
-              lambda: hcns(1024),
-              lambda: hcns(96)),
+        _spec("TRCE-S", "other", "Huge traces", False, "delaunay_mesh",
+              dict(n=600, seed=51),
+              dict(n=16_000, seed=51),
+              dict(n=160_000, seed=51)),
+        _spec("BBL-S", "other", "Huge bubbles", False, "delaunay_mesh",
+              dict(n=700, seed=52),
+              dict(n=20_000, seed=52),
+              dict(n=200_000, seed=52)),
+        _spec("GRID", "other", "Synthetic grid", False, "grid_2d",
+              dict(rows=36, cols=36),
+              dict(rows=280, cols=280),
+              dict(rows=880, cols=880)),
+        _spec("CUBE", "other", "Synthetic cube", False, "cube_3d",
+              dict(nx=10, ny=10, nz=10),
+              dict(nx=24, ny=24, nz=24),
+              dict(nx=52, ny=52, nz=52)),
+        # HCNS's edge count grows as kmax^2, so the large tier scales the
+        # coreness range by 2x (~4x edges), not 10x.
+        _spec("HCNS", "other", "High-coreness synthetic", True, "hcns",
+              dict(kmax=96),
+              dict(kmax=1024),
+              dict(kmax=2048)),
         # BA's max degree shrinks with n; graft scale-appropriate hubs so
         # the scaled graph keeps the huge-hub property that drives the
         # paper's sampling experiments on HPL.
         _spec("HPL", "other", "Power-law (Barabási–Albert)", True,
-              lambda: power_law_with_hub(
-                  16_000, 12, hub_count=4, hub_degree=4_000, seed=55),
-              lambda: power_law_with_hub(
-                  800, 6, hub_count=2, hub_degree=200, seed=55)),
+              "power_law_with_hub",
+              dict(n=800, attach=6, hub_count=2, hub_degree=200, seed=55),
+              dict(n=16_000, attach=12, hub_count=4, hub_degree=4_000,
+                   seed=55),
+              dict(n=160_000, attach=12, hub_count=4, hub_degree=40_000,
+                   seed=55)),
     ]
 }
 
@@ -193,44 +286,61 @@ def tiny_mode() -> bool:
     return os.environ.get("REPRO_SUITE_TINY", "") not in ("", "0")
 
 
-def load(name: str, tiny: bool | None = None) -> CSRGraph:
+def load(
+    name: str, tiny: bool | None = None, size: str | None = None
+) -> CSRGraph:
     """Build (once per process) and return the suite graph ``name``.
 
-    ``tiny=True`` returns the hundreds-of-vertices rendition of the same
-    family (smoke tests, the differential oracle); the default follows the
-    ``REPRO_SUITE_TINY`` environment variable.  Full-size and tiny builds
-    are cached independently, so enabling tiny mode mid-process never
-    poisons the full-size cache.
+    ``size`` selects the tier explicitly ("tiny" / "full" / "large");
+    ``tiny=True`` is shorthand for ``size="tiny"`` (smoke tests, the
+    differential oracle); the default follows the ``REPRO_SUITE_TINY``
+    environment variable.  Tiers are cached independently, so enabling
+    tiny mode mid-process never poisons the full-size cache.
 
     Set the ``REPRO_GRAPH_CACHE`` environment variable to a directory to
-    additionally persist built graphs as ``.npz`` across processes —
-    repeated benchmark invocations then skip the generators entirely.
+    additionally persist built graphs as uncompressed ``.npz`` across
+    processes — repeated benchmark invocations then skip the generators
+    entirely and memory-map the cached arrays.  Entries are keyed by the
+    *recipe content* (generator, parameters, seeds), so editing a suite
+    entry can never reuse a stale file.
     """
-    return _load(name, tiny_mode() if tiny is None else bool(tiny))
+    if size is None:
+        in_tiny = tiny_mode() if tiny is None else bool(tiny)
+        size = "tiny" if in_tiny else "full"
+    elif tiny is not None:
+        raise ValueError("pass either tiny= or size=, not both")
+    elif size not in SIZES:
+        raise ValueError(
+            f"unknown suite size {size!r}; known: {', '.join(SIZES)}"
+        )
+    return _load(name, size)
 
 
-def _load_impl(name: str, tiny: bool) -> CSRGraph:
+def _load_impl(name: str, size: str) -> CSRGraph:
     try:
         spec = SUITE[name]
     except KeyError:
         known = ", ".join(sorted(SUITE))
         raise KeyError(f"unknown suite graph {name!r}; known: {known}")
-    builder = spec.build_tiny if tiny else spec.build
     cache_dir = os.environ.get("REPRO_GRAPH_CACHE")
     if cache_dir:
-        from repro.graphs.io import load_npz, save_npz
+        from repro.graphs.io import (
+            cached_graph_path,
+            load_cached_graph,
+            store_cached_graph,
+        )
 
-        os.makedirs(cache_dir, exist_ok=True)
-        stem = f"{name}.tiny" if tiny else name
-        path = os.path.join(cache_dir, f"{stem}.npz")
-        if os.path.exists(path):
-            graph = load_npz(path)
+        path = cached_graph_path(
+            cache_dir, name, size, spec.cache_key(size)
+        )
+        graph = load_cached_graph(path)
+        if graph is not None:
             graph.name = name
             return graph
-        graph = builder()
-        save_npz(graph, path)
+        graph = spec.build_size(size)
+        store_cached_graph(graph, path)
         return graph
-    return builder()
+    return spec.build_size(size)
 
 
 _load = lru_cache(maxsize=None)(_load_impl)

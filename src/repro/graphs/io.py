@@ -14,7 +14,12 @@ The formats are deliberately minimal but round-trip exactly:
 from __future__ import annotations
 
 import gzip
+import hashlib
+import json
 import os
+import tempfile
+import zipfile
+from typing import Mapping
 
 import numpy as np
 
@@ -114,16 +119,36 @@ def load_adjacency(path: str | os.PathLike, name: str = "") -> CSRGraph:
     return CSRGraph.from_edges(n, edges, name=name)
 
 
-def save_npz(graph: CSRGraph, path: str | os.PathLike) -> None:
-    """Write a graph to a compressed ``.npz`` container."""
-    np.savez_compressed(
+def save_npz(
+    graph: CSRGraph, path: str | os.PathLike, compress: bool = True
+) -> None:
+    """Write a graph to an ``.npz`` container.
+
+    ``compress=False`` stores the members raw (``np.savez``), which is
+    what makes :func:`load_npz`'s memory-mapped path possible — mapped
+    loads need the array bytes verbatim in the file.
+    """
+    writer = np.savez_compressed if compress else np.savez
+    writer(
         path, indptr=graph.indptr, indices=graph.indices,
         name=np.array(graph.name),
     )
 
 
-def load_npz(path: str | os.PathLike) -> CSRGraph:
-    """Read a graph written by :func:`save_npz`."""
+def load_npz(path: str | os.PathLike, mmap: bool = False) -> CSRGraph:
+    """Read a graph written by :func:`save_npz`.
+
+    With ``mmap=True``, uncompressed members are memory-mapped read-only
+    instead of copied into fresh arrays — the graph cache's large-tier
+    loads touch only the pages a run actually reads.  Compressed files
+    (or any container the mapper cannot handle) silently fall back to a
+    normal load, so the flag is always safe to pass.
+    """
+    if mmap:
+        try:
+            return _load_npz_mmap(path)
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+            pass
     with np.load(path, allow_pickle=False) as data:
         try:
             indptr = data["indptr"]
@@ -134,3 +159,121 @@ def load_npz(path: str | os.PathLike) -> CSRGraph:
             ) from exc
         name = str(data["name"]) if "name" in data else ""
     return CSRGraph(indptr, indices, name=name)
+
+
+def _load_npz_mmap(path: str | os.PathLike) -> CSRGraph:
+    """Map ``indptr`` / ``indices`` straight out of an uncompressed npz.
+
+    ``np.load`` silently ignores ``mmap_mode`` for npz containers, but
+    ``np.savez`` stores members with no compression at a discoverable
+    offset, so each ``.npy`` member can be mapped in place: seek to the
+    member's local header, skip it, parse the npy header, and hand the
+    remaining extent to ``np.memmap``.  Raises on compressed members or
+    unexpected layout; the caller falls back to a copying load.
+    """
+    with zipfile.ZipFile(path) as archive:
+        with archive.open("name.npy") as member:
+            name = str(np.lib.format.read_array(member, allow_pickle=False))
+        arrays = {}
+        with open(path, "rb") as handle:
+            for member_name in ("indptr.npy", "indices.npy"):
+                info = archive.getinfo(member_name)
+                if info.compress_type != zipfile.ZIP_STORED:
+                    raise ValueError(f"{member_name} is compressed")
+                # Local file header: 30 fixed bytes, then the name and the
+                # extra field (whose length can differ from the central
+                # directory's copy, so it must be read from the file).
+                handle.seek(info.header_offset)
+                local = handle.read(30)
+                if local[:4] != b"PK\x03\x04":
+                    raise ValueError(f"{member_name}: bad local header")
+                name_len = int.from_bytes(local[26:28], "little")
+                extra_len = int.from_bytes(local[28:30], "little")
+                handle.seek(info.header_offset + 30 + name_len + extra_len)
+                version = np.lib.format.read_magic(handle)
+                if version == (1, 0):
+                    header = np.lib.format.read_array_header_1_0(handle)
+                elif version == (2, 0):
+                    header = np.lib.format.read_array_header_2_0(handle)
+                else:
+                    raise ValueError(f"npy version {version} unsupported")
+                shape, fortran, dtype = header
+                if fortran or dtype.hasobject:
+                    raise ValueError(f"{member_name}: unmappable layout")
+                arrays[member_name] = np.memmap(
+                    path, mode="r", dtype=dtype, shape=shape,
+                    offset=handle.tell(),
+                )
+    return CSRGraph(
+        arrays["indptr.npy"], arrays["indices.npy"], name=name
+    )
+
+
+# ----------------------------------------------------------------------
+# Content-keyed graph cache
+# ----------------------------------------------------------------------
+
+#: Bump to invalidate every cached graph (e.g. a CSR layout change).
+GRAPH_CACHE_VERSION = 1
+
+
+def graph_cache_key(generator: str, params: Mapping[str, object]) -> str:
+    """Content key for a generated graph: hash of recipe, not of output.
+
+    The key covers the generator name, every parameter (seeds included)
+    and the cache format version, so any recipe change — a new seed, a
+    retuned size, a cache-format bump — lands in a fresh file instead of
+    silently reusing a stale one.  Deliberately *not* covered: anything
+    environmental (paths, env vars, time), which would make the key
+    non-reproducible across machines; the lint rule R003 enforces this.
+    """
+    payload = {
+        "cache_version": GRAPH_CACHE_VERSION,
+        "generator": generator,
+        "params": dict(sorted(params.items())),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("ascii")).hexdigest()[:32]
+
+
+def cached_graph_path(
+    cache_dir: str | os.PathLike, name: str, size: str, key: str
+) -> str:
+    """File path of a cached suite graph (key in the name => self-invalidating)."""
+    return os.path.join(os.fspath(cache_dir), f"{name}.{size}.{key}.npz")
+
+
+def load_cached_graph(path: str | os.PathLike) -> CSRGraph | None:
+    """Load a cache entry, or ``None`` when absent or unreadable.
+
+    A corrupt entry (interrupted writer predating the atomic rename,
+    disk trouble) is treated as a miss — the caller rebuilds and
+    overwrites it.
+    """
+    if not os.path.exists(path):
+        return None
+    try:
+        return load_npz(path, mmap=True)
+    except (OSError, ValueError, zipfile.BadZipFile, GraphFormatError):
+        return None
+
+
+def store_cached_graph(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Write a cache entry atomically (tmp file + rename).
+
+    Uncompressed so loads can memory-map; atomic so concurrent benchmark
+    workers never observe a half-written file — the last writer wins with
+    a bit-identical payload (the key pins the recipe).
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".npz.tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            save_npz(graph, handle, compress=False)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise

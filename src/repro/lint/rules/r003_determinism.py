@@ -16,6 +16,13 @@ assertable.  Three things quietly break that:
 
 The sampling scheme's Las-Vegas analysis (paper Sec. 4.1) only holds for
 *documented, seeded* randomness, which is exactly what this rule pins.
+
+The rule also covers **cache-key functions** (names ending in ``_key``,
+or named ``key`` / ``key_fields``): the graph and benchmark caches key
+entries by *content*, so a key function reading the environment
+(``os.environ`` / ``os.getenv``) would make cache identity depend on
+host state — two machines would silently disagree about what a cached
+entry means.
 """
 
 from __future__ import annotations
@@ -108,6 +115,39 @@ def check(ctx: ModuleContext) -> Iterator[Finding]:
         elif isinstance(node, ast.Call):
             yield from _check_call(
                 ctx, node, time_modules, clock_names
+            )
+        elif isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ) and _is_key_function(node.name):
+            yield from _check_key_function(ctx, node)
+
+
+def _is_key_function(name: str) -> bool:
+    """Whether a function computes a cache key (by naming convention)."""
+    return name in ("key", "key_fields") or name.endswith("_key")
+
+
+def _check_key_function(
+    ctx: ModuleContext, node: ast.FunctionDef | ast.AsyncFunctionDef
+) -> Iterator[Finding]:
+    """Cache-key functions must not read the process environment."""
+    for sub in ast.walk(node):
+        leaked: str | None = None
+        if isinstance(sub, ast.Attribute):
+            dotted = astutil.dotted_name(sub)
+            if dotted in ("os.environ", "os.environb"):
+                leaked = dotted
+        elif isinstance(sub, ast.Call):
+            name = astutil.call_name(sub)
+            if name in ("os.getenv", "getenv"):
+                leaked = name
+        if leaked is not None:
+            yield ctx.finding(
+                sub,
+                "R003",
+                f"cache-key function '{node.name}' reads the environment "
+                f"({leaked}); keys must be pure functions of content, or "
+                "two hosts will disagree about what a cache entry means",
             )
 
 

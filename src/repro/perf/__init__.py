@@ -1,16 +1,29 @@
-"""Wall-clock performance layer (kernel-mode switch + vectorized kernels).
+"""Wall-clock performance layer (kernel-mode switch + peel kernels).
 
 The simulated runtime's *accounting* is independent of how fast the host
 Python actually executes a peel; ``repro.perf`` is about the latter.  It
-provides vectorized NumPy kernels for the hot peel paths that reproduce
-the reference implementations' metrics ledger bit-for-bit (enforced by
-the regression goldens), plus the ``REPRO_KERNELS`` switch that selects
+provides batched kernels for the hot peel paths that reproduce the
+reference implementations' metrics ledger bit-for-bit (enforced by the
+regression goldens), plus the ``REPRO_KERNELS`` switch that selects
 between them:
 
-* ``vectorized`` (default) — the batched kernels in
+* ``auto`` (default) — the native kernel when a C compiler is available
+  on this host, otherwise the vectorized NumPy kernel;
+* ``native`` — a small C kernel compiled on first use (see
+  :mod:`repro.perf.native`); an error if no compiler is available;
+* ``vectorized`` — the flat-buffer NumPy kernels in
   :mod:`repro.perf.kernels`;
 * ``reference`` — the original straight-line Python loops, kept as the
   equivalence oracle for property tests and A/B wall-clock comparisons.
+
+All modes are bit-exact with each other: same coreness, same metrics
+ledger, same RNG stream.  The mode is purely a wall-clock knob.
+
+``REPRO_KERNEL_THRESHOLD`` tunes the scalar-vs-vectorized regime switch
+inside the NumPy kernel (expansions below the threshold run a tuned
+scalar loop; NumPy dispatch only pays off on larger neighbor lists).
+The default was chosen by the committed micro-benchmark in
+``benchmarks/micro/kernel_threshold.json``.
 """
 
 from __future__ import annotations
@@ -20,25 +33,85 @@ import os
 #: Environment variable selecting the kernel implementation.
 KERNELS_ENV = "REPRO_KERNELS"
 
+#: Environment variable tuning the scalar/vectorized expansion threshold.
+THRESHOLD_ENV = "REPRO_KERNEL_THRESHOLD"
+
+AUTO = "auto"
+NATIVE = "native"
 VECTORIZED = "vectorized"
 REFERENCE = "reference"
 
-_VALID_MODES = (VECTORIZED, REFERENCE)
+_VALID_MODES = (AUTO, NATIVE, VECTORIZED, REFERENCE)
+
+#: Default scalar-vs-vectorized expansion threshold (edges per expansion).
+#: Chosen by ``benchmarks/micro/bench_kernel_threshold.py`` — see the
+#: committed ``benchmarks/micro/kernel_threshold.json`` and
+#: docs/PERFORMANCE.md.  128 won both the full-tier sweep there and a
+#: large-tier spot check (hub degrees in the thousands).
+DEFAULT_KERNEL_THRESHOLD = 128
+
+
+def native_available() -> bool:
+    """Whether the compiled native kernel can be (or has been) loaded."""
+    from repro.perf.native import available
+
+    return available()
 
 
 def kernel_mode() -> str:
-    """The active kernel implementation (``vectorized`` or ``reference``)."""
-    mode = os.environ.get(KERNELS_ENV, VECTORIZED).strip().lower()
+    """The active kernel implementation, resolved to a concrete mode.
+
+    Returns one of ``native``, ``vectorized`` or ``reference``.  The
+    default ``auto`` resolves to ``native`` when a C compiler is
+    available on this host and to ``vectorized`` otherwise, so the
+    payloads (which are bit-identical across modes) never depend on the
+    host toolchain — only the wall-clock does.
+    """
+    mode = os.environ.get(KERNELS_ENV, AUTO).strip().lower()
     if mode not in _VALID_MODES:
         raise ValueError(
             f"{KERNELS_ENV} must be one of {_VALID_MODES}, got {mode!r}"
         )
+    if mode == AUTO:
+        return NATIVE if native_available() else VECTORIZED
+    if mode == NATIVE and not native_available():
+        raise RuntimeError(
+            f"{KERNELS_ENV}={NATIVE} but no C compiler is available; "
+            f"use {AUTO} to fall back to the vectorized NumPy kernels"
+        )
     return mode
 
 
+def kernel_threshold() -> int:
+    """The scalar-vs-vectorized expansion threshold (``>= 0``).
+
+    Expansions with fewer edges than this run the tuned scalar loop of
+    the NumPy kernel; larger ones use full NumPy batching.  Both regimes
+    are bit-exact, so this is purely a speed knob.
+    """
+    raw = os.environ.get(THRESHOLD_ENV, "").strip()
+    if not raw:
+        return DEFAULT_KERNEL_THRESHOLD
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{THRESHOLD_ENV} must be an integer, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(f"{THRESHOLD_ENV} must be >= 0, got {value}")
+    return value
+
+
 __all__ = [
+    "AUTO",
+    "DEFAULT_KERNEL_THRESHOLD",
     "KERNELS_ENV",
+    "NATIVE",
     "REFERENCE",
+    "THRESHOLD_ENV",
     "VECTORIZED",
     "kernel_mode",
+    "kernel_threshold",
+    "native_available",
 ]

@@ -1,20 +1,34 @@
-"""Vectorized VGC peel kernel, bit-exact with the reference loop.
+"""Flat VGC peel kernels, bit-exact with the reference loop.
 
 The VGC subround is the wall-clock hot path of the ``ours`` engine: a
-per-edge Python loop over every local-search queue.  This kernel batches
-it with NumPy while reproducing the reference execution *exactly* — same
-coreness output, same ``RunMetrics`` ledger, same RNG stream — which the
+per-edge Python loop over every local-search queue.  This module batches
+it while reproducing the reference execution *exactly* — same coreness
+output, same ``RunMetrics`` ledger, same RNG stream — which the
 regression goldens and the kernel-equivalence property tests enforce.
+
+Two implementations share one epilogue (:func:`_finalize`):
+
+* :func:`vgc_peel_tasks` — the flat NumPy kernel.  One set of
+  preallocated flat output buffers (decrement stream, sampled-encounter
+  stream, denied crossings) spans the whole frontier; tasks write
+  through advancing offsets instead of per-task Python lists, and
+  neighbor expansions switch between a tuned scalar loop and NumPy
+  batching at :func:`repro.perf.kernel_threshold` edges.
+* :func:`vgc_peel_tasks_native` — the same task loop compiled to C
+  (:mod:`repro.perf.native`), filling the same flat buffers.
 
 The exactness argument, per mechanism:
 
-* **RNG stream.**  ``numpy.random.Generator`` produces the identical
-  sequence whether values are drawn one at a time (``rng.random()``) or
-  as arrays (``rng.random(m)``), in any interleaving.  Sample-mode
-  membership cannot change mid-subround (absorption only touches
-  vertices whose mode bit is already clear; resampling runs at subround
-  end), so the sampled targets of an expansion are known up front and
-  one array draw in CSR order reproduces the per-edge draws.
+* **Deferred RNG draws.**  Sample-mode membership cannot change
+  mid-subround (absorption only touches vertices whose mode bit is
+  already clear; resampling runs at subround end), and the coin-flip
+  *outcome* influences nothing inside the task loop: sampled edges
+  never decrement, the flip cost is charged per encounter regardless,
+  and hit counters are not read until the subround epilogue.  So the
+  kernels only record the encounter stream in task-major order and draw
+  ``rng.random(total)`` once at the end — ``numpy.random.Generator``
+  produces the identical sequence whether values are drawn one at a
+  time or as arrays, in any block structure.
 * **Decrement stream.**  Within one expansion the targets are distinct
   (simple graph), so a gathered ``old = dtilde[t]; dtilde[t] = old - 1``
   matches the sequential per-edge decrements, and the frontier-crossing
@@ -27,6 +41,10 @@ The exactness argument, per mechanism:
   decrement observed ``k + 1``).  Before that point, absorption
   decisions are replayed per crossing edge in encounter order with the
   exact ``edges_seen`` value of the reference loop.
+* **Saturation.**  Hit counters advance by unit increments, so they
+  cannot skip ``mu``; batching the increments per distinct vertex and
+  testing ``old < mu <= new`` recovers exactly the reference's
+  ``cnt == mu`` events.
 * **First-seen keys.**  The reference records ``dtilde[u]`` at a
   vertex's first decrement of the subround; since nothing else mutates
   ``dtilde`` inside the task loop, that value *is* the subround-start
@@ -35,7 +53,7 @@ The exactness argument, per mechanism:
 * **Cost accumulation.**  Per-task costs are accumulated as
   ``count * constant`` instead of repeated addition; this is exact
   because every pinned cost model uses dyadic-rational constants (see
-  docs/PERFORMANCE.md).  Aggregation orderings the kernel changes
+  docs/PERFORMANCE.md).  Aggregation orderings the kernels change
   (contention multisets, touched sets, bucket updates, frontier merges)
   are all canonicalized downstream (``np.unique``) or order-insensitive.
 """
@@ -46,12 +64,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.perf import kernel_threshold
 from repro.runtime.atomics import batch_decrement, batch_increment_clamped
-
-#: Expansions below this degree run a tuned scalar loop: per-expansion
-#: NumPy dispatch overhead only pays off on larger neighbor lists.  Both
-#: regimes are bit-exact, so the threshold is purely a speed knob.
-SMALL_EXPANSION = 32
 
 
 @dataclass
@@ -86,15 +100,72 @@ class VGCTaskResult:
     sample_hits: int = 0
 
 
-def _gather(chunks: list[np.ndarray], scalars: list[int]) -> np.ndarray:
-    """Concatenate array chunks and scalar-path collections (any order)."""
-    if scalars:
-        chunks = chunks + [np.asarray(scalars, dtype=np.int64)]
-    if not chunks:
-        return np.zeros(0, dtype=np.int64)
-    if len(chunks) == 1:
-        return np.asarray(chunks[0], dtype=np.int64)
-    return np.concatenate(chunks)
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+
+def _sampling_arrays(state):
+    """The subround's sampling arrays, or all-``None`` when inactive.
+
+    When nothing is in sample mode the whole sampling branch is dead (no
+    RNG draws would occur), so the non-sampled fast path is exact.
+    """
+    sampling = state.sampling
+    if sampling is not None and bool(sampling.mode.any()):
+        return (
+            sampling.mode,
+            sampling.rate,
+            sampling.cnt,
+            sampling.rng,
+            sampling.mu,
+        )
+    return None, None, None, None, 0
+
+
+def _finalize(
+    dec: np.ndarray,
+    enc: np.ndarray,
+    next_frontier: np.ndarray,
+    task_costs: np.ndarray,
+    ls_hits: int,
+    dtilde_start: np.ndarray,
+    rng,
+    rate: np.ndarray | None,
+    cnt: np.ndarray | None,
+    mu: int,
+) -> VGCTaskResult:
+    """Shared subround epilogue: deferred draws, counters, contention.
+
+    ``dec`` and ``enc`` are the decrement and sampled-encounter streams
+    in task-major order (``enc`` order is what aligns the deferred RNG
+    draws with the reference's per-edge draws).
+    """
+    if enc.size:
+        draws = rng.random(enc.size)
+        hits_all = enc[draws < rate[enc]]
+    else:
+        hits_all = _EMPTY
+    if hits_all.size:
+        _, saturated = batch_increment_clamped(cnt, hits_all, mu)
+    else:
+        saturated = _EMPTY
+    touched, counts = np.unique(dec, return_counts=True)
+    # Decrement targets (mode clear) and hit targets (mode set) are
+    # disjoint — mode never changes inside a subround — so the combined
+    # contention histogram is the per-stream histograms side by side.
+    if hits_all.size:
+        _, hit_counts = np.unique(hits_all, return_counts=True)
+        counts = np.concatenate([counts, hit_counts])
+    return VGCTaskResult(
+        task_costs=task_costs,
+        next_frontier=next_frontier,
+        saturated=saturated,
+        target_counts=counts,
+        touched=touched,
+        touched_old=dtilde_start[touched],
+        local_search_hits=ls_hits,
+        sample_draws=int(enc.size),
+        sample_hits=int(hits_all.size),
+    )
 
 
 def vgc_peel_tasks(
@@ -104,57 +175,53 @@ def vgc_peel_tasks(
     budget: int,
     edge_budget: int,
 ) -> VGCTaskResult:
-    """Run every local search of a VGC subround (vectorized regimes)."""
+    """Run every local search of a VGC subround (flat NumPy kernel)."""
     graph = state.graph
     dtilde, peeled, coreness = state.dtilde, state.peeled, state.coreness
-    sampling = state.sampling
     indptr, indices = graph.indptr, graph.indices
     model = state.runtime.model
     vertex_op = model.vertex_op
     edge_op = model.edge_op
     flip_op = model.sample_flip_op
-
-    # Sample-mode membership is constant within a subround; when nothing
-    # is in sample mode the whole sampling branch is dead (no RNG draws
-    # would occur), so the non-sampled fast path is exact.
-    if sampling is not None and bool(sampling.mode.any()):
-        mode, rate, cnt = sampling.mode, sampling.rate, sampling.cnt
-        rng, mu = sampling.rng, sampling.mu
-    else:
-        mode = rate = cnt = rng = None
-        mu = 0
+    mode, rate, cnt, rng, mu = _sampling_arrays(state)
 
     # First-seen keys are subround-start values (see module docstring).
     dtilde_start = dtilde.copy()
+    threshold = kernel_threshold()
+
+    # Flat output buffers for the whole frontier, written through
+    # advancing offsets.  Capacities: queue items of distinct tasks are
+    # disjoint vertex sets and each is expanded at most once, so the
+    # edge stream (decrements + encounters) is bounded by the total
+    # degree sum ``indices.size``; a vertex crosses at most once per
+    # subround, so denied crossings are bounded by ``n``.
+    cap = int(indices.size)
+    dec_buf = np.empty(cap, dtype=np.int64)
+    enc_buf = np.empty(cap if mode is not None else 0, dtype=np.int64)
+    nf_buf = np.empty(graph.n, dtype=np.int64)
+    queue_buf = np.empty(max(int(budget), 1), dtype=np.int64)
+    dp = ep = fp = 0
 
     # Memoryviews give the tuned scalar loop native-Python-int element
     # access (no NumPy scalar boxing), sharing the arrays' buffers with
-    # the vectorized regimes.
+    # the vectorized regimes and the flat output buffers.
     dt_mv = memoryview(dtilde)
     pe_mv = memoryview(peeled)
     co_mv = memoryview(coreness)
     ip_mv = memoryview(indptr)
-    if mode is not None:
-        mode_mv = memoryview(mode)
-        rate_mv = memoryview(rate)
-        cnt_mv = memoryview(cnt)
-        rng_random = rng.random
+    ix_mv = memoryview(indices)
+    dec_mv = memoryview(dec_buf)
+    nf_mv = memoryview(nf_buf)
+    q_mv = memoryview(queue_buf)
+    mode_mv = memoryview(mode) if mode is not None else None
+    enc_mv = memoryview(enc_buf) if mode is not None else None
     k1 = k + 1
 
     task_costs = np.empty(frontier.size, dtype=np.float64)
-    next_frontier: list[int] = []
-    dec_scalar: list[int] = []
-    hit_scalar: list[int] = []
-    sat_scalar: list[int] = []
-    dec_chunks: list[np.ndarray] = []
-    hit_chunks: list[np.ndarray] = []
-    sat_chunks: list[np.ndarray] = []
-    frontier_append = next_frontier.append
     ls_hits = 0
-    draws_total = 0
 
-    for task_id in range(frontier.size):
-        queue: list[int] = [int(frontier[task_id])]
+    for task_id, seed in enumerate(frontier.tolist()):
+        q_mv[0] = seed
         head = 0
         qlen = 1
         nv = 0  # queue items processed (vertex_op each)
@@ -164,7 +231,7 @@ def vgc_peel_tasks(
             if qlen >= budget or ne >= edge_budget:
                 # Absorption-free tail: both conditions are monotone, so
                 # no remaining edge can absorb — batch the rest at once.
-                tail = np.asarray(queue[head:], dtype=np.int64)
+                tail = queue_buf[head:qlen]
                 head = qlen
                 nv += int(tail.size)
                 tgt = graph.gather_neighbors(tail)
@@ -173,47 +240,48 @@ def vgc_peel_tasks(
                     break
                 if mode is not None:
                     smask = mode[tgt]
-                    sampled = tgt[smask]
-                    direct = tgt[~smask]
-                    ns += int(sampled.size)
-                    if sampled.size:
-                        draws = rng.random(sampled.size)
-                        hits = sampled[draws < rate[sampled]]
-                        if hits.size:
-                            hit_chunks.append(hits)
-                            _, reached = batch_increment_clamped(
-                                cnt, hits, mu
-                            )
-                            if reached.size:
-                                sat_chunks.append(reached)
+                    if smask.any():
+                        sampled = tgt[smask]
+                        sn = int(sampled.size)
+                        enc_buf[ep : ep + sn] = sampled
+                        ep += sn
+                        ns += sn
+                        direct = tgt[~smask]
+                    else:
+                        direct = tgt
                 else:
                     direct = tgt
                 if direct.size:
                     outcome = batch_decrement(dtilde, direct, k)
-                    dec_chunks.append(direct)
+                    dn = int(direct.size)
+                    dec_buf[dp : dp + dn] = direct
+                    dp += dn
                     crossed = outcome.crossed
                     crossed = crossed[~peeled[crossed]]
                     if crossed.size:
-                        next_frontier.extend(crossed.tolist())
+                        cn = int(crossed.size)
+                        nf_buf[fp : fp + cn] = crossed
+                        fp += cn
                 break
-            v = queue[head]
+            v = q_mv[head]
             head += 1
             nv += 1
             s = ip_mv[v]
-            deg = ip_mv[v + 1] - s
+            e = ip_mv[v + 1]
+            deg = e - s
             if deg == 0:
                 continue
-            if deg < SMALL_EXPANSION:
+            ne_base = ne
+            ne += deg
+            if deg < threshold:
                 # Tuned scalar loop (memoryviews, native Python ints).
-                nbrs = indices[s : s + deg]
-                nbrs_l = nbrs.tolist()
-                ne_base = ne
-                ne += deg
                 if mode is None:
-                    # Every edge is a direct decrement.
-                    dec_chunks.append(nbrs)
+                    # Every edge is a direct decrement: collect the
+                    # whole row with one slice copy, scan for crossings.
+                    dec_buf[dp : dp + deg] = indices[s:e]
+                    dp += deg
                     pos = 0
-                    for u in nbrs_l:
+                    for u in ix_mv[s:e]:
                         pos += 1
                         old = dt_mv[u]
                         dt_mv[u] = old - 1
@@ -222,60 +290,51 @@ def vgc_peel_tasks(
                                 qlen < budget
                                 and ne_base + pos < edge_budget
                             ):
-                                queue.append(u)
+                                q_mv[qlen] = u
                                 qlen += 1
                                 co_mv[u] = k
                                 pe_mv[u] = True
                                 ls_hits += 1
                             else:
-                                frontier_append(u)
+                                nf_mv[fp] = u
+                                fp += 1
                     continue
                 pos = 0
-                for u in nbrs_l:
+                for u in ix_mv[s:e]:
                     pos += 1
                     if mode_mv[u]:
                         ns += 1
-                        if rng_random() < rate_mv[u]:
-                            hit_scalar.append(u)
-                            c = cnt_mv[u] + 1
-                            cnt_mv[u] = c
-                            if c == mu:
-                                sat_scalar.append(u)
+                        enc_mv[ep] = u
+                        ep += 1
                         continue
                     old = dt_mv[u]
                     dt_mv[u] = old - 1
-                    dec_scalar.append(u)
+                    dec_mv[dp] = u
+                    dp += 1
                     if old == k1 and not pe_mv[u]:
                         if qlen < budget and ne_base + pos < edge_budget:
-                            queue.append(u)
+                            q_mv[qlen] = u
                             qlen += 1
                             co_mv[u] = k
                             pe_mv[u] = True
                             ls_hits += 1
                         else:
-                            frontier_append(u)
+                            nf_mv[fp] = u
+                            fp += 1
                 continue
             # Vectorized expansion: targets are distinct within one row.
-            nbrs = indices[s : s + deg]
-            ne_base = ne
-            ne += deg
-            pos = None
+            nbrs = indices[s:e]
+            pos_map = None
             if mode is not None:
                 smask = mode[nbrs]
                 if smask.any():
                     sampled = nbrs[smask]
-                    ns += int(sampled.size)
-                    draws = rng.random(sampled.size)
-                    hits = sampled[draws < rate[sampled]]
-                    if hits.size:
-                        hit_chunks.append(hits)
-                        newc = cnt[hits] + 1
-                        cnt[hits] = newc
-                        sat = hits[newc == mu]
-                        if sat.size:
-                            sat_chunks.append(sat)
-                    pos = np.flatnonzero(~smask)
-                    direct = nbrs[pos]
+                    sn = int(sampled.size)
+                    enc_buf[ep : ep + sn] = sampled
+                    ep += sn
+                    ns += sn
+                    pos_map = np.flatnonzero(~smask)
+                    direct = nbrs[pos_map]
                 else:
                     direct = nbrs
             else:
@@ -284,10 +343,12 @@ def vgc_peel_tasks(
                 continue
             old = dtilde[direct]
             dtilde[direct] = old - 1
-            dec_chunks.append(direct)
+            dn = int(direct.size)
+            dec_buf[dp : dp + dn] = direct
+            dp += dn
             cidx = np.flatnonzero((old == k1) & ~peeled[direct])
             if cidx.size:
-                cpos = cidx if pos is None else pos[cidx]
+                cpos = cidx if pos_map is None else pos_map[cidx]
                 # Replay absorption decisions in encounter order with the
                 # reference loop's exact edges_seen at each check.
                 for u, seen in zip(
@@ -295,35 +356,69 @@ def vgc_peel_tasks(
                     (ne_base + cpos + 1).tolist(),
                 ):
                     if qlen < budget and seen < edge_budget:
-                        queue.append(u)
+                        q_mv[qlen] = u
                         qlen += 1
                         co_mv[u] = k
                         pe_mv[u] = True
                         ls_hits += 1
                     else:
-                        frontier_append(u)
-        task_costs[task_id] = (
-            vertex_op * nv + edge_op * ne + flip_op * ns
-        )
-        draws_total += ns
+                        nf_mv[fp] = u
+                        fp += 1
+        task_costs[task_id] = vertex_op * nv + edge_op * ne + flip_op * ns
 
-    decrements = _gather(dec_chunks, dec_scalar)
-    hits_all = _gather(hit_chunks, hit_scalar)
-    # Decrement targets (mode clear) and hit targets (mode set) are
-    # disjoint — mode never changes inside a subround — so the combined
-    # contention histogram is the per-stream histograms side by side.
-    touched, counts = np.unique(decrements, return_counts=True)
-    if hits_all.size:
-        _, hit_counts = np.unique(hits_all, return_counts=True)
-        counts = np.concatenate([counts, hit_counts])
-    return VGCTaskResult(
-        task_costs=task_costs,
-        next_frontier=_gather([], next_frontier),
-        saturated=_gather(sat_chunks, sat_scalar),
-        target_counts=counts,
-        touched=touched,
-        touched_old=dtilde_start[touched],
-        local_search_hits=ls_hits,
-        sample_draws=draws_total,
-        sample_hits=int(hits_all.size),
+    return _finalize(
+        dec_buf[:dp],
+        enc_buf[:ep],
+        nf_buf[:fp].copy(),
+        task_costs,
+        ls_hits,
+        dtilde_start,
+        rng,
+        rate,
+        cnt,
+        mu,
+    )
+
+
+def vgc_peel_tasks_native(
+    state,
+    frontier: np.ndarray,
+    k: int,
+    budget: int,
+    edge_budget: int,
+) -> VGCTaskResult:
+    """Run every local search of a VGC subround (compiled C kernel)."""
+    from repro.perf import native
+
+    graph = state.graph
+    model = state.runtime.model
+    mode, rate, cnt, rng, mu = _sampling_arrays(state)
+    dtilde_start = state.dtilde.copy()
+    dec, enc, next_frontier, nv, ne, ns, ls_hits = native.run_task_loop(
+        graph,
+        state.dtilde,
+        state.peeled,
+        state.coreness,
+        mode,
+        frontier,
+        k,
+        budget,
+        edge_budget,
+    )
+    # Exact despite the reordering: counts stay well below 2**53 and the
+    # pinned cost constants are dyadic rationals (docs/PERFORMANCE.md).
+    task_costs = (
+        model.vertex_op * nv + model.edge_op * ne + model.sample_flip_op * ns
+    )
+    return _finalize(
+        dec,
+        enc,
+        next_frontier,
+        task_costs,
+        ls_hits,
+        dtilde_start,
+        rng,
+        rate,
+        cnt,
+        mu,
     )

@@ -1,0 +1,264 @@
+"""Native VGC peel kernel: a tiny C routine compiled on first use.
+
+The VGC task loop is inherently sequential at the absorption level (a
+crossing vertex joins the *current* queue and consumes budget that later
+crossings observe), which caps what pure NumPy batching can do for the
+small-expansion regime that dominates real frontiers.  This module
+compiles the reference task loop — minus the RNG — to a shared library
+with whatever C compiler the host provides, and loads it with
+``ctypes``.  No third-party packages, no build system: one ``cc -O2
+-shared`` invocation, cached by source hash under ``_build/``.
+
+Exactness: the C routine is a line-for-line transcription of
+``OnlinePeel._vgc_task_loop_reference`` with two provably invisible
+changes (see docs/PERFORMANCE.md):
+
+* **Deferred RNG draws.**  Sampled-edge coin flips never influence the
+  task loop itself (sample mode is fixed within a subround, sampled
+  edges never decrement, and the flip cost is charged per encounter
+  regardless of the outcome), so the kernel only records the encounter
+  stream and Python draws ``rng.random(total)`` afterwards — the same
+  values the reference drew one at a time, in the same order.
+* **Batched counter updates.**  Sampler hit counters are incremented
+  once per distinct vertex at subround end; nothing reads them inside
+  the loop, and the saturation event ``cnt == mu`` is recovered exactly
+  from the old/new counter values (unit increments cannot skip ``mu``).
+
+When no compiler is available (or compilation fails for any reason) the
+kernel reports unavailable and ``REPRO_KERNELS=auto`` falls back to the
+NumPy kernels — behavior, payloads and goldens are identical either way.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+
+import numpy as np
+
+_SOURCE = r"""
+#include <stdint.h>
+
+/* The VGC task loop of the online peel (paper Alg. 3 + Sec. 4.2 local
+ * searches), transcribed from the Python reference implementation.
+ * Sampled edges are recorded, not drawn: the caller replays the RNG
+ * stream afterwards (deferral is exact; see the module docstring). */
+void vgc_peel_tasks(
+    const int64_t *indptr,
+    const int64_t *indices,
+    int64_t *dtilde,
+    uint8_t *peeled,
+    int64_t *coreness,
+    const uint8_t *mode,      /* NULL when sampling is inactive */
+    const int64_t *frontier,
+    int64_t n_tasks,
+    int64_t k,
+    int64_t budget,
+    int64_t edge_budget,
+    int64_t *queue,           /* scratch, capacity >= budget */
+    int64_t *dec_out,         /* decrement targets, stream order */
+    int64_t *enc_out,         /* sampled-edge encounters, stream order */
+    int64_t *nf_out,          /* crossings denied absorption */
+    int64_t *nv_out,          /* per task: queue items processed */
+    int64_t *ne_out,          /* per task: edges seen */
+    int64_t *ns_out,          /* per task: sampled edges seen */
+    int64_t *counters)        /* [dec, enc, nf, local_search_hits] */
+{
+    int64_t dp = 0, ep = 0, fp = 0, ls = 0;
+    int64_t k1 = k + 1;
+    for (int64_t t = 0; t < n_tasks; t++) {
+        int64_t head = 0, qlen = 1;
+        int64_t nv = 0, ne = 0, ns = 0;
+        queue[0] = frontier[t];
+        while (head < qlen) {
+            int64_t v = queue[head++];
+            nv++;
+            int64_t end = indptr[v + 1];
+            for (int64_t i = indptr[v]; i < end; i++) {
+                int64_t u = indices[i];
+                ne++;
+                if (mode && mode[u]) {
+                    ns++;
+                    enc_out[ep++] = u;
+                    continue;
+                }
+                int64_t old = dtilde[u];
+                dtilde[u] = old - 1;
+                dec_out[dp++] = u;
+                if (old == k1 && !peeled[u]) {
+                    if (qlen < budget && ne < edge_budget) {
+                        queue[qlen++] = u;
+                        coreness[u] = k;
+                        peeled[u] = 1;
+                        ls++;
+                    } else {
+                        nf_out[fp++] = u;
+                    }
+                }
+            }
+        }
+        nv_out[t] = nv;
+        ne_out[t] = ne;
+        ns_out[t] = ns;
+    }
+    counters[0] = dp;
+    counters[1] = ep;
+    counters[2] = fp;
+    counters[3] = ls;
+}
+"""
+
+_BUILD_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "_build")
+
+_lib: ctypes.CDLL | None = None
+_available: bool | None = None
+
+
+def _compiler() -> str | None:
+    for cand in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if cand and shutil.which(cand):
+            return cand
+    return None
+
+
+def _so_path() -> str:
+    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
+    return os.path.join(_BUILD_DIR, f"_vgc_kernel-{digest}.so")
+
+
+def _build() -> str | None:
+    """Compile the kernel (once per source version); return the .so path."""
+    path = _so_path()
+    if os.path.exists(path):
+        return path
+    cc = _compiler()
+    if cc is None:
+        return None
+    os.makedirs(_BUILD_DIR, exist_ok=True)
+    try:
+        with tempfile.TemporaryDirectory(dir=_BUILD_DIR) as work:
+            src = os.path.join(work, "_vgc_kernel.c")
+            out = os.path.join(work, "_vgc_kernel.so")
+            with open(src, "w", encoding="ascii") as handle:
+                handle.write(_SOURCE)
+            subprocess.run(
+                [cc, "-O2", "-shared", "-fPIC", "-o", out, src],
+                check=True,
+                capture_output=True,
+                timeout=120,
+            )
+            os.replace(out, path)  # atomic: concurrent builders agree
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return path
+
+
+def _load() -> ctypes.CDLL | None:
+    global _lib, _available
+    if _available is not None:
+        return _lib
+    path = _build()
+    if path is None:
+        _available = False
+        return None
+    try:
+        lib = ctypes.CDLL(path)
+        fn = lib.vgc_peel_tasks
+    except (OSError, AttributeError):
+        _available = False
+        return None
+    fn.restype = None
+    fn.argtypes = [ctypes.c_void_p] * 7 + [ctypes.c_int64] * 4 + [
+        ctypes.c_void_p
+    ] * 8
+    _lib = lib
+    _available = True
+    return _lib
+
+
+def available() -> bool:
+    """Whether the native kernel is usable on this host (builds lazily)."""
+    return _load() is not None
+
+
+def _ptr(array: np.ndarray | None) -> ctypes.c_void_p | None:
+    if array is None:
+        return None
+    return ctypes.c_void_p(array.ctypes.data)
+
+
+def run_task_loop(
+    graph,
+    dtilde: np.ndarray,
+    peeled: np.ndarray,
+    coreness: np.ndarray,
+    mode: np.ndarray | None,
+    frontier: np.ndarray,
+    k: int,
+    budget: int,
+    edge_budget: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray,
+           np.ndarray, int]:
+    """Run every local search of a subround in the compiled kernel.
+
+    Mutates ``dtilde`` / ``peeled`` / ``coreness`` exactly like the
+    reference loop and returns ``(dec, enc, next_frontier, nv, ne, ns,
+    local_search_hits)`` where ``dec`` / ``enc`` are the decrement and
+    sampled-encounter streams in task-major order and ``nv`` / ``ne`` /
+    ``ns`` are the per-task item / edge / sampled-edge counts.
+    """
+    lib = _load()
+    if lib is None:  # pragma: no cover - callers check available() first
+        raise RuntimeError("native kernel unavailable")
+    indptr, indices = graph.indptr, graph.indices
+    frontier = np.ascontiguousarray(frontier, dtype=np.int64)
+    n_tasks = int(frontier.size)
+    # Stream capacities: every queue item is expanded at most once and the
+    # item sets of distinct tasks are disjoint, so the total edge stream is
+    # bounded by the degree sum of all vertices — indices.size.  Denied
+    # crossings are bounded by one crossing per vertex per subround.
+    cap = int(indices.size)
+    dec = np.empty(cap, dtype=np.int64)
+    enc = np.empty(cap if mode is not None else 0, dtype=np.int64)
+    nf = np.empty(graph.n, dtype=np.int64)
+    queue = np.empty(max(int(budget), 1), dtype=np.int64)
+    nv = np.empty(n_tasks, dtype=np.int64)
+    ne = np.empty(n_tasks, dtype=np.int64)
+    ns = np.empty(n_tasks, dtype=np.int64)
+    counters = np.zeros(4, dtype=np.int64)
+    mode_u8 = mode.view(np.uint8) if mode is not None else None
+    lib.vgc_peel_tasks(
+        _ptr(indptr),
+        _ptr(indices),
+        _ptr(dtilde),
+        _ptr(peeled.view(np.uint8)),
+        _ptr(coreness),
+        _ptr(mode_u8),
+        _ptr(frontier),
+        n_tasks,
+        int(k),
+        int(budget),
+        int(edge_budget),
+        _ptr(queue),
+        _ptr(dec),
+        _ptr(enc),
+        _ptr(nf),
+        _ptr(nv),
+        _ptr(ne),
+        _ptr(ns),
+        _ptr(counters),
+    )
+    dp, ep, fp, ls = (int(x) for x in counters)
+    return (
+        dec[:dp],
+        enc[:ep] if mode is not None else enc,
+        nf[:fp].copy(),
+        nv,
+        ne,
+        ns,
+        ls,
+    )

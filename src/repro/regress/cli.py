@@ -80,10 +80,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated suite graph names (default: full suite)",
     )
-    oracle.add_argument(
+    oracle_size = oracle.add_mutually_exclusive_group()
+    oracle_size.add_argument(
         "--full-size",
         action="store_true",
         help="use the full-size suite graphs instead of the tiny ones",
+    )
+    oracle_size.add_argument(
+        "--large",
+        action="store_true",
+        help="use the large (~10x full) suite graphs",
     )
     oracle.add_argument(
         "--dump-dir",
@@ -156,9 +162,10 @@ def cmd_bless(args: argparse.Namespace) -> int:
 
 def cmd_oracle(args: argparse.Namespace) -> int:
     names = args.graphs.split(",") if args.graphs else None
+    size = "large" if args.large else ("full" if args.full_size else "tiny")
     findings = run_oracle(
         graph_names=names,
-        tiny=not args.full_size,
+        size=size,
         minimize=not args.no_minimize,
         dump_dir=args.dump_dir,
     )

@@ -124,6 +124,7 @@ def run_oracle(
     minimize: bool = True,
     dump_dir: str | Path | None = None,
     graphs: dict[str, CSRGraph] | None = None,
+    size: str | None = None,
 ) -> list[OracleFinding]:
     """Confront every exact engine with BZ across a graph corpus.
 
@@ -136,13 +137,17 @@ def run_oracle(
         minimize: Shrink each mismatch witness to a reproducer.
         dump_dir: Where to write reproducer JSON dumps (None: no dumps).
         graphs: Explicit ``name -> graph`` corpus overriding the suite.
+        size: Explicit suite tier ("tiny" / "full" / "large"),
+            overriding ``tiny``.
     """
     engines = engines if engines is not None else EXACT_ENGINES
     if graphs is None:
         names = list(graph_names) if graph_names is not None else list(
             suite.SUITE
         )
-        graphs = {name: suite.load(name, tiny=tiny) for name in names}
+        if size is None:
+            size = "tiny" if tiny else "full"
+        graphs = {name: suite.load(name, size=size) for name in names}
 
     findings: list[OracleFinding] = []
     for name, graph in graphs.items():

@@ -34,13 +34,16 @@ class TestCacheKey:
         assert cache_key({"a": 1}) != cache_key({"a": 2})
 
     def test_cell_key_pins_engine_graph_size_and_kernels(self):
-        base = BenchCell("ours", "GL2-S", tiny=True)
-        assert base.key() != BenchCell("bz", "GL2-S", tiny=True).key()
-        assert base.key() != BenchCell("ours", "AF-S", tiny=True).key()
-        assert base.key() != BenchCell("ours", "GL2-S", tiny=False).key()
+        base = BenchCell("ours", "GL2-S", size="tiny")
+        assert base.key() != BenchCell("bz", "GL2-S", size="tiny").key()
+        assert base.key() != BenchCell("ours", "AF-S", size="tiny").key()
+        assert base.key() != BenchCell("ours", "GL2-S", size="full").key()
+        assert base.key() != BenchCell("ours", "GL2-S", size="large").key()
         assert (
             base.key()
-            != BenchCell("ours", "GL2-S", tiny=True, kernels="reference").key()
+            != BenchCell(
+                "ours", "GL2-S", size="tiny", kernels="reference"
+            ).key()
         )
 
 
@@ -80,10 +83,21 @@ class TestMatrix:
         with pytest.raises(KeyError, match="unknown suite graph"):
             default_matrix(graphs=["nope"])
 
+    def test_unknown_size_rejected(self):
+        with pytest.raises(ValueError, match="unknown suite size"):
+            default_matrix(size="huge")
+
+    def test_large_size_accepted(self):
+        cells = default_matrix(
+            engines=["ours"], graphs=["GL2-S"], size="large"
+        )
+        assert cells[0].size == "large"
+        assert "/large/" in cells[0].label
+
 
 class TestRunner:
     CELLS = [
-        BenchCell(engine, graph, tiny=True)
+        BenchCell(engine, graph, size="tiny")
         for engine in ("bz", "ours")
         for graph in ("GL2-S", "AF-S")
     ]
@@ -94,14 +108,26 @@ class TestRunner:
         assert cold["summary"]["misses"] == len(self.CELLS)
         assert cold["summary"]["hits"] == 0
         assert cold["summary"]["measured_wall_s"] > 0
+        assert cold["summary"]["cached_wall_s"] == 0
 
         warm = execute(self.CELLS, jobs=1, cache=cache)
         assert warm["summary"]["hits"] == len(self.CELLS)
         assert warm["summary"]["misses"] == 0
+        # A warm run still reports full timings: every cell carries the
+        # wall-clock of the run that produced its payload, and the
+        # per-engine totals aggregate hits and misses alike.
+        assert warm["summary"]["measured_wall_s"] == 0
+        assert warm["summary"]["cached_wall_s"] > 0
+        assert warm["summary"]["by_engine_wall_s"].keys() == {"bz", "ours"}
+        assert all(
+            wall > 0
+            for wall in warm["summary"]["by_engine_wall_s"].values()
+        )
         # The warm payloads are the cold ones, byte for byte.
         for before, after in zip(cold["cells"], warm["cells"]):
             assert before["coreness_sha256"] == after["coreness_sha256"]
             assert before["key"] == after["key"]
+            assert after["wall_s"] == before["wall_s"]
 
     def test_refresh_ignores_cache(self, tmp_path):
         cache = DiskCache(tmp_path)
@@ -123,7 +149,7 @@ class TestRunner:
         from repro.regress.matrix import coreness_fingerprint
         from repro.runtime.cost_model import DEFAULT_COST_MODEL
 
-        payload = run_cell(BenchCell("julienne", "GL2-S", tiny=True))
+        payload = run_cell(BenchCell("julienne", "GL2-S", size="tiny"))
         graph = suite.load("GL2-S", tiny=True)
         result = ENGINES["julienne"](graph, DEFAULT_COST_MODEL)
         assert payload["coreness"] == coreness_fingerprint(result.coreness)
@@ -133,10 +159,11 @@ class TestRunner:
         assert payload["wall"]["wall_s"] >= 0
 
     def test_compare_kernels_tiny(self):
-        comp = compare_kernels(graphs=["GL2-S"], tiny=True)
+        comp = compare_kernels(graphs=["GL2-S"], size="tiny")
         assert comp["engine"] == "ours"
-        assert comp["reference_wall_s"] > 0
-        assert comp["vectorized_wall_s"] > 0
+        assert comp["wall_s"]["reference"] > 0
+        assert comp["wall_s"]["vectorized"] > 0
+        assert comp["fastest"] != "reference"
         assert set(comp["graphs"]) == {"GL2-S"}
 
 
@@ -171,6 +198,24 @@ class TestCLI:
             "--assert-all-hits",
         ]
         assert main(args) == 1
+
+    def test_assert_wall_budget(self, tmp_path):
+        args = self.ARGS + [
+            "--cache-dir",
+            str(tmp_path / "c"),
+            "--output",
+            "-",
+            "--assert-wall-budget",
+            "1e-9",
+        ]
+        # A cold run measures real wall time, which busts a 1ns budget;
+        # the warm rerun measures nothing and passes.
+        assert main(args) == 1
+        assert main(args) == 0
+
+    def test_tiny_and_large_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["--tiny", "--large"])
 
 
 class TestExperimentDiskCache:

@@ -1,0 +1,87 @@
+"""Generator equivalence and suite graph pinning.
+
+Two guards around the vectorized generators:
+
+* the vectorized Barabási–Albert builder must be *bit-identical* (same
+  RNG stream, same edge order, same CSR arrays) to the straight-line
+  reference implementation in :mod:`repro.generators.reference` for
+  every suite recipe that uses it — a performance change to a generator
+  must never change the graphs the benchmarks and goldens run on;
+* every suite entry's tiny rendition is pinned by sha256 in
+  ``tests/data/graph_sha256.json`` — the committed fingerprint of the
+  whole corpus.  Regenerate (after an *intentional* suite change) with::
+
+      PYTHONPATH=src python tests/test_generator_equivalence.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.generators import suite
+from repro.generators.powerlaw import barabasi_albert
+from repro.generators.reference import barabasi_albert_reference
+from repro.graphs.csr import CSRGraph
+
+PINS_PATH = Path(__file__).parent / "data" / "graph_sha256.json"
+
+#: Every (spec, tier) recipe built on the serial BA urn construction.
+BA_RECIPES = [
+    (name, size)
+    for name, spec in suite.SUITE.items()
+    for size in ("tiny", "full")
+    if spec.recipe(size)[0] == "barabasi_albert"
+]
+
+
+def graph_sha256(graph: CSRGraph) -> str:
+    digest = hashlib.sha256()
+    digest.update(str(graph.n).encode())
+    digest.update(np.ascontiguousarray(graph.indptr).tobytes())
+    digest.update(np.ascontiguousarray(graph.indices).tobytes())
+    return digest.hexdigest()
+
+
+@pytest.mark.parametrize("name,size", BA_RECIPES)
+def test_ba_vectorized_matches_reference(name, size):
+    _, params = suite.SUITE[name].recipe(size)
+    fast = barabasi_albert(**params)
+    slow = barabasi_albert_reference(**params)
+    assert fast.n == slow.n
+    assert np.array_equal(fast.indptr, slow.indptr)
+    assert np.array_equal(fast.indices, slow.indices)
+
+
+def _current_pins() -> dict[str, str]:
+    return {
+        name: graph_sha256(spec.build_tiny())
+        for name, spec in sorted(suite.SUITE.items())
+    }
+
+
+def test_tiny_suite_sha256_pinned():
+    pinned = json.loads(PINS_PATH.read_text())
+    current = _current_pins()
+    assert current == pinned, (
+        "suite graphs changed; if intentional, regenerate "
+        "tests/data/graph_sha256.json (see module docstring)"
+    )
+
+
+def test_cache_key_covers_seed_and_params():
+    spec = suite.SUITE["LJ-S"]
+    keys = {spec.cache_key(size) for size in suite.SIZES}
+    assert len(keys) == len(suite.SIZES)
+
+
+if __name__ == "__main__":
+    PINS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    PINS_PATH.write_text(
+        json.dumps(_current_pins(), indent=1, sort_keys=True) + "\n"
+    )
+    print(f"wrote {PINS_PATH}")

@@ -6,12 +6,16 @@ import pytest
 from repro.errors import GraphFormatError
 from repro.graphs.csr import CSRGraph
 from repro.graphs.io import (
+    cached_graph_path,
+    graph_cache_key,
     load_adjacency,
+    load_cached_graph,
     load_edge_list,
     load_npz,
     save_adjacency,
     save_edge_list,
     save_npz,
+    store_cached_graph,
 )
 
 
@@ -100,6 +104,70 @@ class TestNpz:
         path = tmp_path / "g.npz"
         save_npz(g, path)
         assert load_npz(path).n == 0
+
+    def test_uncompressed_round_trip_with_mmap(self, small_er, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(small_er, path, compress=False)
+        loaded = load_npz(path, mmap=True)
+        assert loaded == small_er
+        assert loaded.name == small_er.name
+        # The arrays really are memory-mapped, not copied.
+        backing = (
+            loaded.indptr
+            if isinstance(loaded.indptr, np.memmap)
+            else loaded.indptr.base
+        )
+        assert isinstance(backing, np.memmap)
+
+    def test_mmap_falls_back_on_compressed(self, small_er, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(small_er, path, compress=True)
+        assert load_npz(path, mmap=True) == small_er
+
+
+class TestGraphCache:
+    def test_key_covers_generator_params_and_seed(self):
+        base = graph_cache_key("barabasi_albert", {"n": 10, "seed": 1})
+        assert base == graph_cache_key(
+            "barabasi_albert", {"seed": 1, "n": 10}
+        )
+        assert base != graph_cache_key("rmat", {"n": 10, "seed": 1})
+        assert base != graph_cache_key(
+            "barabasi_albert", {"n": 10, "seed": 2}
+        )
+        assert base != graph_cache_key(
+            "barabasi_albert", {"n": 11, "seed": 1}
+        )
+
+    def test_store_load_round_trip(self, small_er, tmp_path):
+        path = cached_graph_path(tmp_path, "ER", "tiny", "abc123")
+        assert load_cached_graph(path) is None
+        store_cached_graph(small_er, path)
+        loaded = load_cached_graph(path)
+        assert loaded == small_er
+
+    def test_corrupt_entry_is_a_miss(self, small_er, tmp_path):
+        path = cached_graph_path(tmp_path, "ER", "tiny", "abc123")
+        store_cached_graph(small_er, path)
+        with open(path, "wb") as handle:
+            handle.write(b"garbage")
+        assert load_cached_graph(path) is None
+
+    def test_suite_load_uses_cache(self, tmp_path, monkeypatch):
+        from repro.generators import suite
+
+        monkeypatch.setenv("REPRO_GRAPH_CACHE", str(tmp_path))
+        suite.load.cache_clear()
+        built = suite.load("GL2-S", tiny=True)
+        entries = list(tmp_path.glob("GL2-S.tiny.*.npz"))
+        assert len(entries) == 1
+        key = suite.SUITE["GL2-S"].cache_key("tiny")
+        assert entries[0].name == f"GL2-S.tiny.{key}.npz"
+        suite.load.cache_clear()
+        cached = suite.load("GL2-S", tiny=True)
+        assert cached == built
+        assert cached.name == "GL2-S"
+        suite.load.cache_clear()
 
 
 class TestGzip:

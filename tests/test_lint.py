@@ -285,6 +285,56 @@ class TestR003Determinism:
         )
         assert findings == []
 
+    def test_env_read_in_cache_key_function_is_flagged(self):
+        findings = lint(
+            """
+            import os
+
+            def graph_cache_key(generator, params):
+                return hash((os.environ.get("HOST"), generator))
+            """,
+            select=["R003"],
+        )
+        assert rule_ids(findings) == ["R003"]
+        assert "cache-key" in findings[0].message
+
+    def test_getenv_in_key_fields_is_flagged(self):
+        findings = lint(
+            """
+            import os
+
+            def key_fields(self):
+                return {"mode": os.getenv("REPRO_KERNELS")}
+            """,
+            select=["R003"],
+        )
+        assert rule_ids(findings) == ["R003"]
+
+    def test_env_read_outside_key_function_is_clean(self):
+        findings = lint(
+            """
+            import os
+
+            def cache_dir():
+                return os.environ.get("REPRO_GRAPH_CACHE")
+            """,
+            select=["R003"],
+        )
+        assert findings == []
+
+    def test_pure_key_function_is_clean(self):
+        findings = lint(
+            """
+            import hashlib, json
+
+            def graph_cache_key(generator, params):
+                blob = json.dumps([generator, sorted(params.items())])
+                return hashlib.sha256(blob.encode()).hexdigest()
+            """,
+            select=["R003"],
+        )
+        assert findings == []
+
 
 # ----------------------------------------------------------------------
 # R004 simulated-race

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.core.sequential import bz_core, degeneracy, degeneracy_order
+from repro.core.sequential import (
+    _bz_peel,
+    _bz_peel_flat,
+    bz_core,
+    degeneracy,
+    degeneracy_order,
+)
 from repro.core.verify import reference_coreness
 from repro.generators import (
     complete_graph,
@@ -12,7 +18,10 @@ from repro.generators import (
     hcns,
     path_graph,
     star_graph,
+    suite,
 )
+from repro.perf import KERNELS_ENV, REFERENCE
+from repro.runtime.cost_model import DEFAULT_COST_MODEL
 
 
 class TestBZ:
@@ -20,6 +29,43 @@ class TestBZ:
         assert np.array_equal(
             bz_core(any_graph).coreness, reference_coreness(any_graph)
         )
+
+    def test_flat_peel_matches_reference_peel(self, any_graph):
+        """The NumPy level peel: same coreness, same op count."""
+        core_ref, _, ops_ref = _bz_peel(any_graph)
+        core_flat, ops_flat = _bz_peel_flat(any_graph)
+        assert np.array_equal(core_ref, core_flat)
+        assert ops_ref == ops_flat
+
+    def test_flat_peel_matches_across_tiny_suite(self):
+        """Coreness + full RunMetrics ledger agree on every suite family."""
+        for name in suite.SUITE:
+            graph = suite.load(name, tiny=True)
+            core_ref, _, ops_ref = _bz_peel(graph)
+            core_flat, ops_flat = _bz_peel_flat(graph)
+            assert np.array_equal(core_ref, core_flat), name
+            assert ops_ref == ops_flat, name
+
+    def test_bz_core_ledger_identical_across_modes(self, monkeypatch):
+        graph = suite.load("LJ-S", tiny=True)
+        monkeypatch.setenv(KERNELS_ENV, REFERENCE)
+        ref = bz_core(graph)
+        monkeypatch.setenv(KERNELS_ENV, "vectorized")
+        flat = bz_core(graph)
+        assert np.array_equal(ref.coreness, flat.coreness)
+        assert ref.metrics.to_stable_dict(
+            DEFAULT_COST_MODEL
+        ) == flat.metrics.to_stable_dict(DEFAULT_COST_MODEL)
+
+    def test_flat_peel_empty_graph(self):
+        from repro.graphs.csr import CSRGraph
+
+        graph = CSRGraph(
+            np.zeros(1, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        )
+        coreness, ops = _bz_peel_flat(graph)
+        assert coreness.size == 0
+        assert ops == 0
 
     def test_work_is_linear(self):
         g = erdos_renyi(1000, 8.0, seed=1)

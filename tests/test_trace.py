@@ -301,7 +301,7 @@ class TestCLI:
 # Bench integration
 # ----------------------------------------------------------------------
 class TestBenchTracing:
-    CELL = BenchCell("ours", "GRID", tiny=True)
+    CELL = BenchCell("ours", "GRID", size="tiny")
 
     def test_run_cell_writes_trace_and_payload_unchanged(self, tmp_path):
         traced = run_cell(self.CELL, trace_dir=str(tmp_path))
