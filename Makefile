@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-large bench-figures examples clean loc regress regress-bless oracle trace
+.PHONY: install test lint lint-changed bench bench-large bench-figures examples clean loc regress regress-bless oracle trace
 
 install:
 	$(PYTHON) setup.py develop
@@ -10,8 +10,18 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+LINT_ROOTS = src/ tests/ benchmarks/ examples/ tools/
+
 lint:
-	PYTHONPATH=src $(PYTHON) -m repro.lint src/ tests/ benchmarks/
+	PYTHONPATH=src $(PYTHON) -m repro.lint $(LINT_ROOTS) \
+		--cache .lint-cache --baseline .lint-baseline.json
+
+# Analyze the whole program (cross-module rules need full context) but
+# report findings only for files changed relative to origin/main.
+lint-changed:
+	PYTHONPATH=src $(PYTHON) -m repro.lint $(LINT_ROOTS) \
+		--cache .lint-cache --baseline .lint-baseline.json \
+		--only "$$(git diff --name-only origin/main... -- '*.py' | paste -sd, -)"
 
 regress:
 	PYTHONPATH=src $(PYTHON) -m repro.regress run

@@ -11,6 +11,53 @@ from __future__ import annotations
 import ast
 from collections.abc import Iterator
 
+#: Wall-clock reading functions of the ``time`` module.
+CLOCK_FUNCTIONS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+#: ``np.random`` attributes that are part of the modern Generator API and
+#: therefore *not* global-state RNG.
+GENERATOR_API = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "MT19937",
+        "Philox",
+        "SFC64",
+    }
+)
+
+
+def time_aliases(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """(module aliases of ``time``, local names bound to its clocks)."""
+    modules: set[str] = set()
+    functions: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    modules.add(alias.asname or alias.name)
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in CLOCK_FUNCTIONS:
+                    functions.add(alias.asname or alias.name)
+    return modules, functions
+
+
 #: The charge vocabulary of :class:`repro.runtime.simulator.SimRuntime`.
 #: Every simulated parallel or sequential step enters the ledger through
 #: one of these methods (``record_*`` are the underlying metric hooks).

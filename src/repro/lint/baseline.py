@@ -1,0 +1,74 @@
+"""Finding baselines: fail only on *new* findings.
+
+A baseline file records a fingerprint for every finding present at the
+time it was written.  Subsequent runs subtract baselined fingerprints
+and fail only on what is new — the standard adoption path for a linter
+growing stricter rules over an existing tree (the committed baseline in
+this repository is empty: the tree lints clean and must stay so).
+
+Fingerprints hash ``path | rule | message`` and deliberately exclude the
+line number, so reformatting or unrelated edits that shift a suppressed
+legacy finding do not resurrect it.  Two identical findings in one file
+share a fingerprint; the baseline stores a count so adding a *second*
+occurrence of an already-baselined defect still fails.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.lint.finding import Finding
+
+BASELINE_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable identity of a finding, independent of its line number."""
+    key = f"{finding.path}|{finding.rule_id}|{finding.message}"
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """Fingerprint multiset from ``path`` (empty on missing file)."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return Counter()
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(f"unrecognized baseline format in {path}")
+    counts = data.get("fingerprints", {})
+    if isinstance(counts, list):  # tolerate a bare list of fingerprints
+        return Counter(counts)
+    return Counter({str(k): int(v) for k, v in counts.items()})
+
+
+def write_baseline(path: str | Path, findings: Iterable[Finding]) -> None:
+    """Record ``findings`` as the new baseline at ``path``."""
+    counts = Counter(fingerprint(finding) for finding in findings)
+    payload = {
+        "version": BASELINE_VERSION,
+        "fingerprints": {k: counts[k] for k in sorted(counts)},
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def filter_new(
+    findings: Sequence[Finding], baseline: Counter
+) -> list[Finding]:
+    """Findings not covered by the baseline (per-fingerprint counted)."""
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    for finding in findings:
+        key = fingerprint(finding)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+        else:
+            new.append(finding)
+    return new

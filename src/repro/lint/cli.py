@@ -1,7 +1,8 @@
 """Command-line interface: ``python -m repro.lint`` / ``repro-lint``.
 
-Exit status is 0 when no unsuppressed finding was emitted, 1 otherwise,
-2 on usage errors — the contract CI and ``make lint`` rely on.
+Exit status is 0 when no unsuppressed, non-baselined finding was
+emitted, 1 otherwise, 2 on usage errors — the contract CI and ``make
+lint`` rely on.
 """
 
 from __future__ import annotations
@@ -11,18 +12,20 @@ import sys
 from collections.abc import Sequence
 from pathlib import Path
 
+from repro.lint.baseline import filter_new, load_baseline, write_baseline
 from repro.lint.registry import all_rules
 from repro.lint.reporters import REPORTERS
-from repro.lint.runner import lint_paths
+from repro.lint.runner import run_lint
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description=(
-            "Static analysis for the simulated-runtime discipline: "
-            "charge coverage, tag hygiene, determinism, simulated races "
-            "and magic cost constants."
+            "Whole-program static analysis for the simulated-runtime "
+            "discipline: charge-coverage reachability, tag hygiene, "
+            "determinism taint, simulated races, magic cost constants "
+            "and native-kernel parity."
         ),
     )
     parser.add_argument(
@@ -43,11 +46,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to run (e.g. R001,R004)",
     )
     parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        nargs="?",
+        const=".lint-cache",
+        default=None,
+        help=(
+            "enable the content-hash incremental cache in DIR "
+            "(default dir when flag is bare: .lint-cache); ignored "
+            "with --select"
+        ),
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="subtract findings recorded in FILE; fail only on new ones",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current findings into the --baseline file",
+    )
+    parser.add_argument(
+        "--only",
+        metavar="PATHS",
+        help=(
+            "comma-separated path prefixes: analyze the whole program "
+            "but report findings only for matching files (make "
+            "lint-changed)"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
     )
     return parser
+
+
+def _matches_only(path: str, prefixes: list[str]) -> bool:
+    normalized = Path(path).as_posix().lstrip("./")
+    return any(
+        normalized.startswith(prefix.strip().lstrip("./"))
+        for prefix in prefixes
+        if prefix.strip()
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -57,6 +100,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         for rule in all_rules():
             print(f"{rule.rule_id} {rule.name}: {rule.summary}")
         return 0
+
+    if args.write_baseline and not args.baseline:
+        print("error: --write-baseline requires --baseline", file=sys.stderr)
+        return 2
 
     missing = [path for path in args.paths if not Path(path).exists()]
     if missing:
@@ -68,12 +115,37 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     select = args.select.split(",") if args.select else None
     try:
-        findings = lint_paths(args.paths, select=select)
+        result = run_lint(args.paths, select=select, cache_dir=args.cache)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    print(REPORTERS[args.format](findings))
+    findings = result.findings
+    if args.only:
+        prefixes = args.only.split(",")
+        findings = [
+            finding
+            for finding in findings
+            if _matches_only(finding.path, prefixes)
+        ]
+
+    if args.write_baseline:
+        write_baseline(args.baseline, findings)
+        print(
+            f"baseline: recorded {len(findings)} finding(s) in "
+            f"{args.baseline}"
+        )
+        return 0
+
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        findings = filter_new(findings, baseline)
+
+    print(REPORTERS[args.format](findings, result.stats))
     return 1 if findings else 0
 
 

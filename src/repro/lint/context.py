@@ -19,20 +19,57 @@ class ModuleContext:
         tree: Parsed ``ast.Module``.
         suppressions: Line -> suppressed-rule-ids map (see
             :mod:`repro.lint.suppress`).
+        program: The :class:`repro.lint.engine.Program` this module was
+            analyzed inside.  Always set by the runner; rules use it for
+            interprocedural questions (call-graph reachability, taint).
+        module: This file's :class:`repro.lint.engine.Module` inside the
+            program (dotted name, import aliases, content hash).
     """
 
-    def __init__(self, path: str | Path, source: str, tree: ast.Module):
+    def __init__(
+        self,
+        path: str | Path,
+        source: str,
+        tree: ast.Module,
+        program=None,
+        module=None,
+    ):
         self.path = str(path)
         self.source = source
         self.tree = tree
         self.suppressions = parse_suppressions(source)
+        self.program = program
+        self.module = module
         self._parts = Path(path).parts
 
     @classmethod
     def parse(cls, path: str | Path, source: str) -> "ModuleContext":
-        """Parse ``source``; raises ``SyntaxError`` on broken files."""
+        """Parse ``source``; raises ``SyntaxError`` on broken files.
+
+        Standalone parse without a program; the runner instead builds a
+        whole :class:`~repro.lint.engine.Program` and attaches contexts
+        through :meth:`for_module`.
+        """
         tree = ast.parse(source, filename=str(path))
         return cls(path, source, tree)
+
+    @classmethod
+    def for_module(cls, program, module) -> "ModuleContext":
+        """Context for one module of an already-built program."""
+        return cls(
+            module.path,
+            module.source,
+            module.tree,
+            program=program,
+            module=module,
+        )
+
+    # ------------------------------------------------------------------
+    def functions(self):
+        """FunctionInfos of this module (empty without a program)."""
+        if self.program is None or self.module is None:
+            return []
+        return self.program.functions_in(self.module.name)
 
     # ------------------------------------------------------------------
     def in_package(self, *parts: str) -> bool:

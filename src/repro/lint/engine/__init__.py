@@ -1,0 +1,33 @@
+"""Whole-program analysis engine for :mod:`repro.lint`.
+
+The v1 rules were per-file AST walks: they could see a call *appear*
+but never what it resolved to, so the exact bug class they exist to
+catch — a charge-free path reachable through one level of indirection —
+escaped them, and they papered over the hole with "forwards the
+runtime" heuristics.  This package gives the rules a program to reason
+about instead of a file:
+
+* :mod:`~repro.lint.engine.modulegraph` — discovers the modules of a
+  lint run, names them, and resolves ``import`` edges between them;
+* :mod:`~repro.lint.engine.symbols` — per-module symbol tables:
+  functions, classes and their methods, import aliases;
+* :mod:`~repro.lint.engine.callgraph` — resolves call expressions to
+  project functions (direct calls, aliased imports, ``self`` methods,
+  locally constructed objects, higher-order callbacks) and computes the
+  charge-reachability and contended-parameter fixpoints the rules ask
+  about;
+* :mod:`~repro.lint.engine.dataflow` — a small forward taint framework:
+  wall-clock, RNG and unordered-iteration sources propagate through
+  assignments, calls and returns to the ledger/metrics sinks;
+* :mod:`~repro.lint.engine.cache` — a sha256 content-keyed per-module
+  findings cache (same idiom as the graph and bench caches) that keeps
+  warm ``make lint`` runs fast.
+
+Everything stays syntactic: the engine parses the checked code, it
+never imports it.
+"""
+
+from repro.lint.engine.modulegraph import Module, module_name_for
+from repro.lint.engine.program import Program, build_program
+
+__all__ = ["Module", "Program", "build_program", "module_name_for"]

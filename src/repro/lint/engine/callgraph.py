@@ -1,0 +1,400 @@
+"""Call resolution and the interprocedural fixpoints built on it.
+
+The resolver maps a call expression inside a given function to the
+project :class:`~repro.lint.engine.symbols.FunctionInfo` objects it may
+invoke.  Resolution is deliberately best-effort and *syntactic* — the
+engine never imports checked code — but it covers the shapes this
+codebase actually uses:
+
+* direct calls to module-level functions (``helper(...)``);
+* calls through import aliases (``import repro.perf.native as nat;
+  nat.run_task_loop(...)`` and ``from x import f as g; g(...)``);
+* ``self.method(...)`` inside a class, chasing project-resolvable base
+  classes;
+* ``self.attr.method(...)`` where ``attr`` was assigned from a
+  constructor (``self.bag = HashBag(...)``);
+* ``obj.method(...)`` where ``obj`` is a local variable assigned from a
+  resolved constructor call;
+* constructor calls themselves (``HashBag(...)`` resolves to
+  ``__init__``).
+
+On top of resolution sit the two fixpoints rules consume:
+
+* **charge reachability** (:meth:`CallGraph.can_charge`) — whether a
+  ledger-charging call (``parallel_for`` / ``sequential`` / ... /
+  ``record_*``) is reachable from a function through resolved call
+  edges, including *callback edges*: a project function passed as an
+  argument anywhere is assumed callable by the receiver (that is what
+  makes higher-order helpers like task runners transparent to R001);
+* **contended parameters** (:meth:`CallGraph.contending_params`) —
+  which parameters of a function flow (transitively) into the
+  batch-atomic helpers or ``parallel_update``'s contention counts, so
+  R004 can see an array become shared through a helper call.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.lint import astutil
+from repro.lint.engine.symbols import ClassInfo, FunctionInfo, SymbolTable
+
+#: Batch-atomic helpers whose first argument is contended shared state.
+BATCH_HELPERS = frozenset({"batch_decrement", "batch_increment_clamped"})
+
+
+@dataclass
+class CallSite:
+    """One resolved (or unresolved) call inside a function."""
+
+    call: ast.Call
+    #: Project functions this call may invoke (empty when unresolved).
+    targets: list[FunctionInfo] = field(default_factory=list)
+    #: The class whose constructor this call invokes, if any.
+    constructed: ClassInfo | None = None
+
+
+class CallGraph:
+    """Resolved call edges plus the fixpoints computed over them."""
+
+    def __init__(self, program) -> None:
+        self._program = program
+        #: qualname -> FunctionInfo for every project function.
+        self.functions: dict[str, FunctionInfo] = {}
+        #: qualname -> resolved CallSites in that function.
+        self.calls: dict[str, list[CallSite]] = {}
+        #: qualname -> qualnames of resolved callees + callback targets.
+        self.edges: dict[str, set[str]] = {}
+        #: qualname -> FunctionInfos passed somewhere as an argument.
+        self.callbacks: dict[str, list[FunctionInfo]] = {}
+        self._can_charge: frozenset[str] | None = None
+        self._contending: dict[str, frozenset[int]] | None = None
+        self._build()
+
+    # -- resolution ----------------------------------------------------
+    def _build(self) -> None:
+        for table in self._program.symbol_tables():
+            for info in table.all_functions:
+                self.functions[info.qualname] = info
+        for table in self._program.symbol_tables():
+            for info in table.all_functions:
+                self._resolve_function(table, info)
+
+    def _resolve_function(
+        self, table: SymbolTable, info: FunctionInfo
+    ) -> None:
+        var_types = self._local_var_types(table, info)
+        sites: list[CallSite] = []
+        edges: set[str] = set()
+        callbacks: list[FunctionInfo] = []
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            site = CallSite(call=node)
+            resolved = self._resolve_callee(table, info, node, var_types)
+            if isinstance(resolved, ClassInfo):
+                site.constructed = resolved
+                init = resolved.methods.get("__init__")
+                if init is not None:
+                    site.targets = [init]
+            elif resolved:
+                site.targets = resolved
+            for target in site.targets:
+                edges.add(target.qualname)
+            # Callback edges: project functions passed as arguments are
+            # assumed callable by the receiver.
+            for value in [*node.args, *[kw.value for kw in node.keywords]]:
+                target = self._resolve_value(table, info, value, var_types)
+                if isinstance(target, FunctionInfo):
+                    callbacks.append(target)
+                    edges.add(target.qualname)
+            sites.append(site)
+        self.calls[info.qualname] = sites
+        self.edges[info.qualname] = edges
+        self.callbacks[info.qualname] = callbacks
+
+    def _local_var_types(
+        self, table: SymbolTable, info: FunctionInfo
+    ) -> dict[str, ClassInfo]:
+        """Local names assigned from resolved constructor calls."""
+        var_types: dict[str, ClassInfo] = {}
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not isinstance(node.value, ast.Call):
+                continue
+            resolved = self._resolve_dotted(
+                table, astutil.dotted_name(node.value.func)
+            )
+            if not isinstance(resolved, ClassInfo):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    var_types[target.id] = resolved
+        return var_types
+
+    def _resolve_callee(
+        self,
+        table: SymbolTable,
+        info: FunctionInfo,
+        call: ast.Call,
+        var_types: dict[str, ClassInfo],
+    ) -> list[FunctionInfo] | ClassInfo | None:
+        name = astutil.call_name(call)
+        if name is None:
+            return None
+        resolved = self._resolve_value_name(table, info, name, var_types)
+        if isinstance(resolved, FunctionInfo):
+            return [resolved]
+        if isinstance(resolved, ClassInfo):
+            return resolved
+        return None
+
+    def _resolve_value(
+        self,
+        table: SymbolTable,
+        info: FunctionInfo,
+        node: ast.expr,
+        var_types: dict[str, ClassInfo],
+    ) -> FunctionInfo | ClassInfo | None:
+        dotted = astutil.dotted_name(node)
+        if dotted is None:
+            return None
+        return self._resolve_value_name(table, info, dotted, var_types)
+
+    def _resolve_value_name(
+        self,
+        table: SymbolTable,
+        info: FunctionInfo,
+        name: str,
+        var_types: dict[str, ClassInfo],
+    ) -> FunctionInfo | ClassInfo | None:
+        parts = name.split(".")
+        # self.method / self.attr.method inside a class body.
+        if parts[0] == "self" and info.class_name is not None:
+            cls = table.classes.get(info.class_name)
+            if cls is None:
+                return None
+            if len(parts) == 2:
+                return self.method_of(cls, parts[1])
+            if len(parts) == 3:
+                attr_cls = self._resolve_dotted(
+                    table, cls.attr_types.get(parts[1])
+                )
+                if isinstance(attr_cls, ClassInfo):
+                    return self.method_of(attr_cls, parts[2])
+            return None
+        # obj.method where obj is a typed local.
+        if parts[0] in var_types:
+            if len(parts) == 2:
+                return self.method_of(var_types[parts[0]], parts[1])
+            return None
+        return self._resolve_dotted(table, name)
+
+    def _resolve_dotted(
+        self, table: SymbolTable, name: str | None
+    ) -> FunctionInfo | ClassInfo | None:
+        """Resolve a dotted name in a module's top-level namespace."""
+        if name is None:
+            return None
+        program = self._program
+        parts = name.split(".")
+        head, rest = parts[0], parts[1:]
+        symbol: FunctionInfo | ClassInfo | None = table.lookup(head)
+        if symbol is None:
+            target = program.module_named(table.module)
+            aliases = target.import_aliases if target is not None else {}
+            imported = aliases.get(head)
+            if imported is None:
+                return None
+            return self._resolve_imported(imported, rest)
+        return self._descend(symbol, rest)
+
+    def _resolve_imported(
+        self, dotted: str, rest: list[str]
+    ) -> FunctionInfo | ClassInfo | None:
+        """Resolve ``dotted`` (an import target) then descend ``rest``."""
+        program = self._program
+        # Longest module prefix wins: "repro.perf.native.run_task_loop"
+        # splits into module "repro.perf.native" + symbol path.
+        parts = dotted.split(".") + rest
+        for cut in range(len(parts), 0, -1):
+            module_name = ".".join(parts[:cut])
+            table = program.symbols_for(module_name)
+            if table is None:
+                continue
+            symbol_path = parts[cut:]
+            if not symbol_path:
+                return None  # a bare module, not a callable
+            symbol = table.lookup(symbol_path[0])
+            if symbol is None:
+                # Chase one level of re-export through import aliases.
+                module = program.module_named(module_name)
+                if module is not None:
+                    onward = module.import_aliases.get(symbol_path[0])
+                    if onward is not None:
+                        return self._resolve_imported(
+                            onward, symbol_path[1:]
+                        )
+                return None
+            return self._descend(symbol, symbol_path[1:])
+        return None
+
+    def _descend(
+        self, symbol: FunctionInfo | ClassInfo, rest: list[str]
+    ) -> FunctionInfo | ClassInfo | None:
+        if not rest:
+            return symbol
+        if isinstance(symbol, ClassInfo) and len(rest) == 1:
+            return self.method_of(symbol, rest[0])
+        return None
+
+    def method_of(
+        self, cls: ClassInfo, name: str, _seen: frozenset[str] = frozenset()
+    ) -> FunctionInfo | None:
+        """Look up a method on ``cls``, chasing resolvable bases."""
+        if name in cls.methods:
+            return cls.methods[name]
+        if cls.qualname in _seen:
+            return None
+        table = self._program.symbols_for(cls.module)
+        for base in cls.bases:
+            resolved = self._resolve_dotted(table, base) if table else None
+            if isinstance(resolved, ClassInfo):
+                found = self.method_of(
+                    resolved, name, _seen | {cls.qualname}
+                )
+                if found is not None:
+                    return found
+        return None
+
+    # -- charge reachability -------------------------------------------
+    @staticmethod
+    def directly_charges(func: ast.AST) -> bool:
+        """Whether a charge or ``record_*`` call appears in ``func``."""
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            if not isinstance(callee, ast.Attribute):
+                continue
+            if callee.attr in astutil.CHARGE_METHODS:
+                return True
+            if callee.attr.startswith("record_"):
+                return True
+        return False
+
+    def _charge_fixpoint(self) -> frozenset[str]:
+        charging = {
+            qualname
+            for qualname, info in self.functions.items()
+            if self.directly_charges(info.node)
+        }
+        changed = True
+        while changed:
+            changed = False
+            for qualname, callees in self.edges.items():
+                if qualname in charging:
+                    continue
+                if any(callee in charging for callee in callees):
+                    charging.add(qualname)
+                    changed = True
+        return frozenset(charging)
+
+    def can_charge(self, func: FunctionInfo | str) -> bool:
+        """Whether a ledger charge is reachable from ``func``."""
+        if self._can_charge is None:
+            self._can_charge = self._charge_fixpoint()
+        qualname = func if isinstance(func, str) else func.qualname
+        return qualname in self._can_charge
+
+    def class_can_charge(self, cls: ClassInfo) -> bool:
+        """Whether any method of ``cls`` reaches a ledger charge."""
+        return any(
+            self.can_charge(method) for method in cls.methods.values()
+        )
+
+    # -- contended parameters ------------------------------------------
+    def _direct_contending(self, info: FunctionInfo) -> set[int]:
+        """Parameter indices fed straight into the batch atomics."""
+        params = info.param_names
+        index = {name: i for i, name in enumerate(params)}
+        out: set[int] = set()
+        for site in self.calls[info.qualname]:
+            call = site.call
+            name = astutil.call_name(call)
+            if name is None:
+                continue
+            tail = name.rsplit(".", 1)[-1]
+            candidates: list[ast.expr] = []
+            if tail in BATCH_HELPERS and call.args:
+                candidates.append(call.args[0])
+            elif tail == "parallel_update":
+                counts = astutil.argument(call, 1, "contention_counts")
+                if counts is not None:
+                    candidates.append(counts)
+            for expr in candidates:
+                if isinstance(expr, ast.Name) and expr.id in index:
+                    out.add(index[expr.id])
+        return out
+
+    def _contending_fixpoint(self) -> dict[str, frozenset[int]]:
+        contending: dict[str, set[int]] = {
+            qualname: self._direct_contending(info)
+            for qualname, info in self.functions.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for qualname, info in self.functions.items():
+                params = {
+                    name: i for i, name in enumerate(info.param_names)
+                }
+                for site in self.calls[qualname]:
+                    for target in site.targets:
+                        tainted = contending.get(target.qualname)
+                        if not tainted:
+                            continue
+                        # Map callee parameter positions back onto the
+                        # caller's arguments (methods: skip ``self``).
+                        shift = 1 if target.class_name is not None else 0
+                        for pos in tainted:
+                            arg_pos = pos - shift
+                            expr = self._argument_at(
+                                site.call, arg_pos, target, pos
+                            )
+                            if (
+                                isinstance(expr, ast.Name)
+                                and expr.id in params
+                                and params[expr.id]
+                                not in contending[qualname]
+                            ):
+                                contending[qualname].add(params[expr.id])
+                                changed = True
+        return {
+            qualname: frozenset(indices)
+            for qualname, indices in contending.items()
+        }
+
+    @staticmethod
+    def _argument_at(
+        call: ast.Call, position: int, target: FunctionInfo, param_pos: int
+    ) -> ast.expr | None:
+        if 0 <= position < len(call.args):
+            return call.args[position]
+        param_names = target.param_names
+        if 0 <= param_pos < len(param_names):
+            return astutil.keyword_value(call, param_names[param_pos])
+        return None
+
+    def contending_params(self, func: FunctionInfo) -> frozenset[int]:
+        """Parameter indices of ``func`` that reach the batch atomics."""
+        if self._contending is None:
+            self._contending = self._contending_fixpoint()
+        return self._contending.get(func.qualname, frozenset())
+
+    # -- convenience ---------------------------------------------------
+    def sites_in(self, func: FunctionInfo) -> Iterator[CallSite]:
+        yield from self.calls.get(func.qualname, [])

@@ -1,0 +1,161 @@
+"""Module discovery, naming, and import-edge resolution.
+
+A lint run hands the engine a set of files; this module turns each into
+a :class:`Module` (path, source, AST, content hash) under a dotted name
+(``repro.core.peel_online``, ``tests.test_lint``), and resolves the
+``import`` statements between them so the call graph and the cache can
+follow cross-module edges.
+
+Names are derived purely from paths: everything after a ``src``
+component is a package path, and the well-known repository roots
+(``tests``/``benchmarks``/``examples``/``tools``) anchor their own
+namespaces.  The scheme is what lets the engine work identically on the
+real tree and on the synthetic trees the test suite builds under
+``tmp_path``.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Repository roots that anchor a namespace without being packages.
+_ANCHORS = ("tests", "benchmarks", "examples", "tools")
+
+
+def module_name_for(path: str | Path) -> str:
+    """Dotted module name for ``path`` (see module docstring)."""
+    parts = list(Path(path).parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if not parts:
+        return "<string>"
+    if "src" in parts:
+        idx = len(parts) - 1 - parts[::-1].index("src")
+        tail = parts[idx + 1 :]
+        if tail:
+            return ".".join(tail)
+    for anchor in _ANCHORS:
+        if anchor in parts:
+            return ".".join(parts[parts.index(anchor) :])
+    if "repro" in parts:
+        return ".".join(parts[parts.index("repro") :])
+    return parts[-1]
+
+
+def content_sha(source: str) -> str:
+    """The sha256 hex digest of a module's source text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class Module:
+    """One parsed module of the program under analysis.
+
+    Attributes:
+        path: The file's path as given to the runner (verbatim, so
+            findings match what the user typed).
+        name: Dotted module name (:func:`module_name_for`).
+        source: Full source text.
+        tree: Parsed ``ast.Module``.
+        sha: sha256 of ``source`` (the cache key component).
+        import_aliases: Local name -> imported dotted target.  Module
+            imports map to the module's dotted name (``np`` ->
+            ``numpy``); ``from`` imports map to the *symbol's* dotted
+            name (``measure`` -> ``repro.bench.wallclock.measure``).
+        imported_modules: Dotted names of every module mentioned in an
+            import statement (before project filtering).
+    """
+
+    path: str
+    name: str
+    source: str
+    tree: ast.Module
+    sha: str
+    import_aliases: dict[str, str] = field(default_factory=dict)
+    imported_modules: set[str] = field(default_factory=set)
+
+    @classmethod
+    def parse(cls, path: str | Path, source: str) -> "Module":
+        """Parse one module; raises ``SyntaxError`` on broken files."""
+        tree = ast.parse(source, filename=str(path))
+        module = cls(
+            path=str(path),
+            name=module_name_for(path),
+            source=source,
+            tree=tree,
+            sha=content_sha(source),
+        )
+        module._collect_imports()
+        return module
+
+    # ------------------------------------------------------------------
+    def _package(self) -> str:
+        """The package this module lives in (its name minus the leaf)."""
+        head, _, _ = self.name.rpartition(".")
+        return head
+
+    def _collect_imports(self) -> None:
+        """Fill the alias table from every import in the AST.
+
+        Function-local imports count too: the call graph follows them
+        (``from repro.perf import native`` inside a kernel selector is
+        a real dependency edge).
+        """
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    target = alias.name if alias.asname else alias.name.split(".", 1)[0]
+                    self.import_aliases[local] = target
+                    self.imported_modules.add(alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    # Relative import: resolve against our package.
+                    pkg_parts = self._package().split(".") if self._package() else []
+                    if node.level - 1:
+                        pkg_parts = pkg_parts[: -(node.level - 1)] if node.level - 1 <= len(pkg_parts) else []
+                    prefix = ".".join(pkg_parts)
+                    base = f"{prefix}.{base}".strip(".") if base else prefix
+                if not base:
+                    continue
+                self.imported_modules.add(base)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.import_aliases[local] = f"{base}.{alias.name}"
+
+    def project_imports(self, known: set[str]) -> set[str]:
+        """Names of *project* modules this module depends on.
+
+        ``known`` is the name set of the current program.  A ``from a.b
+        import c`` resolves to module ``a.b.c`` when that is itself a
+        project module (subpackage import), else to module ``a.b``.
+        """
+        deps: set[str] = set()
+        for target in self.imported_modules:
+            if target in known:
+                deps.add(target)
+                continue
+            # Importing a package pulls in its __init__ ancestors too.
+            head, _, _ = target.rpartition(".")
+            while head:
+                if head in known:
+                    deps.add(head)
+                    break
+                head, _, _ = head.rpartition(".")
+        for target in self.import_aliases.values():
+            if target in known:
+                deps.add(target)
+                continue
+            head, _, _ = target.rpartition(".")
+            if head in known:
+                deps.add(head)
+        deps.discard(self.name)
+        return deps

@@ -1,0 +1,139 @@
+"""The whole-program view rules query: modules, symbols, graphs.
+
+A :class:`Program` owns every parsed :class:`Module` of one lint run and
+lazily builds the layers on top — per-module symbol tables, the resolved
+call graph with its charge/contention fixpoints, and the taint dataflow.
+Rules receive it through ``ModuleContext.program`` and ask questions
+("can this function reach a ledger charge?", "does wall-clock taint
+enter this record call?") instead of re-implementing per-file
+heuristics.
+
+Dependency closures live here too: :meth:`Program.closure_sha` digests a
+module's import closure (plus the :data:`ANALYSIS_COUPLINGS` edges that
+cross-file rules like R007 add), which is exactly the cache key the
+incremental runner needs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.lint.engine.callgraph import CallGraph
+from repro.lint.engine.dataflow import TaintAnalysis
+from repro.lint.engine.modulegraph import Module
+from repro.lint.engine.symbols import SymbolTable, build_symbols
+
+#: Extra dependency edges for analyses that read across files without an
+#: import to witness it.  R007 checks the embedded C kernel in
+#: ``repro.perf.native`` against the Python cost model, so a cost-model
+#: edit must invalidate native's cached findings (and the closed-form
+#: check in kernels depends on both).
+ANALYSIS_COUPLINGS: dict[str, frozenset[str]] = {
+    "repro.perf.native": frozenset({"repro.runtime.cost_model"}),
+    "repro.perf.kernels": frozenset(
+        {"repro.perf.native", "repro.runtime.cost_model"}
+    ),
+}
+
+
+class Program:
+    """Every module of one lint run plus the derived analyses."""
+
+    def __init__(self, modules: Iterable[Module]) -> None:
+        self.modules: dict[str, Module] = {}
+        for module in modules:
+            self.modules[module.name] = module
+        self._symbols: dict[str, SymbolTable] = {}
+        self._callgraph: CallGraph | None = None
+        self._taint: TaintAnalysis | None = None
+        self._deps: dict[str, frozenset[str]] | None = None
+        self._closures: dict[str, frozenset[str]] = {}
+
+    # -- modules and symbols -------------------------------------------
+    def module_named(self, name: str) -> Module | None:
+        return self.modules.get(name)
+
+    def symbols_for(self, name: str) -> SymbolTable | None:
+        """The symbol table of module ``name`` (built on first use)."""
+        if name not in self.modules:
+            return None
+        table = self._symbols.get(name)
+        if table is None:
+            table = build_symbols(self.modules[name])
+            self._symbols[name] = table
+        return table
+
+    def symbol_tables(self) -> list[SymbolTable]:
+        return [
+            table
+            for name in sorted(self.modules)
+            if (table := self.symbols_for(name)) is not None
+        ]
+
+    def functions_in(self, name: str):
+        """Every FunctionInfo defined in module ``name``."""
+        table = self.symbols_for(name)
+        return list(table.all_functions) if table is not None else []
+
+    # -- derived analyses ----------------------------------------------
+    @property
+    def callgraph(self) -> CallGraph:
+        if self._callgraph is None:
+            self._callgraph = CallGraph(self)
+        return self._callgraph
+
+    @property
+    def taint(self) -> TaintAnalysis:
+        if self._taint is None:
+            self._taint = TaintAnalysis(self)
+        return self._taint
+
+    def can_charge(self, func) -> bool:
+        """Charge reachability, the R001 question (see CallGraph)."""
+        return self.callgraph.can_charge(func)
+
+    # -- dependency closures -------------------------------------------
+    def deps(self, name: str) -> frozenset[str]:
+        """Project modules whose content can affect findings in ``name``."""
+        if self._deps is None:
+            known = set(self.modules)
+            self._deps = {}
+            for mod_name, module in self.modules.items():
+                deps = set(module.project_imports(known))
+                deps |= ANALYSIS_COUPLINGS.get(mod_name, frozenset()) & known
+                self._deps[mod_name] = frozenset(deps)
+        return self._deps.get(name, frozenset())
+
+    def closure(self, name: str) -> frozenset[str]:
+        """``name`` plus the transitive dependency set."""
+        cached = self._closures.get(name)
+        if cached is not None:
+            return cached
+        seen: set[str] = set()
+        stack = [name]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.deps(current))
+        result = frozenset(seen)
+        self._closures[name] = result
+        return result
+
+    def closure_sha(self, name: str) -> str:
+        """Digest of the (module, content-sha) pairs in the closure."""
+        from repro.lint.engine.cache import closure_digest
+
+        return closure_digest(
+            {
+                member: self.modules[member].sha
+                for member in self.closure(name)
+                if member in self.modules
+            }
+        )
+
+
+def build_program(modules: Iterable[Module]) -> Program:
+    """Build a :class:`Program` from already-parsed modules."""
+    return Program(modules)

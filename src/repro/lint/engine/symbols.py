@@ -1,0 +1,168 @@
+"""Per-module symbol tables: functions, classes, methods, attributes.
+
+The call graph resolves names against these tables.  Everything is
+collected in one AST pass per module; qualified names follow the
+``module.Class.method`` convention so findings and tests can talk about
+functions unambiguously.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint import astutil
+from repro.lint.engine.modulegraph import Module
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition.
+
+    Attributes:
+        node: The ``ast.FunctionDef`` / ``AsyncFunctionDef``.
+        module: Name of the defining module.
+        name: Bare function name.
+        qualname: ``module.[Class.]name``.
+        class_name: Enclosing class name for methods, else ``None``.
+        param_names: Positional parameter names in declaration order
+            (used to map call arguments onto parameters).
+    """
+
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    module: str
+    name: str
+    qualname: str
+    class_name: str | None = None
+
+    @property
+    def param_names(self) -> list[str]:
+        return [arg.arg for arg in astutil.all_parameters(self.node)]
+
+
+@dataclass
+class ClassInfo:
+    """One class definition and what the resolver needs from it.
+
+    Attributes:
+        node: The ``ast.ClassDef``.
+        module: Name of the defining module.
+        name: Bare class name.
+        qualname: ``module.name``.
+        bases: Source-level base expressions as dotted names (unresolved;
+            the resolver chases them through import aliases).
+        methods: Bare method name -> :class:`FunctionInfo`.
+        attr_types: ``self.<attr>`` name -> dotted name of the class
+            expression it was assigned from (``self.bag = HashBag(...)``
+            records ``bag -> HashBag``), best-effort.
+    """
+
+    node: ast.ClassDef
+    module: str
+    name: str
+    qualname: str
+    bases: list[str] = field(default_factory=list)
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    attr_types: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class SymbolTable:
+    """Everything name-resolvable defined by one module."""
+
+    module: str
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    #: Top-level ``alias = existing_function`` bindings.
+    function_aliases: dict[str, str] = field(default_factory=dict)
+    #: Every FunctionInfo in the module, including nested defs.
+    all_functions: list[FunctionInfo] = field(default_factory=list)
+
+    def lookup(self, name: str) -> FunctionInfo | ClassInfo | None:
+        """A top-level definition by bare name."""
+        if name in self.functions:
+            return self.functions[name]
+        if name in self.classes:
+            return self.classes[name]
+        alias = self.function_aliases.get(name)
+        if alias is not None and alias in self.functions:
+            return self.functions[alias]
+        return None
+
+
+def build_symbols(module: Module) -> SymbolTable:
+    """Collect the symbol table of one parsed module."""
+    table = SymbolTable(module=module.name)
+
+    def visit_function(
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        class_name: str | None,
+        prefix: str,
+    ) -> FunctionInfo:
+        info = FunctionInfo(
+            node=node,
+            module=module.name,
+            name=node.name,
+            qualname=f"{prefix}.{node.name}",
+            class_name=class_name,
+        )
+        table.all_functions.append(info)
+        # Nested defs are recorded (so per-function analyses see them)
+        # but not top-level-resolvable.
+        for child in node.body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                visit_function(child, class_name, info.qualname)
+        return info
+
+    for node in module.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            table.functions[node.name] = visit_function(
+                node, None, module.name
+            )
+        elif isinstance(node, ast.ClassDef):
+            cls = ClassInfo(
+                node=node,
+                module=module.name,
+                name=node.name,
+                qualname=f"{module.name}.{node.name}",
+                bases=[
+                    dotted
+                    for base in node.bases
+                    if (dotted := astutil.dotted_name(base)) is not None
+                ],
+            )
+            for child in node.body:
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    cls.methods[child.name] = visit_function(
+                        child, node.name, cls.qualname
+                    )
+            _collect_attr_types(cls)
+            table.classes[node.name] = cls
+        elif isinstance(node, ast.Assign) and isinstance(
+            node.value, ast.Name
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    table.function_aliases[target.id] = node.value.id
+    return table
+
+
+def _collect_attr_types(cls: ClassInfo) -> None:
+    """Record ``self.<attr> = SomeClass(...)`` constructor bindings."""
+    for method in cls.methods.values():
+        for node in ast.walk(method.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            if not isinstance(value, ast.Call):
+                continue
+            callee = astutil.dotted_name(value.func)
+            if callee is None:
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    cls.attr_types.setdefault(target.attr, callee)

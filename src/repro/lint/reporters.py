@@ -1,4 +1,10 @@
-"""Finding reporters: human text and machine JSON."""
+"""Finding reporters: human text, machine JSON, and SARIF 2.1.0.
+
+Every reporter takes the findings plus an optional :class:`LintStats`;
+the JSON reporter embeds the stats (engine wall time, files analyzed,
+cache hits, per-rule counts) and SARIF carries them as run properties,
+so CI can chart both without a second invocation.
+"""
 
 from __future__ import annotations
 
@@ -7,26 +13,85 @@ from collections.abc import Sequence
 
 from repro.lint.finding import Finding
 
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+SARIF_VERSION = "2.1.0"
 
-def format_text(findings: Sequence[Finding]) -> str:
+
+def format_text(findings: Sequence[Finding], stats=None) -> str:
     """One ``path:line:col: ID message`` line per finding plus a summary."""
     lines = [finding.render() for finding in findings]
     count = len(findings)
     noun = "finding" if count == 1 else "findings"
-    lines.append(f"{count} {noun}")
+    summary = f"{count} {noun}"
+    if stats is not None:
+        summary += (
+            f" ({stats.files_analyzed} analyzed, {stats.cache_hits} cached,"
+            f" {stats.wall_s:.2f}s)"
+        )
+    lines.append(summary)
     return "\n".join(lines)
 
 
-def format_json(findings: Sequence[Finding]) -> str:
+def format_json(findings: Sequence[Finding], stats=None) -> str:
     """A stable JSON document (``{"findings": [...], "count": N}``)."""
-    return json.dumps(
+    document: dict = {
+        "count": len(findings),
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    if stats is not None:
+        document["stats"] = stats.to_dict()
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def format_sarif(findings: Sequence[Finding], stats=None) -> str:
+    """A SARIF 2.1.0 log suitable for code-scanning upload."""
+    from repro.lint.registry import all_rules
+
+    rules = [
         {
-            "count": len(findings),
-            "findings": [finding.to_dict() for finding in findings],
+            "id": rule.rule_id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+        }
+        for rule in all_rules()
+    ]
+    results = [
+        {
+            "ruleId": finding.rule_id,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    run: dict = {
+        "tool": {
+            "driver": {
+                "name": "repro-lint",
+                "rules": rules,
+            }
         },
+        "results": results,
+    }
+    if stats is not None:
+        run["properties"] = stats.to_dict()
+    return json.dumps(
+        {"$schema": SARIF_SCHEMA, "version": SARIF_VERSION, "runs": [run]},
         indent=2,
         sort_keys=True,
     )
 
 
-REPORTERS = {"text": format_text, "json": format_json}
+REPORTERS = {"text": format_text, "json": format_json, "sarif": format_sarif}

@@ -12,4 +12,5 @@ from repro.lint.rules import (  # noqa: F401
     r004_simulated_race,
     r005_magic_cost_constant,
     r006_trace_side_effect,
+    r007_native_parity,
 )

@@ -6,19 +6,24 @@ never charges them records *zero* work and span for real computation —
 silently deflating work/span/burdened-span everywhere that function runs
 (the exact failure mode Cilkview-style instrumentation exists to catch).
 
-The heuristic: a function that **accepts a runtime** (a parameter named
-``runtime``/``rt`` or annotated ``SimRuntime``) is declared to be on the
-accounting path.  If its body contains numpy array operations but
+A function that **accepts a runtime** (a parameter named ``runtime``/
+``rt`` or annotated ``SimRuntime``) is declared to be on the accounting
+path.  Since v2 the check is *interprocedural*: the engine's call graph
+answers whether a ledger charge is **reachable** from the function
+through resolved calls (including methods, aliased imports, and
+callbacks passed to helpers).  That closes the v1 hole where merely
+*passing the runtime onward* silenced the rule — forwarding to a callee
+that itself never charges is now flagged at the forwarding function.
 
-* no reachable charge call (``parallel_for`` / ``parallel_update`` /
-  ``sequential`` / ``barrier_only`` / ``imbalanced_step`` / ``record_*``),
-  and
-* never *forwards* the runtime (passing it to a callee, storing it on an
-  object, or returning it — in all of which cases the receiver is
-  responsible for charging),
+The rule stays quiet only when charging responsibility provably or
+unresolvably leaves the function:
 
-then the work it performs can never reach the ledger, and R001 fires on
-the function definition.
+* the runtime is passed to a call the engine cannot resolve (a foreign
+  or dynamic callee may charge; syntactic analysis cannot see inside);
+* the runtime is stored on ``self`` of a class that has a charging
+  method (the instance charges later);
+* the runtime is passed to the constructor of a class that charges;
+* the runtime is returned (the caller keeps the responsibility).
 """
 
 from __future__ import annotations
@@ -47,48 +52,6 @@ def _runtime_parameter(
     return None
 
 
-def _has_charge(func: ast.AST) -> bool:
-    """Whether any charge or ``record_*`` call appears in ``func``."""
-    for node in ast.walk(func):
-        if not isinstance(node, ast.Call):
-            continue
-        callee = node.func
-        if not isinstance(callee, ast.Attribute):
-            continue
-        if callee.attr in astutil.CHARGE_METHODS:
-            return True
-        if callee.attr.startswith("record_"):
-            return True
-    return False
-
-
-def _forwards_runtime(func: ast.AST, param: str) -> bool:
-    """Whether ``func`` hands its runtime to someone else.
-
-    Forwarding means the callee (or the object the runtime is stored on)
-    takes over the charging responsibility, so R001 stays quiet.
-    """
-    for node in ast.walk(func):
-        if isinstance(node, ast.Call):
-            for value in [*node.args, *[kw.value for kw in node.keywords]]:
-                if isinstance(value, ast.Name) and value.id == param:
-                    return True
-        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
-            value = node.value
-            if isinstance(value, ast.Name) and value.id == param:
-                return True
-            if isinstance(value, ast.Tuple) and any(
-                isinstance(el, ast.Name) and el.id == param
-                for el in value.elts
-            ):
-                return True
-        elif isinstance(node, ast.Return) and node.value is not None:
-            for sub in ast.walk(node.value):
-                if isinstance(sub, ast.Name) and sub.id == param:
-                    return True
-    return False
-
-
 def _first_numpy_operation(func: ast.AST) -> ast.AST | None:
     """First numpy-flavored array operation in ``func``, if any.
 
@@ -112,17 +75,84 @@ def _first_numpy_operation(func: ast.AST) -> ast.AST | None:
     return None
 
 
+def _mentions(node: ast.AST, param: str) -> bool:
+    return any(
+        isinstance(sub, ast.Name) and sub.id == param
+        for sub in ast.walk(node)
+    )
+
+
+def _runtime_escapes(ctx: ModuleContext, info, param: str) -> bool:
+    """Whether charging responsibility leaves ``info`` with the runtime.
+
+    Resolved calls are *not* escapes: the charge fixpoint already saw
+    them, so if none of them can charge, forwarding is no excuse.
+    """
+    program = ctx.program
+    graph = program.callgraph
+    func = info.node
+
+    for site in graph.sites_in(info):
+        call = site.call
+        carries = any(
+            _mentions(value, param)
+            for value in [*call.args, *[kw.value for kw in call.keywords]]
+        )
+        if not carries:
+            continue
+        if not site.targets and site.constructed is None:
+            return True  # unresolved callee may charge
+        if site.constructed is not None and graph.class_can_charge(
+            site.constructed
+        ):
+            return True
+
+    cls = None
+    if info.class_name is not None and ctx.module is not None:
+        table = program.symbols_for(info.module)
+        cls = table.classes.get(info.class_name) if table else None
+
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            value = node.value
+            if value is None or not _mentions(value, param):
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Attribute):
+                    on_self = (
+                        isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    )
+                    if not on_self:
+                        return True  # foreign object takes ownership
+                    if cls is None or graph.class_can_charge(cls):
+                        return True
+        elif isinstance(node, ast.Return) and node.value is not None:
+            if _mentions(node.value, param):
+                return True
+    return False
+
+
 @rule(
     "R001",
     "charge-coverage",
     "numpy work in a runtime-accepting function must reach the ledger",
 )
 def check(ctx: ModuleContext) -> Iterator[Finding]:
-    for func in astutil.iter_functions(ctx.tree):
+    program = ctx.program
+    if program is None or ctx.module is None:
+        return
+    for info in ctx.functions():
+        func = info.node
         param = _runtime_parameter(func)
         if param is None:
             continue
-        if _has_charge(func) or _forwards_runtime(func, param):
+        if program.can_charge(info):
+            continue
+        if _runtime_escapes(ctx, info, param):
             continue
         operation = _first_numpy_operation(func)
         if operation is None:
@@ -132,7 +162,7 @@ def check(ctx: ModuleContext) -> Iterator[Finding]:
             "R001",
             f"function '{func.name}' accepts a SimRuntime ({param!r}) and "
             f"performs numpy array operations (first at line "
-            f"{getattr(operation, 'lineno', '?')}) but never charges the "
-            "runtime or forwards it to a callee; the work is invisible to "
-            "the work/span ledger",
+            f"{getattr(operation, 'lineno', '?')}) but no ledger charge is "
+            "reachable through its resolved call graph; the work is "
+            "invisible to the work/span ledger",
         )

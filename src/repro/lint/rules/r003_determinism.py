@@ -1,9 +1,11 @@
-"""R003 determinism: no wall clocks or global-state RNG in ``src/``.
+"""R003 determinism: no nondeterminism sources, and none reaching sinks.
 
 The whole point of the simulated runtime is that a run's work, span and
 simulated time are **pure functions of the input graph and the seed** —
 that is what makes every figure reproducible bit-for-bit and every test
-assertable.  Three things quietly break that:
+assertable.  The rule has two layers.
+
+**Hard bans** (syntactic, flagged where they appear):
 
 * **wall-clock reads** (``time.time`` / ``perf_counter`` / ...) leaking
   into algorithm code couple results to the host machine (benchmarks,
@@ -12,17 +14,23 @@ assertable.  Three things quietly break that:
   ``random`` module) — hidden mutable state shared across call sites,
   so unrelated code reorders draw sequences;
 * **unseeded generators** (``np.random.default_rng()`` with no seed) —
-  fresh OS entropy per call, unreproducible by construction.
+  fresh OS entropy per call, unreproducible by construction;
+* **cache-key functions** (names ending in ``_key``, or named ``key`` /
+  ``key_fields``) reading the environment — cache identity would depend
+  on host state.
+
+**Taint sinks** (interprocedural, via the engine's dataflow): sources
+that are only harmful when they reach the accounting — iterating a
+``set``/``dict`` (no defined order), and values derived from clocks or
+RNG — are tracked through assignments, containers, and *resolved calls*
+(summaries + parameters), and flagged where they enter a ledger charge
+(``parallel_for`` / ``sequential`` / ``record_*``) or a ``.metrics.``
+assignment.  Sorting (``sorted`` / ``np.sort`` / ``np.unique``) strips
+the unordered taint; membership tests are order-insensitive and do the
+same.
 
 The sampling scheme's Las-Vegas analysis (paper Sec. 4.1) only holds for
 *documented, seeded* randomness, which is exactly what this rule pins.
-
-The rule also covers **cache-key functions** (names ending in ``_key``,
-or named ``key`` / ``key_fields``): the graph and benchmark caches key
-entries by *content*, so a key function reading the environment
-(``os.environ`` / ``os.getenv``) would make cache identity depend on
-host state — two machines would silently disagree about what a cached
-entry means.
 """
 
 from __future__ import annotations
@@ -35,62 +43,21 @@ from repro.lint.context import ModuleContext
 from repro.lint.finding import Finding
 from repro.lint.registry import rule
 
-#: Wall-clock reading functions of the ``time`` module.
-CLOCK_FUNCTIONS = frozenset(
-    {
-        "time",
-        "time_ns",
-        "perf_counter",
-        "perf_counter_ns",
-        "monotonic",
-        "monotonic_ns",
-        "process_time",
-        "process_time_ns",
-    }
-)
-
-#: ``np.random`` attributes that are part of the modern Generator API and
-#: therefore *not* global-state RNG.
-GENERATOR_API = frozenset(
-    {
-        "default_rng",
-        "Generator",
-        "BitGenerator",
-        "SeedSequence",
-        "PCG64",
-        "PCG64DXSM",
-        "MT19937",
-        "Philox",
-        "SFC64",
-    }
-)
-
-
-def _time_aliases(tree: ast.Module) -> tuple[set[str], set[str]]:
-    """(module aliases of ``time``, local names bound to its clocks)."""
-    modules: set[str] = set()
-    functions: set[str] = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                if alias.name == "time":
-                    modules.add(alias.asname or alias.name)
-        elif isinstance(node, ast.ImportFrom) and node.module == "time":
-            for alias in node.names:
-                if alias.name in CLOCK_FUNCTIONS:
-                    functions.add(alias.asname or alias.name)
-    return modules, functions
+#: Re-exported for compatibility; the canonical home is astutil.
+CLOCK_FUNCTIONS = astutil.CLOCK_FUNCTIONS
+GENERATOR_API = astutil.GENERATOR_API
+_time_aliases = astutil.time_aliases
 
 
 @rule(
     "R003",
     "determinism",
-    "no wall clocks, legacy np.random, unseeded RNG, or random module",
+    "no wall clocks, global RNG, or unordered iteration reaching ledgers",
 )
 def check(ctx: ModuleContext) -> Iterator[Finding]:
     if ctx.in_directory("benchmarks"):
         return
-    time_modules, clock_names = _time_aliases(ctx.tree)
+    time_modules, clock_names = astutil.time_aliases(ctx.tree)
 
     for node in ast.walk(ctx.tree):
         # The random module is global-state RNG wholesale: flag the import.
@@ -120,6 +87,33 @@ def check(ctx: ModuleContext) -> Iterator[Finding]:
             node, (ast.FunctionDef, ast.AsyncFunctionDef)
         ) and _is_key_function(node.name):
             yield from _check_key_function(ctx, node)
+
+    yield from _check_sinks(ctx)
+
+
+def _check_sinks(ctx: ModuleContext) -> Iterator[Finding]:
+    """Taint findings: nondeterminism entering a ledger or metrics."""
+    if ctx.program is None or ctx.module is None:
+        return
+    taint = ctx.program.taint
+    for info in ctx.functions():
+        for hit in taint.sink_hits(info):
+            real = sorted(t for t in hit.taints if not t.is_param)
+            if not real:
+                continue
+            source = real[0]
+            origin = (
+                f"{source.origin_path}:{source.origin_line}"
+                if source.origin_path
+                else "caller"
+            )
+            yield ctx.finding(
+                hit.node,
+                "R003",
+                f"{source.kind} value reaches {hit.sink}: "
+                f"{source.note or source.kind} (source at {origin}); "
+                "ledger inputs must be pure functions of graph and seed",
+            )
 
 
 def _is_key_function(name: str) -> bool:

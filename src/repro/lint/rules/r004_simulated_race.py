@@ -7,11 +7,27 @@ that through the batch-atomic helpers in :mod:`repro.runtime.atomics`
 the updates *and* return the per-location contention counts that
 ``parallel_update`` charges to the span.
 
-A function that routes an array through those helpers (or hands it to
-``parallel_update``) has declared it **shared state of a parallel
-region**.  A *raw* in-place write to the same array in the same function
-— ``arr[idx] = ...``, ``arr[idx] -= ...``, ``np.subtract.at(arr, ...)``
-— is the simulated equivalent of a data race: the mutation happens but
+An array routed through those helpers (or handed to ``parallel_update``)
+is **shared state of a parallel region** — and since v2 the marking is
+*interprocedural*: the engine's contended-parameter fixpoint follows the
+array through resolved helper calls, so wrapping the atomics in a
+convenience function no longer hides the sharing from the rule.
+
+A *raw* in-place write to a shared array — ``arr[idx] = ...``,
+``arr[idx] -= ...``, ``np.subtract.at(arr, ...)`` — is treated with a
+may-happen-in-parallel approximation: every statement of a function that
+participates in the parallel step may run concurrently with the atomic
+updates, so the write is a simulated data race **unless the index is
+provably disjoint** (one write per location).  Accepted disjointness
+evidence, matching how real kernels here are written:
+
+* a slice or boolean-mask index (``arr[mask] = ...`` writes each
+  location at most once);
+* an index produced by ``np.unique`` / ``np.nonzero`` /
+  ``np.flatnonzero`` / ``np.where`` / ``np.arange`` (distinct by
+  construction), directly or through a local variable.
+
+Unproven writes bypass contention accounting — the mutation happens but
 its contention never reaches the span, so burdened-span figures
 (Figs. 9/14) undercount exactly where the paper says contention bites.
 
@@ -32,16 +48,18 @@ from collections.abc import Iterator
 
 from repro.lint import astutil
 from repro.lint.context import ModuleContext
+from repro.lint.engine.callgraph import BATCH_HELPERS
 from repro.lint.finding import Finding
 from repro.lint.registry import rule
 
-#: Call names (match on trailing attribute) that mark their first
-#: argument as a contended shared array.
-BATCH_HELPERS = frozenset({"batch_decrement", "batch_increment_clamped"})
+#: Index-producing numpy calls whose result holds distinct locations.
+_DISJOINT_PRODUCERS = frozenset(
+    {"unique", "nonzero", "flatnonzero", "where", "arange"}
+)
 
 
-def _contended_arrays(func: ast.AST) -> set[str]:
-    """Dotted names of arrays this function treats as contended."""
+def _direct_contended(func: ast.AST) -> set[str]:
+    """Dotted names this function itself routes through the atomics."""
     contended: set[str] = set()
     for node in ast.walk(func):
         if not isinstance(node, ast.Call):
@@ -65,26 +83,90 @@ def _contended_arrays(func: ast.AST) -> set[str]:
     return contended
 
 
-def _subscript_base(node: ast.expr) -> str | None:
-    """Dotted name of ``x`` in a ``x[...]`` expression, else None."""
-    if isinstance(node, ast.Subscript):
-        return astutil.dotted_name(node.value)
-    return None
+def _contended_arrays(ctx: ModuleContext, info) -> set[str]:
+    """Shared arrays of ``info``, including through resolved helpers."""
+    contended = _direct_contended(info.node)
+    if ctx.program is None:
+        return contended
+    graph = ctx.program.callgraph
+    for site in graph.sites_in(info):
+        call = site.call
+        for target in site.targets:
+            tainted = graph.contending_params(target)
+            if not tainted:
+                continue
+            params = target.param_names
+            shift = 1 if target.class_name is not None else 0
+            for pos in tainted:
+                expr = None
+                arg_pos = pos - shift
+                if 0 <= arg_pos < len(call.args):
+                    expr = call.args[arg_pos]
+                elif 0 <= pos < len(params):
+                    expr = astutil.keyword_value(call, params[pos])
+                if expr is None:
+                    continue
+                dotted = astutil.dotted_name(expr)
+                if dotted is not None:
+                    contended.add(dotted)
+    return contended
+
+
+def _index_assignments(func: ast.AST) -> dict[str, ast.expr]:
+    """Last simple assignment to each local name (for disjointness)."""
+    assigns: dict[str, ast.expr] = {}
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    assigns[target.id] = node.value
+                elif isinstance(target, ast.Tuple):
+                    for element in target.elts:
+                        if isinstance(element, ast.Name):
+                            assigns[element.id] = node.value
+    return assigns
+
+
+def _is_disjoint_index(
+    index: ast.expr, assigns: dict[str, ast.expr], depth: int = 0
+) -> bool:
+    """Whether every location ``index`` selects is written at most once."""
+    if depth > 3:
+        return False
+    if isinstance(index, ast.Slice):
+        return True
+    if isinstance(index, ast.Compare):
+        return True  # boolean mask
+    if isinstance(index, ast.Call):
+        name = astutil.call_name(index)
+        if name is not None and name.rsplit(".", 1)[-1] in _DISJOINT_PRODUCERS:
+            return True
+        return False
+    if isinstance(index, ast.Name):
+        source = assigns.get(index.id)
+        if source is not None and source is not index:
+            return _is_disjoint_index(source, assigns, depth + 1)
+    return False
 
 
 def _raw_writes(
-    func: ast.AST, contended: set[str]
+    func: ast.AST, contended: set[str], assigns: dict[str, ast.expr]
 ) -> Iterator[tuple[ast.AST, str]]:
-    """(node, array name) for each raw in-place write to contended state."""
+    """(node, array name) for each unproven raw write to shared state."""
     for node in ast.walk(func):
         if isinstance(node, (ast.Assign, ast.AugAssign)):
             targets = (
                 node.targets if isinstance(node, ast.Assign) else [node.target]
             )
             for target in targets:
-                base = _subscript_base(target)
-                if base is not None and base in contended:
-                    yield node, base
+                if not isinstance(target, ast.Subscript):
+                    continue
+                base = astutil.dotted_name(target.value)
+                if base is None or base not in contended:
+                    continue
+                if _is_disjoint_index(target.slice, assigns):
+                    continue
+                yield node, base
         elif isinstance(node, ast.Call):
             # In-place ufunc application: np.subtract.at(arr, idx, v).
             name = astutil.call_name(node)
@@ -107,18 +189,35 @@ def _raw_writes(
 def check(ctx: ModuleContext) -> Iterator[Finding]:
     if not ctx.in_package("repro", "core"):
         return
-    for func in astutil.iter_functions(ctx.tree):
-        contended = _contended_arrays(func)
-        if not contended:
-            continue
-        for node, array in _raw_writes(func, contended):
-            yield ctx.finding(
-                node,
-                "R004",
-                f"raw in-place write to '{array}', which this function "
-                "also routes through the batch-atomic helpers / "
-                "parallel_update; the write bypasses contention "
-                "accounting (a data race in the paper's model) — use "
-                "repro.runtime.atomics or account the contention "
-                "explicitly",
-            )
+    infos = ctx.functions()
+    if infos:
+        for info in infos:
+            yield from _check_function(ctx, info)
+    else:  # no program attached (standalone parse): per-file fallback
+        for func in astutil.iter_functions(ctx.tree):
+            contended = _direct_contended(func)
+            yield from _findings(ctx, func, contended)
+
+
+def _check_function(ctx: ModuleContext, info) -> Iterator[Finding]:
+    contended = _contended_arrays(ctx, info)
+    yield from _findings(ctx, info.node, contended)
+
+
+def _findings(
+    ctx: ModuleContext, func: ast.AST, contended: set[str]
+) -> Iterator[Finding]:
+    if not contended:
+        return
+    assigns = _index_assignments(func)
+    for node, array in _raw_writes(func, contended, assigns):
+        yield ctx.finding(
+            node,
+            "R004",
+            f"raw in-place write to '{array}', which this parallel step "
+            "shares with the batch-atomic helpers / parallel_update, and "
+            "the write index is not provably one-write-per-location; the "
+            "contention bypasses the span accounting (a data race in the "
+            "paper's model) — use repro.runtime.atomics, a disjoint index "
+            "(mask/np.unique), or account the contention explicitly",
+        )

@@ -14,7 +14,11 @@ true, and this rule enforces each syntactically:
 * **(B) trace purity** — code under ``repro/trace/`` must not charge
   the simulated ledger (no ``parallel_for`` / ``sequential`` / ...,
   no ``record_*``), must not draw randomness, and must not assign to
-  ``*.metrics.*``; the tracer only *reads* the execution.
+  ``*.metrics.*``; the tracer only *reads* the execution.  Since v2
+  purity is *interprocedural*: a trace module calling a resolved
+  project function from which a ledger charge is reachable is flagged
+  too (driver modules — ``cli.py`` / ``__main__.py`` — are exempt;
+  launching a traced run is their job).
 * **(C) guarded hooks** — every tracer method call outside
   ``repro/trace/`` (``on_step``, ``instant``, ...) on an optional slot
   (a name ending in ``tracer``) must sit inside an
@@ -33,7 +37,9 @@ from repro.lint import astutil
 from repro.lint.context import ModuleContext
 from repro.lint.finding import Finding
 from repro.lint.registry import rule
-from repro.lint.rules.r003_determinism import CLOCK_FUNCTIONS, _time_aliases
+
+CLOCK_FUNCTIONS = astutil.CLOCK_FUNCTIONS
+_time_aliases = astutil.time_aliases
 
 #: Tracer methods that record into the trace (the optional-slot hooks).
 TRACER_MUTATORS = frozenset(
@@ -122,8 +128,36 @@ def check(ctx: ModuleContext) -> Iterator[Finding]:
             yield from _check_clocks(ctx)
         if ctx.in_package("repro", "trace"):
             yield from _check_purity(ctx)
+            yield from _check_transitive_purity(ctx)
             return
     yield from _check_guards(ctx)
+
+
+def _is_trace_driver(ctx: ModuleContext) -> bool:
+    """Driver modules that legitimately launch charging runs."""
+    return Path(ctx.path).name in ("cli.py", "__main__.py")
+
+
+def _check_transitive_purity(ctx: ModuleContext) -> Iterator[Finding]:
+    """Trace code must not *reach* a ledger charge through calls."""
+    if ctx.program is None or ctx.module is None or _is_trace_driver(ctx):
+        return
+    graph = ctx.program.callgraph
+    for info in ctx.functions():
+        for site in graph.sites_in(info):
+            for target in site.targets:
+                if target.module.startswith("repro.trace"):
+                    continue  # flagged by (B) where the charge appears
+                if graph.can_charge(target):
+                    yield ctx.finding(
+                        site.call,
+                        "R006",
+                        f"trace code calls '{target.qualname}', from which "
+                        "a ledger charge is reachable; the tracer must "
+                        "observe the run, not drive it (drivers belong in "
+                        "cli.py/__main__.py)",
+                    )
+                    break
 
 
 def _check_clocks(ctx: ModuleContext) -> Iterator[Finding]:

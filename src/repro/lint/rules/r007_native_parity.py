@@ -1,0 +1,479 @@
+"""R007 native-parity: the embedded C kernel must match its Python side.
+
+:mod:`repro.perf.native` embeds a C transcription of the VGC task loop
+and drives it through ``ctypes``; :mod:`repro.perf.kernels` prices the
+per-task counters it returns with the dyadic closed form
+``vertex_op * nv + edge_op * ne + sample_flip_op * ns``.  Nothing
+executes across that boundary at lint time, so nothing *types* it —
+a reordered argument, a widened counters array, or a cost constant that
+stops being a dyadic rational would ship silently and corrupt the
+work/span ledger (or the goldens) in ways no unit test of either side
+alone can see.
+
+R007 cross-checks the three artifacts syntactically, anchoring each
+finding in the file whose edit would fix it:
+
+in ``repro/perf/native.py``:
+
+* the C parameter list of ``vgc_peel_tasks`` (pointer vs. integer,
+  parsed from the embedded source) must match the ``argtypes``
+  expression (``c_void_p`` vs. ``c_int64``), position by position;
+* the ``lib.vgc_peel_tasks(...)`` call must wrap exactly the pointer
+  positions in ``_ptr(...)``;
+* the ``counters`` array written by the C code (highest index + 1),
+  the ``np.zeros(N)`` allocation, and the Python tuple unpack must all
+  agree on the counter width;
+* every key of :data:`repro.perf.native.COST_COUNTERS` must have a
+  ``<key>_out`` output parameter in the C signature, and every value
+  must name a real ``CostModel`` field whose default is a **dyadic
+  rational** (exactly representable in binary floating point, the
+  exactness argument of docs/PERFORMANCE.md);
+
+in ``repro/perf/kernels.py``:
+
+* the ``task_costs`` closed form of ``vgc_peel_tasks_native`` must
+  multiply exactly the ``model.<field> * <counter>`` pairs that
+  ``COST_COUNTERS`` declares — no more, no fewer, no renames.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+from fractions import Fraction
+from pathlib import Path
+
+from repro.lint import astutil
+from repro.lint.context import ModuleContext
+from repro.lint.finding import Finding
+from repro.lint.registry import rule
+
+_KERNEL_NAME = "vgc_peel_tasks"
+
+
+# -- C-side parsing (regex over the embedded source string) ------------
+def _embedded_source(tree: ast.Module) -> tuple[str, ast.AST] | None:
+    """The ``_SOURCE`` string constant and its assignment node."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "_SOURCE"
+            for t in node.targets
+        ):
+            if isinstance(node.value, ast.Constant) and isinstance(
+                node.value.value, str
+            ):
+                return node.value.value, node
+    return None
+
+
+def _c_parameters(source: str) -> list[tuple[str, bool]] | None:
+    """``(name, is_pointer)`` per parameter of the kernel signature."""
+    match = re.search(rf"\b{_KERNEL_NAME}\s*\(", source)
+    if match is None:
+        return None
+    depth, start = 1, match.end()
+    end = start
+    while end < len(source) and depth:
+        if source[end] == "(":
+            depth += 1
+        elif source[end] == ")":
+            depth -= 1
+        end += 1
+    params_text = re.sub(r"/\*.*?\*/", "", source[start : end - 1], flags=re.S)
+    params: list[tuple[str, bool]] = []
+    for raw in params_text.split(","):
+        text = raw.strip()
+        if not text:
+            continue
+        names = re.findall(r"[A-Za-z_][A-Za-z0-9_]*", text)
+        if not names:
+            return None
+        params.append((names[-1], "*" in text))
+    return params
+
+
+def _c_counter_width(source: str) -> int:
+    """Highest ``counters[i]`` index written by the C code, plus one."""
+    indices = [
+        int(m) for m in re.findall(r"\bcounters\s*\[\s*(\d+)\s*\]", source)
+    ]
+    return max(indices) + 1 if indices else 0
+
+
+# -- Python-side extraction --------------------------------------------
+def _argtypes_layout(tree: ast.Module) -> tuple[list[bool], ast.AST] | None:
+    """Pointer-flags sequence from the ``.argtypes = ...`` assignment."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Attribute) and t.attr == "argtypes"
+            for t in node.targets
+        ):
+            continue
+        layout = _eval_ctype_list(node.value)
+        if layout is not None:
+            return layout, node
+        return None
+    return None
+
+
+def _eval_ctype_list(node: ast.expr) -> list[bool] | None:
+    """Evaluate ``[c_void_p]*7 + [c_int64]*4 + ...`` into pointer flags."""
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        left = _eval_ctype_list(node.left)
+        right = _eval_ctype_list(node.right)
+        if left is None or right is None:
+            return None
+        return left + right
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+        if isinstance(node.right, ast.Constant) and isinstance(
+            node.right.value, int
+        ):
+            base = _eval_ctype_list(node.left)
+            if base is None:
+                return None
+            return base * node.right.value
+        return None
+    if isinstance(node, ast.List):
+        flags: list[bool] = []
+        for element in node.elts:
+            dotted = astutil.dotted_name(element)
+            if dotted is None:
+                return None
+            tail = dotted.rsplit(".", 1)[-1]
+            if tail == "c_void_p":
+                flags.append(True)
+            elif tail in ("c_int64", "c_int32", "c_int", "c_long"):
+                flags.append(False)
+            else:
+                return None
+        return flags
+    return None
+
+
+def _kernel_call(tree: ast.Module) -> ast.Call | None:
+    """The ``lib.vgc_peel_tasks(...)`` invocation."""
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == _KERNEL_NAME
+        ):
+            return node
+    return None
+
+
+def _counters_zeros_width(tree: ast.Module) -> tuple[int, ast.AST] | None:
+    """N from the ``counters = np.zeros(N, ...)`` allocation."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "counters"
+            for t in node.targets
+        ):
+            continue
+        value = node.value
+        if isinstance(value, ast.Call):
+            name = astutil.call_name(value)
+            if name is not None and name.rsplit(".", 1)[-1] == "zeros":
+                if value.args and isinstance(value.args[0], ast.Constant):
+                    width = value.args[0].value
+                    if isinstance(width, int):
+                        return width, node
+    return None
+
+
+def _unpack_width(tree: ast.Module) -> tuple[int, ast.AST] | None:
+    """Arity of the ``dp, ep, ... = (... for x in counters)`` unpack."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not _mentions_counters(node.value):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Tuple):
+                return len(target.elts), node
+    return None
+
+
+def _mentions_counters(node: ast.AST) -> bool:
+    return any(
+        isinstance(sub, ast.Name) and sub.id == "counters"
+        for sub in ast.walk(node)
+    )
+
+
+def _cost_counters_table(tree: ast.Module) -> tuple[dict, ast.AST] | None:
+    """The literal ``COST_COUNTERS`` mapping and its assignment."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "COST_COUNTERS"
+            for t in node.targets
+        ):
+            try:
+                table = ast.literal_eval(node.value)
+            except ValueError:
+                return None
+            if isinstance(table, dict):
+                return table, node
+    return None
+
+
+def _cost_model_fields(tree: ast.Module) -> dict[str, ast.AST]:
+    """CostModel field name -> default-value node."""
+    fields: dict[str, ast.AST] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == "CostModel":
+            for stmt in node.body:
+                if (
+                    isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                    and stmt.value is not None
+                ):
+                    fields[stmt.target.id] = stmt.value
+    return fields
+
+
+def _is_dyadic(value: float) -> bool:
+    """Whether ``value`` is exactly representable in binary floats.
+
+    The closed form multiplies these constants by integer counts; the
+    products stay exact only when each constant's denominator is a
+    power of two (1.5 = 3/2 is fine, 0.3 = 3/10 is not).
+    """
+    try:
+        denominator = Fraction(str(value)).denominator
+    except ValueError:
+        return False
+    return denominator & (denominator - 1) == 0
+
+
+# -- the rule ----------------------------------------------------------
+@rule(
+    "R007",
+    "native-parity",
+    "embedded C kernel, ctypes signature, counter table and cost model "
+    "must agree",
+)
+def check(ctx: ModuleContext) -> Iterator[Finding]:
+    if not ctx.in_package("repro", "perf"):
+        return
+    filename = Path(ctx.path).name
+    if filename == "native.py":
+        yield from _check_native(ctx)
+    elif filename == "kernels.py":
+        yield from _check_kernels(ctx)
+
+
+def _check_native(ctx: ModuleContext) -> Iterator[Finding]:
+    embedded = _embedded_source(ctx.tree)
+    if embedded is None:
+        return
+    source, source_node = embedded
+    params = _c_parameters(source)
+    if params is None:
+        yield ctx.finding(
+            source_node,
+            "R007",
+            f"embedded C source has no parseable '{_KERNEL_NAME}' "
+            "signature; the parity checker cannot verify the ctypes "
+            "layout",
+        )
+        return
+
+    # (1) C parameter list vs. argtypes, position by position.
+    argtypes = _argtypes_layout(ctx.tree)
+    if argtypes is not None:
+        layout, node = argtypes
+        if len(layout) != len(params):
+            yield ctx.finding(
+                node,
+                "R007",
+                f"argtypes declares {len(layout)} arguments but the C "
+                f"'{_KERNEL_NAME}' signature has {len(params)}; the "
+                "ctypes call would smash the kernel's stack",
+            )
+        else:
+            for i, ((name, c_ptr), py_ptr) in enumerate(
+                zip(params, layout)
+            ):
+                if c_ptr != py_ptr:
+                    yield ctx.finding(
+                        node,
+                        "R007",
+                        f"argtypes[{i}] is "
+                        f"{'c_void_p' if py_ptr else 'an integer type'} "
+                        f"but C parameter {i} ('{name}') is "
+                        f"{'a pointer' if c_ptr else 'int64_t'}; "
+                        "pointer/integer layout must match the embedded "
+                        "C signature exactly",
+                    )
+
+    # (2) The foreign call wraps exactly the pointer positions in _ptr().
+    call = _kernel_call(ctx.tree)
+    if call is not None and not call.keywords:
+        if len(call.args) != len(params):
+            yield ctx.finding(
+                call,
+                "R007",
+                f"'{_KERNEL_NAME}' is called with {len(call.args)} "
+                f"arguments but the C signature has {len(params)}",
+            )
+        else:
+            for i, (arg, (name, c_ptr)) in enumerate(
+                zip(call.args, params)
+            ):
+                wrapped = (
+                    isinstance(arg, ast.Call)
+                    and astutil.call_name(arg) == "_ptr"
+                )
+                if wrapped != c_ptr:
+                    yield ctx.finding(
+                        arg,
+                        "R007",
+                        f"argument {i} of the '{_KERNEL_NAME}' call "
+                        f"{'is' if wrapped else 'is not'} a _ptr(...) "
+                        f"but C parameter '{name}' is "
+                        f"{'a pointer' if c_ptr else 'int64_t'}",
+                    )
+
+    # (3) Counter-width agreement: C writes / np.zeros / tuple unpack.
+    c_width = _c_counter_width(source)
+    zeros = _counters_zeros_width(ctx.tree)
+    if zeros is not None and c_width and zeros[0] != c_width:
+        yield ctx.finding(
+            zeros[1],
+            "R007",
+            f"counters buffer is allocated with {zeros[0]} slots but the "
+            f"C kernel writes counters[0..{c_width - 1}]",
+        )
+    unpack = _unpack_width(ctx.tree)
+    if unpack is not None and c_width and unpack[0] != c_width:
+        yield ctx.finding(
+            unpack[1],
+            "R007",
+            f"the counters unpack binds {unpack[0]} names but the C "
+            f"kernel writes {c_width} counters",
+        )
+
+    # (4) COST_COUNTERS: keys are kernel outputs, values are dyadic
+    # CostModel fields.
+    table_info = _cost_counters_table(ctx.tree)
+    if table_info is None:
+        return
+    table, table_node = table_info
+    param_names = {name for name, _ in params}
+    for key in table:
+        if f"{key}_out" not in param_names:
+            yield ctx.finding(
+                table_node,
+                "R007",
+                f"COST_COUNTERS key '{key}' has no '{key}_out' output "
+                f"parameter in the C '{_KERNEL_NAME}' signature",
+            )
+    cost_model = _cost_model_module(ctx)
+    if cost_model is None:
+        return
+    fields = _cost_model_fields(cost_model.tree)
+    for key, field in table.items():
+        default = fields.get(field)
+        if default is None:
+            yield ctx.finding(
+                table_node,
+                "R007",
+                f"COST_COUNTERS maps '{key}' to '{field}', which is not "
+                "a CostModel field",
+            )
+            continue
+        value = astutil.numeric_value(default)
+        if value is None or not _is_dyadic(value):
+            yield ctx.finding(
+                table_node,
+                "R007",
+                f"CostModel.{field} defaults to "
+                f"{value if value is not None else 'a non-literal'} "
+                f"({cost_model.path}:{getattr(default, 'lineno', '?')}), "
+                "which is not a dyadic rational; the native kernel's "
+                "closed-form costs are only exact for power-of-two "
+                "denominators (docs/PERFORMANCE.md)",
+            )
+
+
+def _cost_model_module(ctx: ModuleContext):
+    if ctx.program is None:
+        return None
+    return ctx.program.module_named("repro.runtime.cost_model")
+
+
+def _check_kernels(ctx: ModuleContext) -> Iterator[Finding]:
+    """The closed form in kernels.py must price what COST_COUNTERS says."""
+    if ctx.program is None:
+        return
+    native = ctx.program.module_named("repro.perf.native")
+    if native is None:
+        return
+    table_info = _cost_counters_table(native.tree)
+    if table_info is None:
+        return
+    table, _ = table_info
+    expected = {(field, counter) for counter, field in table.items()}
+
+    func = None
+    for node in ctx.tree.body:
+        if (
+            isinstance(node, ast.FunctionDef)
+            and node.name == f"{_KERNEL_NAME}_native"
+        ):
+            func = node
+            break
+    if func is None:
+        return
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "task_costs"
+            for t in node.targets
+        ):
+            continue
+        actual = set(_model_products(node.value))
+        if actual != expected:
+            missing = sorted(expected - actual)
+            extra = sorted(actual - expected)
+            detail = []
+            if missing:
+                detail.append(
+                    "missing "
+                    + ", ".join(f"model.{f} * {c}" for f, c in missing)
+                )
+            if extra:
+                detail.append(
+                    "unexpected "
+                    + ", ".join(f"model.{f} * {c}" for f, c in extra)
+                )
+            yield ctx.finding(
+                node,
+                "R007",
+                "task_costs closed form disagrees with "
+                f"native.COST_COUNTERS: {'; '.join(detail)}",
+            )
+        return
+
+
+def _model_products(node: ast.expr) -> Iterator[tuple[str, str]]:
+    """``(field, counter)`` pairs from a sum of ``model.f * c`` terms."""
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        yield from _model_products(node.left)
+        yield from _model_products(node.right)
+        return
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+        left = astutil.dotted_name(node.left)
+        right = astutil.dotted_name(node.right)
+        if left is not None and right is not None:
+            if left.startswith("model.") and "." not in right:
+                yield left[len("model.") :], right
+            elif right.startswith("model.") and "." not in left:
+                yield right[len("model.") :], left

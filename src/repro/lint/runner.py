@@ -1,14 +1,55 @@
-"""File discovery and rule execution."""
+"""File discovery, program construction, and rule execution.
+
+The v2 runner is whole-program: every file of a run is parsed into one
+:class:`repro.lint.engine.Program` so rules can resolve calls across
+modules.  On top sits the incremental path — with a cache directory,
+modules whose dependency closure is unchanged replay their stored
+findings, and only the dirty modules (plus the closure they need for
+context) are re-analyzed.  See :mod:`repro.lint.engine.cache`.
+"""
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.bench.wallclock import measure
 from repro.lint.context import ModuleContext
+from repro.lint.engine.cache import CacheEntry, LintCache
+from repro.lint.engine.modulegraph import Module, content_sha, module_name_for
+from repro.lint.engine.program import ANALYSIS_COUPLINGS, Program
 from repro.lint.finding import Finding
 from repro.lint.registry import Rule, all_rules
 from repro.lint.suppress import is_suppressed
+
+
+@dataclass
+class LintStats:
+    """What one run did, for ``--format json`` and the cache tests."""
+
+    files_total: int = 0
+    files_analyzed: int = 0
+    cache_hits: int = 0
+    wall_s: float = 0.0
+    rule_counts: dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "files_total": self.files_total,
+            "files_analyzed": self.files_analyzed,
+            "cache_hits": self.cache_hits,
+            "wall_s": round(self.wall_s, 6),
+            "rule_counts": dict(sorted(self.rule_counts.items())),
+        }
+
+
+@dataclass
+class LintResult:
+    """Sorted findings plus run statistics."""
+
+    findings: list[Finding]
+    stats: LintStats
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
@@ -39,6 +80,153 @@ def select_rules(select: Sequence[str] | None) -> list[Rule]:
     return [rule for rule in rules if rule.rule_id in wanted]
 
 
+# ----------------------------------------------------------------------
+def _error_finding(path: str | Path, message: str, line: int = 1, col: int = 0) -> Finding:
+    return Finding(
+        path=str(path), line=line, col=col, rule_id="E000", message=message
+    )
+
+
+def _parse_module(path: str | Path, source: str, name: str) -> Module:
+    module = Module.parse(path, source)
+    if module.name != name:  # collision fallback: path-unique name
+        module.name = name
+    return module
+
+
+def _check_module(
+    program: Program, module: Module, rules: Sequence[Rule]
+) -> list[Finding]:
+    ctx = ModuleContext.for_module(program, module)
+    return sorted(
+        finding
+        for rule in rules
+        for finding in rule.check(ctx)
+        if not is_suppressed(ctx.suppressions, finding.line, finding.rule_id)
+    )
+
+
+def run_lint(
+    paths: Iterable[str | Path],
+    select: Sequence[str] | None = None,
+    cache_dir: str | Path | None = None,
+) -> LintResult:
+    """Lint every Python file under ``paths`` as one program.
+
+    ``cache_dir`` enables the incremental cache; it is ignored when a
+    rule subset is selected (cached entries describe full-rule runs).
+    """
+    stats = LintStats()
+    with measure() as sample:
+        findings = _run_lint(paths, select, cache_dir, stats)
+    stats.wall_s = sample.wall_s
+    for finding in findings:
+        stats.rule_counts[finding.rule_id] = (
+            stats.rule_counts.get(finding.rule_id, 0) + 1
+        )
+    return LintResult(findings=findings, stats=stats)
+
+
+def _run_lint(
+    paths: Iterable[str | Path],
+    select: Sequence[str] | None,
+    cache_dir: str | Path | None,
+    stats: LintStats,
+) -> list[Finding]:
+    rules = select_rules(select)
+    findings: list[Finding] = []
+
+    # Read every file once; assign collision-free module names.
+    sources: dict[str, tuple[str, str]] = {}  # name -> (path, source)
+    names: dict[str, str] = {}  # path -> name
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            findings.append(_error_finding(path, f"could not read file: {exc}"))
+            continue
+        name = module_name_for(path)
+        if name in sources:
+            name = str(path)
+        sources[name] = (str(path), source)
+        names[str(path)] = name
+    stats.files_total = len(sources) + len(findings)
+
+    use_cache = cache_dir is not None and select is None
+    cache = LintCache(cache_dir) if use_cache else None
+    shas = {
+        name: content_sha(source) for name, (_, source) in sources.items()
+    }
+
+    clean: dict[str, CacheEntry] = {}
+    if cache is not None:
+        for name in sources:
+            entry = cache.valid_entry(name, shas)
+            if entry is not None:
+                clean[name] = entry
+    dirty = [name for name in sources if name not in clean]
+    stats.cache_hits = len(clean)
+    stats.files_analyzed = len(dirty)
+
+    # Parse the dirty modules plus the closure they need for context.
+    known = set(sources)
+    modules: dict[str, Module] = {}
+    queue = list(dirty)
+    while queue:
+        name = queue.pop()
+        if name in modules or name not in sources:
+            continue
+        path, source = sources[name]
+        try:
+            modules[name] = _parse_module(path, source, name)
+        except SyntaxError as exc:
+            if name in dirty:
+                findings.append(
+                    _error_finding(
+                        path,
+                        f"could not parse file: {exc.msg}",
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 1) - 1,
+                    )
+                )
+            continue
+        deps = modules[name].project_imports(known)
+        deps |= ANALYSIS_COUPLINGS.get(name, frozenset()) & known
+        queue.extend(dep for dep in deps if dep not in modules)
+
+    program = Program(modules.values())
+    for name in sorted(dirty):
+        module = modules.get(name)
+        if module is None:
+            continue  # read/parse error already reported
+        module_findings = _check_module(program, module, rules)
+        findings.extend(module_findings)
+        if cache is not None:
+            cache.store(
+                CacheEntry(
+                    path=module.path,
+                    module=name,
+                    sha=module.sha,
+                    closure=sorted(program.closure(name)),
+                    closure_sha=program.closure_sha(name),
+                    findings=module_findings,
+                )
+            )
+    for entry in clean.values():
+        findings.extend(entry.findings)
+
+    if cache is not None:
+        # Drop entries for files that left the run, then persist.
+        cache.entries = {
+            name: entry
+            for name, entry in cache.entries.items()
+            if name in sources
+        }
+        cache.write()
+    return sorted(findings)
+
+
+# -- back-compatible entry points --------------------------------------
 def lint_source(
     source: str,
     path: str | Path = "<string>",
@@ -46,24 +234,18 @@ def lint_source(
 ) -> list[Finding]:
     """Lint one source string (the test suite's entry point)."""
     try:
-        ctx = ModuleContext.parse(path, source)
+        module = Module.parse(path, source)
     except SyntaxError as exc:
         return [
-            Finding(
-                path=str(path),
+            _error_finding(
+                path,
+                f"could not parse file: {exc.msg}",
                 line=exc.lineno or 1,
                 col=(exc.offset or 1) - 1,
-                rule_id="E000",
-                message=f"could not parse file: {exc.msg}",
             )
         ]
-    findings = [
-        finding
-        for rule in select_rules(select)
-        for finding in rule.check(ctx)
-        if not is_suppressed(ctx.suppressions, finding.line, finding.rule_id)
-    ]
-    return sorted(findings)
+    program = Program([module])
+    return _check_module(program, module, select_rules(select))
 
 
 def lint_paths(
@@ -71,20 +253,4 @@ def lint_paths(
     select: Sequence[str] | None = None,
 ) -> list[Finding]:
     """Lint every Python file under ``paths``; sorted findings."""
-    findings: list[Finding] = []
-    for path in iter_python_files(paths):
-        try:
-            source = path.read_text(encoding="utf-8")
-        except (OSError, UnicodeDecodeError) as exc:
-            findings.append(
-                Finding(
-                    path=str(path),
-                    line=1,
-                    col=0,
-                    rule_id="E000",
-                    message=f"could not read file: {exc}",
-                )
-            )
-            continue
-        findings.extend(lint_source(source, path=path, select=select))
-    return sorted(findings)
+    return run_lint(paths, select=select).findings

@@ -112,6 +112,25 @@ void vgc_peel_tasks(
 }
 """
 
+#: Per-task counter outputs of the C kernel (``<name>_out`` parameters)
+#: mapped to the :class:`repro.runtime.cost_model.CostModel` field each
+#: is priced with in the dyadic closed form of
+#: :func:`repro.perf.kernels.vgc_peel_tasks_native`.  The R007 lint rule
+#: cross-checks this table against the embedded C source, the ctypes
+#: signature, and the cost model — editing any side without the others
+#: is exactly the drift it exists to catch.
+COST_COUNTERS = {
+    "nv": "vertex_op",
+    "ne": "edge_op",
+    "ns": "sample_flip_op",
+}
+
+
+def kernel_source() -> str:
+    """The embedded C source of the compiled kernel (for tooling)."""
+    return _SOURCE
+
+
 _BUILD_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "_build")
 
 _lib: ctypes.CDLL | None = None

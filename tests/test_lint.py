@@ -40,9 +40,11 @@ def rule_ids(findings) -> list[str]:
 # Registry
 # ----------------------------------------------------------------------
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_seven_rules_registered(self):
         ids = [rule.rule_id for rule in all_rules()]
-        assert ids == ["R001", "R002", "R003", "R004", "R005", "R006"]
+        assert ids == [
+            "R001", "R002", "R003", "R004", "R005", "R006", "R007",
+        ]
 
     def test_rules_have_names_and_summaries(self):
         for rule in all_rules():
@@ -113,7 +115,26 @@ class TestR001ChargeCoverage:
         )
         assert findings == []
 
-    def test_storing_runtime_on_object_is_clean(self):
+    def test_storing_runtime_on_charging_class_is_clean(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            class Bag:
+                def build(self, values, runtime):
+                    self.runtime = runtime
+                    self.slots = np.zeros(values.size)
+
+                def drain(self):
+                    self.runtime.sequential(float(self.slots.size), tag="d")
+            """
+        )
+        assert findings == []
+
+    def test_storing_runtime_on_non_charging_class_is_flagged(self):
+        # v1 treated *any* store of the runtime as an escape hatch; the
+        # call-graph engine sees that no method of Bag ever charges, so
+        # the stored runtime can never account for the numpy work.
         findings = lint(
             """
             import numpy as np
@@ -124,7 +145,26 @@ class TestR001ChargeCoverage:
                     self.slots = np.zeros(values.size)
             """
         )
-        assert findings == []
+        assert rule_ids(findings) == ["R001"]
+
+    def test_forwarding_to_resolved_non_charging_callee_is_flagged(self):
+        # The v1 false negative the engine closes: the runtime is
+        # forwarded, but to a *resolved* callee that never charges.
+        findings = lint(
+            """
+            import numpy as np
+
+            def collect(runtime, values):
+                return values.sum()
+
+            def driver(graph, runtime):
+                degrees = np.diff(graph.indptr)
+                collect(runtime, degrees)
+                return degrees
+            """
+        )
+        assert rule_ids(findings) == ["R001"]
+        assert "driver" in findings[0].message
 
     def test_annotation_marks_runtime_parameter(self):
         findings = lint(
@@ -757,4 +797,13 @@ class TestRunnerAndCli:
 class TestSelfCheck:
     def test_src_repro_has_zero_unsuppressed_findings(self):
         findings = lint_paths([SRC])
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_every_root_has_zero_unsuppressed_findings(self):
+        roots = [
+            ROOT / name
+            for name in ("tests", "benchmarks", "examples", "tools")
+            if (ROOT / name).exists()
+        ]
+        findings = lint_paths([SRC, *roots])
         assert findings == [], "\n".join(f.render() for f in findings)
