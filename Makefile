@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint lint-changed bench bench-large bench-figures examples clean loc regress regress-bless oracle trace
+.PHONY: install test lint lint-changed bench bench-large bench-figures bench-updates examples clean loc regress regress-bless oracle oracle-updates serve-smoke trace
 
 install:
 	$(PYTHON) setup.py develop
@@ -32,11 +32,20 @@ regress-bless:
 oracle:
 	PYTHONPATH=src $(PYTHON) -m repro.regress oracle
 
+oracle-updates:
+	PYTHONPATH=src $(PYTHON) -m repro.regress oracle-updates
+
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.serve --tiny
+
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro.bench
 
 bench-large:
 	PYTHONPATH=src REPRO_GRAPH_CACHE=.graph_cache $(PYTHON) -m repro.bench --large --output BENCH_wallclock_large.json
+
+bench-updates:
+	PYTHONPATH=src $(PYTHON) -m repro.bench --updates
 
 trace:
 	PYTHONPATH=src $(PYTHON) -m repro.trace ours LJ-S --flame LJ-S.folded

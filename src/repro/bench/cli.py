@@ -7,9 +7,11 @@ Typical invocations::
     python -m repro.bench --large             # ~10x scaled matrix
     python -m repro.bench --tiny --assert-all-hits   # warm-cache check
     python -m repro.bench --compare-kernels   # cold kernel A/B/C evidence
+    python -m repro.bench --updates           # batch-vs-per-edge replay
 
-The report is written to ``--output`` (default ``BENCH_wallclock.json``)
-and a one-line-per-engine summary is printed to stdout.
+The report is written to ``--output`` (default ``BENCH_wallclock.json``,
+or ``BENCH_updates.json`` with ``--updates``) and a one-line summary is
+printed to stdout.
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ from repro.bench.runner import compare_kernels, default_matrix, execute
 from repro.perf import NATIVE, REFERENCE, VECTORIZED
 
 DEFAULT_OUTPUT = "BENCH_wallclock.json"
+DEFAULT_UPDATES_OUTPUT = "BENCH_updates.json"
 
 
 def _csv(value: str) -> list[str]:
@@ -118,11 +121,55 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run the cold reference-vs-vectorized A/B on 'ours'",
     )
+    parser.add_argument(
+        "--updates",
+        action="store_true",
+        help="run the updates tier instead: batch-dynamic engine vs "
+        "per-edge replay on the flagship graphs "
+        f"(writes {DEFAULT_UPDATES_OUTPUT})",
+    )
     return parser
+
+
+def _run_updates(args: argparse.Namespace) -> int:
+    from repro.bench.updates import run_updates_bench
+
+    size = "tiny" if args.tiny else ("large" if args.large else "full")
+    report = run_updates_bench(
+        graphs=args.graphs,
+        size=size,
+        progress=not args.no_progress,
+        trace_dir=args.trace,
+    )
+    status = 0
+    for name, entry in report["graphs"].items():
+        batch = entry["batch"]
+        legacy = entry["legacy"]
+        agree = "ok" if entry["agreement"] else "DISAGREE"
+        print(
+            f"  {name:8s} batch {batch['updates_per_sec']:12.0f} up/s"
+            f"  per-edge {legacy['updates_per_sec']:12.0f} up/s"
+            f"  speedup {entry['speedup']:6.1f}x  [{agree}]"
+        )
+        if not entry["agreement"]:
+            status = 1
+    output = (
+        DEFAULT_UPDATES_OUTPUT
+        if args.output == DEFAULT_OUTPUT
+        else args.output
+    )
+    if output != "-":
+        with open(output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {output}")
+    return status
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.updates:
+        return _run_updates(args)
     cache = DiskCache(args.cache_dir)
     size = "tiny" if args.tiny else ("large" if args.large else "full")
     cells = default_matrix(

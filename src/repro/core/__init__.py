@@ -15,6 +15,7 @@ from repro.core.applications import (
     onion_layers,
 )
 from repro.core.approximate import approximate_coreness, approximation_phases
+from repro.core.batch_dynamic import BatchDynamicKCore, BatchResult
 from repro.core.dcore import dcore_in_decomposition, dcore_subgraph
 from repro.core.collapse import CollapseResult, collapse_kcore_greedy
 from repro.core.densest_exact import Dinic, exact_densest_subgraph
@@ -79,6 +80,8 @@ from repro.core.vgc import DEFAULT_QUEUE_SIZE, VGCConfig
 
 __all__ = [
     "BUCKET_CHOICES",
+    "BatchDynamicKCore",
+    "BatchResult",
     "CoreComponent",
     "DensestSubgraphResult",
     "DynamicKCore",

@@ -1,0 +1,583 @@
+"""Batch-dynamic k-core maintenance (the serving-side update engine).
+
+Liu, Shun and Zablotchi ("Parallel k-Core Decomposition with Batched
+Updates and Asynchronous Reads", PPoPP 2024; PAPERS.md) make the case
+that per-edge dynamic maintenance cannot keep up with real update
+traffic: the batched formulation is the one that scales.  This module
+replaces the per-edge traversal of :mod:`repro.core.dynamic` with a
+**batched update engine**:
+
+* :meth:`BatchDynamicKCore.apply_batch` accepts a whole batch of edge
+  insertions *and* deletions, applies them structurally in one flat
+  CSR rebuild, and repairs coreness with frontier-synchronous rounds —
+  one flat kernel invocation per round — instead of one Python BFS per
+  edge;
+* **deletions** cascade top-down: coreness values are upper bounds
+  after edge removal, so dirty vertices whose support (neighbors with
+  ``kappa >= kappa(v)``) falls short drop one level per round until the
+  labeling is again a fixed point (exactly the new coreness);
+* **insertions** peel bottom-up: the union of affected *subcores*
+  (vertices at level ``r`` reachable from a batch endpoint through
+  level-``r`` vertices) is re-peeled at threshold ``r`` with the
+  sanctioned batch atomics (:func:`repro.runtime.atomics.batch_decrement`);
+  survivors rise one level, risers seed the next round, and the
+  fixpoint is the exact coreness of the updated graph.
+
+Both cascades maintain the invariant that the label array stays on the
+correct side of the true coreness (above for deletions, below for
+insertions), so the committed result after a batch is the *exact*
+decomposition of the final graph — independent of the order of updates
+inside the batch.  The differential update oracle
+(:mod:`repro.regress.update_oracle`) enforces bit-equality against a
+full recompute after every batch.
+
+``REPRO_KERNELS`` selects the neighbor-expansion kernel exactly as in
+:mod:`repro.perf.kernels`: ``reference`` runs the original per-edge
+Python gather loop, every other mode (``vectorized``, ``native``,
+``auto``) the flat NumPy gather.  The compiled C kernel applies to the
+VGC task loop only, so ``native`` resolves to the flat NumPy path here;
+all modes are bit-exact — same coreness, same simulated-runtime ledger.
+
+Work is charged to the simulated runtime through the sanctioned APIs
+(``parallel_for`` / ``parallel_update`` with contention counts from the
+batch atomics), so batch maintenance has a work/span/burdened-span
+story on the same ledger as the static engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.verify import reference_coreness
+from repro.graphs.csr import CSRGraph
+from repro.perf import REFERENCE, kernel_mode
+from repro.primitives.bitops import sorted_member_mask
+from repro.runtime.atomics import batch_decrement
+from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.runtime.simulator import SimRuntime
+
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+
+# ----------------------------------------------------------------------
+# Neighbor-stream kernels (the REPRO_KERNELS switch point)
+# ----------------------------------------------------------------------
+def neighbor_stream_vectorized(
+    graph: CSRGraph, frontier: np.ndarray
+) -> np.ndarray:
+    """Concatenated neighbor lists of ``frontier`` (flat NumPy kernel)."""
+    return graph.gather_neighbors(frontier)
+
+
+def neighbor_stream_reference(
+    graph: CSRGraph, frontier: np.ndarray
+) -> np.ndarray:
+    """Concatenated neighbor lists of ``frontier`` (per-edge Python loop).
+
+    The equivalence oracle for :func:`neighbor_stream_vectorized`: same
+    CSR traversal order, one Python iteration per edge.
+    """
+    indptr, indices = graph.indptr, graph.indices
+    out: list[int] = []
+    for v in frontier.tolist():
+        for u in indices[indptr[v] : indptr[v + 1]].tolist():
+            out.append(u)
+    return np.asarray(out, dtype=np.int64)
+
+
+def resolve_stream_kernel(regime: str | None = None):
+    """The neighbor-stream kernel for a (resolved) ``REPRO_KERNELS`` mode."""
+    if regime is None:
+        regime = kernel_mode()
+    if regime == REFERENCE:
+        return neighbor_stream_reference
+    return neighbor_stream_vectorized
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one committed update batch.
+
+    Attributes:
+        epoch: Epoch number committed by this batch (first batch is 1).
+        raised: Vertices whose coreness increased (sorted, unique).
+        lowered: Vertices whose coreness decreased (sorted, unique).
+        applied_insertions: Edges actually inserted (absent before).
+        applied_deletions: Edges actually deleted (present before).
+        noop_insertions: Requested insertions that already existed.
+        noop_deletions: Requested deletions of absent edges.
+        rounds: Frontier-synchronous repair rounds this batch ran.
+    """
+
+    epoch: int
+    raised: np.ndarray = field(default_factory=lambda: _EMPTY)
+    lowered: np.ndarray = field(default_factory=lambda: _EMPTY)
+    applied_insertions: int = 0
+    applied_deletions: int = 0
+    noop_insertions: int = 0
+    noop_deletions: int = 0
+    rounds: int = 0
+
+    @property
+    def changed(self) -> np.ndarray:
+        """Vertices whose coreness changed (sorted, unique)."""
+        if self.raised.size == 0:
+            return self.lowered
+        if self.lowered.size == 0:
+            return self.raised
+        return np.unique(np.concatenate([self.raised, self.lowered]))
+
+
+class BatchDynamicKCore:
+    """Exact coreness under batched edge insertions and deletions.
+
+    The graph lives as a sorted flat arc-key array (``u * n + v`` for
+    both directions) from which the CSR view is rebuilt once per batch
+    phase — every repair round then runs on plain CSR with the flat
+    kernels.  Reads (:attr:`coreness`, :meth:`core_number`,
+    :meth:`snapshot`) always observe the last *committed* epoch; a batch
+    commits atomically when :meth:`apply_batch` returns.
+
+    Batch semantics (documented, tested in tests/test_batch_dynamic.py):
+
+    * deletions are applied before insertions, so an edge both deleted
+      and inserted in one batch ends up **present**;
+    * duplicate updates inside a batch coalesce; inserting a present
+      edge or deleting an absent one is a no-op (reported in the
+      :class:`BatchResult` counters);
+    * self-loops are rejected with :class:`ValueError`, out-of-range
+      endpoints with :class:`IndexError`;
+    * the committed coreness depends only on the *set* of updates, never
+      on their order inside the batch.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        model: CostModel | None = None,
+        runtime: SimRuntime | None = None,
+    ) -> None:
+        self.n = graph.n
+        self.runtime = (
+            runtime
+            if runtime is not None
+            else SimRuntime(model if model is not None else DEFAULT_COST_MODEL)
+        )
+        src = np.repeat(np.arange(graph.n, dtype=np.int64), graph.degrees)
+        #: Sorted arc keys (both directions of every undirected edge).
+        self._keys = src * np.int64(max(self.n, 1)) + graph.indices
+        self._graph = graph
+        self.coreness = reference_coreness(graph).copy()
+        #: Committed epoch counter; one increment per apply_batch.
+        self.epoch = 0
+        #: Effective (non-no-op) single-edge updates applied so far.
+        self.updates = 0
+        #: Batches committed so far.
+        self.batches = 0
+        #: Candidate vertices examined by repair rounds (work telemetry).
+        self.touched_vertices = 0
+
+    # ------------------------------------------------------------------
+    # Queries (always the last committed epoch)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> CSRGraph:
+        """The current committed graph (immutable CSR; do not mutate)."""
+        return self._graph
+
+    def core_number(self, v: int) -> int:
+        """Committed coreness of ``v``."""
+        return int(self.coreness[v])
+
+    def degree(self, v: int) -> int:
+        """Current degree of ``v``."""
+        return self._graph.degree(v)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge (u, v) is present."""
+        if u == v or not (0 <= u < self.n and 0 <= v < self.n):
+            return False
+        key = np.asarray(
+            [np.int64(u) * self.n + np.int64(v)], dtype=np.int64
+        )
+        return bool(sorted_member_mask(key, self._keys)[0])
+
+    @property
+    def metrics(self):
+        """The simulated-runtime ledger of all update processing."""
+        return self.runtime.metrics
+
+    # ------------------------------------------------------------------
+    # Single-edge convenience wrappers (batch of size one)
+    # ------------------------------------------------------------------
+    def insert_edge(self, u: int, v: int) -> np.ndarray:
+        """Insert one edge; returns the vertices whose coreness rose."""
+        return self.apply_batch(insertions=[(u, v)]).raised
+
+    def delete_edge(self, u: int, v: int) -> np.ndarray:
+        """Delete one edge; returns the vertices whose coreness fell."""
+        return self.apply_batch(deletions=[(u, v)]).lowered
+
+    # ------------------------------------------------------------------
+    # The batch entry point
+    # ------------------------------------------------------------------
+    def apply_batch(
+        self,
+        insertions=(),
+        deletions=(),
+    ) -> BatchResult:
+        """Apply one batch of updates; commit and return the outcome.
+
+        ``insertions`` and ``deletions`` are iterables of vertex pairs
+        (or ``(k, 2)`` arrays).  Deletions are applied first; see the
+        class docstring for the full batch semantics.
+        """
+        ins = self._normalize(insertions)
+        dels = self._normalize(deletions)
+        runtime = self.runtime
+        runtime.begin_round()
+        rounds_before = runtime.metrics.subrounds
+        stream = resolve_stream_kernel()
+
+        lowered = _EMPTY
+        raised = _EMPTY
+        applied_del = noop_del = applied_ins = noop_ins = 0
+
+        if dels.size:
+            present = sorted_member_mask(dels, self._keys)
+            eff = dels[present]
+            applied_del = int(eff.size)
+            noop_del = int(dels.size - eff.size)
+            if eff.size:
+                self._remove_arcs(eff)
+                dirty = self._endpoints(eff)
+                lowered = self._deletion_cascade(dirty, stream)
+
+        if ins.size:
+            present = sorted_member_mask(ins, self._keys)
+            eff = ins[~present]
+            applied_ins = int(eff.size)
+            noop_ins = int(ins.size - eff.size)
+            if eff.size:
+                self._add_arcs(eff)
+                seeds = self._endpoints(eff)
+                raised = self._insertion_fixpoint(seeds, stream)
+
+        self.epoch += 1
+        self.batches += 1
+        self.updates += applied_del + applied_ins
+        result = BatchResult(
+            epoch=self.epoch,
+            raised=raised,
+            lowered=lowered,
+            applied_insertions=applied_ins,
+            applied_deletions=applied_del,
+            noop_insertions=noop_ins,
+            noop_deletions=noop_del,
+            rounds=int(runtime.metrics.subrounds - rounds_before),
+        )
+        if runtime.tracer is not None:
+            runtime.tracer.instant(
+                "batch_commit",
+                epoch=result.epoch,
+                applied_insertions=applied_ins,
+                applied_deletions=applied_del,
+                raised=int(raised.size),
+                lowered=int(lowered.size),
+                rounds=result.rounds,
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Structural maintenance (arc keys + CSR rebuild)
+    # ------------------------------------------------------------------
+    def _normalize(self, pairs) -> np.ndarray:
+        """Canonical sorted unique arc keys (``min * n + max``) of a batch."""
+        arr = np.asarray(list(pairs) if not isinstance(pairs, np.ndarray)
+                         else pairs, dtype=np.int64)
+        if arr.size == 0:
+            return _EMPTY
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise ValueError(
+                f"update batch must have shape (k, 2), got {arr.shape}"
+            )
+        if arr.min() < 0 or arr.max() >= self.n:
+            bad = arr[(arr.min(axis=1) < 0) | (arr.max(axis=1) >= self.n)]
+            raise IndexError(
+                f"edge ({int(bad[0, 0])}, {int(bad[0, 1])}) out of range "
+                f"for n={self.n}"
+            )
+        if np.any(arr[:, 0] == arr[:, 1]):
+            loop = arr[arr[:, 0] == arr[:, 1]][0]
+            raise ValueError(
+                f"self-loop ({loop[0]}, {loop[1]}) rejected: the graph "
+                f"model is simple"
+            )
+        lo = np.minimum(arr[:, 0], arr[:, 1])
+        hi = np.maximum(arr[:, 0], arr[:, 1])
+        return np.unique(lo * np.int64(self.n) + hi)
+
+    def _endpoints(self, canonical_keys: np.ndarray) -> np.ndarray:
+        """Sorted unique endpoints of canonical arc keys."""
+        lo = canonical_keys // self.n
+        hi = canonical_keys % self.n
+        return np.unique(np.concatenate([lo, hi]))
+
+    def _both_directions(self, canonical_keys: np.ndarray) -> np.ndarray:
+        """Sorted arc keys of both directions of canonical edges."""
+        lo = canonical_keys // self.n
+        hi = canonical_keys % self.n
+        n = np.int64(self.n)
+        return np.sort(np.concatenate([lo * n + hi, hi * n + lo]))
+
+    def _remove_arcs(self, canonical_keys: np.ndarray) -> None:
+        drop = self._both_directions(canonical_keys)
+        mask = sorted_member_mask(self._keys, drop)
+        self._keys = self._keys[~mask]
+        self._rebuild(extra=int(drop.size))
+
+    def _add_arcs(self, canonical_keys: np.ndarray) -> None:
+        add = self._both_directions(canonical_keys)
+        merged = np.empty(self._keys.size + add.size, dtype=np.int64)
+        merged[: self._keys.size] = self._keys
+        merged[self._keys.size :] = add
+        merged.sort(kind="stable")
+        self._keys = merged
+        self._rebuild(extra=int(add.size))
+
+    def _rebuild(self, extra: int = 0) -> None:
+        """Rebuild the CSR view from the arc keys; charge the flat pass."""
+        n = self.n
+        if n == 0:
+            return
+        src = self._keys // n
+        dst = self._keys % n
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        counts = np.bincount(src, minlength=n)
+        np.cumsum(counts, out=indptr[1:])
+        self._graph = CSRGraph(
+            indptr, dst, name="batch-dynamic", validate=False
+        )
+        # One streaming pass over the arc array plus the update stream.
+        self.runtime.parallel_for(
+            self.runtime.model.scan_op,
+            count=int(self._keys.size + extra),
+            barriers=1,
+            tag="dyn_rebuild",
+        )
+
+    # ------------------------------------------------------------------
+    # Deletion cascade (labels are upper bounds; drop to the fixed point)
+    # ------------------------------------------------------------------
+    def _deletion_cascade(self, dirty: np.ndarray, stream) -> np.ndarray:
+        """Exact repair after deletions; returns the lowered vertices.
+
+        Invariant: ``coreness >= true coreness`` pointwise.  Each round
+        recounts, for every dirty vertex, the neighbors still supporting
+        its level (``kappa(x) >= kappa(v)``); vertices short of support
+        drop one level and re-dirty themselves and their neighborhoods.
+        At the fixed point the labeling is feasible from below as well,
+        hence exact.
+        """
+        runtime = self.runtime
+        model = runtime.model
+        graph = self._graph
+        lowered: list[np.ndarray] = []
+        while dirty.size:
+            runtime.begin_subround(int(dirty.size))
+            lens = graph.indptr[dirty + 1] - graph.indptr[dirty]
+            targets = stream(graph, dirty)
+            seg = np.repeat(
+                np.arange(dirty.size, dtype=np.int64), lens
+            )
+            supported = self.coreness[targets] >= self.coreness[dirty][seg]
+            support = np.bincount(
+                seg[supported], minlength=dirty.size
+            )
+            runtime.parallel_for(
+                (model.vertex_op + model.edge_op * lens).astype(
+                    np.float64
+                ),
+                barriers=model.online_barriers,
+                tag="dyn_drop",
+            )
+            viol_idx = np.flatnonzero(
+                (support < self.coreness[dirty])
+                & (self.coreness[dirty] > 0)
+            )
+            if viol_idx.size == 0:
+                break
+            viol = dirty[viol_idx]
+            # Per-vertex label writes: ``viol`` is a subset of the
+            # unique ``dirty`` array, so each location is written once.
+            self.coreness[viol] -= 1  # lint: disable=R004
+            runtime.parallel_for(
+                model.scan_op,
+                count=int(viol.size),
+                barriers=0,
+                tag="dyn_relabel",
+            )
+            lowered.append(viol)
+            # Next dirty frontier: the droppers (may drop again) plus
+            # their neighborhoods (their support may have shrunk),
+            # reusing this round's gathered stream.
+            vmask = np.zeros(dirty.size, dtype=bool)
+            vmask[viol_idx] = True
+            spread = targets[vmask[seg]]
+            dirty = np.unique(np.concatenate([viol, spread]))
+            runtime.parallel_for(
+                model.bag_insert_op,
+                count=int(dirty.size),
+                barriers=0,
+                tag="frontier_bag",
+            )
+        if not lowered:
+            return _EMPTY
+        return np.unique(np.concatenate(lowered))
+
+    # ------------------------------------------------------------------
+    # Insertion fixpoint (labels are lower bounds; peel subcores upward)
+    # ------------------------------------------------------------------
+    def _insertion_fixpoint(
+        self, seeds: np.ndarray, stream
+    ) -> np.ndarray:
+        """Exact repair after insertions; returns the raised vertices.
+
+        Invariant: ``coreness <= true coreness`` pointwise, and the
+        labeling stays *feasible* (every vertex has ``kappa(v)``
+        neighbors at its level or above), so every one-level rise the
+        peel grants is permanently correct.  Rounds iterate level groups
+        in ascending order; risers seed the next round; the fixed point
+        is the exact coreness.
+        """
+        raised: list[np.ndarray] = []
+        while seeds.size:
+            risers_round: list[np.ndarray] = []
+            levels = np.unique(self.coreness[seeds])
+            for r in levels.tolist():
+                roots = seeds[self.coreness[seeds] == r]
+                if roots.size == 0:
+                    continue
+                cand = self._subcore(roots, int(r), stream)
+                if cand.size == 0:
+                    continue
+                self.touched_vertices += int(cand.size)
+                risers = self._peel_level(cand, int(r), stream)
+                if risers.size:
+                    risers_round.append(risers)
+            if not risers_round:
+                break
+            seeds = np.unique(np.concatenate(risers_round))
+            raised.append(seeds)
+        if not raised:
+            return _EMPTY
+        return np.unique(np.concatenate(raised))
+
+    def _subcore(
+        self, roots: np.ndarray, r: int, stream
+    ) -> np.ndarray:
+        """Union of level-``r`` subcores containing ``roots`` (sorted).
+
+        Frontier-synchronous BFS through coreness-``r`` vertices — the
+        insertion candidate set of the traversal algorithm, discovered
+        with one flat kernel invocation per BFS round.
+        """
+        runtime = self.runtime
+        model = runtime.model
+        graph = self._graph
+        visited = np.zeros(self.n, dtype=bool)
+        frontier = roots[self.coreness[roots] == r]
+        if frontier.size == 0:
+            return _EMPTY
+        visited[frontier] = True
+        members = [frontier]
+        while frontier.size:
+            runtime.begin_subround(int(frontier.size))
+            lens = graph.indptr[frontier + 1] - graph.indptr[frontier]
+            targets = stream(graph, frontier)
+            runtime.parallel_for(
+                (model.vertex_op + model.edge_op * lens).astype(
+                    np.float64
+                ),
+                barriers=model.online_barriers,
+                tag="dyn_subcore",
+            )
+            fresh = (self.coreness[targets] == r) & ~visited[targets]
+            nxt = np.unique(targets[fresh])
+            if nxt.size == 0:
+                break
+            visited[nxt] = True
+            runtime.parallel_for(
+                model.bag_insert_op,
+                count=int(nxt.size),
+                barriers=0,
+                tag="frontier_bag",
+            )
+            members.append(nxt)
+            frontier = nxt
+        return np.sort(np.concatenate(members))
+
+    def _peel_level(
+        self, cand: np.ndarray, r: int, stream
+    ) -> np.ndarray:
+        """Peel candidate set ``cand`` at threshold ``r``; raise survivors.
+
+        ``cd(w)`` counts the neighbors that could support ``w`` in an
+        ``(r + 1)``-core: neighbors above level ``r`` plus unpeeled
+        candidates.  Every round removes the whole sub-threshold
+        frontier at once through :func:`batch_decrement` (which also
+        yields the contention counts the runtime charges); survivors
+        are exactly the vertices whose coreness rises to ``r + 1``.
+        """
+        runtime = self.runtime
+        model = runtime.model
+        graph = self._graph
+        in_set = np.zeros(self.n, dtype=bool)
+        in_set[cand] = True
+        lens = graph.indptr[cand + 1] - graph.indptr[cand]
+        targets = stream(graph, cand)
+        seg = np.repeat(np.arange(cand.size, dtype=np.int64), lens)
+        counted = (self.coreness[targets] > r) | in_set[targets]
+        cd = np.zeros(self.n, dtype=np.int64)
+        # Disjoint per-vertex init: cand is sorted-unique (BFS visited
+        # mask in _subcore), one bincount slot per candidate.
+        cd[cand] = np.bincount(  # lint: disable=R004
+            seg[counted], minlength=cand.size
+        )
+        runtime.parallel_for(
+            (model.vertex_op + model.edge_op * lens).astype(np.float64),
+            barriers=model.online_barriers,
+            tag="dyn_cd_init",
+        )
+
+        peeled = np.zeros(self.n, dtype=bool)
+        frontier = cand[cd[cand] <= r]
+        while frontier.size:
+            runtime.begin_subround(int(frontier.size))
+            peeled[frontier] = True
+            flens = graph.indptr[frontier + 1] - graph.indptr[frontier]
+            ftargets = stream(graph, frontier)
+            live = in_set[ftargets] & ~peeled[ftargets]
+            outcome = batch_decrement(cd, ftargets[live], r)
+            runtime.parallel_update(
+                (model.vertex_op + model.edge_op * flens).astype(
+                    np.float64
+                ),
+                outcome.counts,
+                barriers=model.online_barriers,
+                tag="dyn_peel",
+            )
+            frontier = outcome.crossed[~peeled[outcome.crossed]]
+
+        survivors = cand[~peeled[cand]]
+        if survivors.size:
+            # Disjoint per-vertex label writes (subset of unique cand).
+            self.coreness[survivors] = r + 1  # lint: disable=R004
+            runtime.parallel_for(
+                model.scan_op,
+                count=int(survivors.size),
+                barriers=0,
+                tag="dyn_relabel",
+            )
+        return survivors

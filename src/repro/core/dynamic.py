@@ -15,6 +15,16 @@ et al. 2013/2016; Liu et al. 2022).  This module implements the classic
 Updates therefore run a *local* peeling over the subcore instead of a
 full recomputation.  The test suite validates every step against a full
 recompute on randomized update sequences.
+
+.. deprecated::
+    This per-edge engine is superseded by
+    :class:`repro.core.batch_dynamic.BatchDynamicKCore`, which applies
+    whole update batches with flat kernel rounds and beats this one by
+    48–228x updates/sec on the flagship graphs (``BENCH_updates.json``).
+    It is retained as the *differential test oracle* for the batch
+    engine (``python -m repro.regress oracle-updates`` replays every
+    sequence through both) — do not build new workloads on it.  See
+    ``docs/DYNAMIC.md``.
 """
 
 from __future__ import annotations

@@ -25,6 +25,12 @@ from repro.generators.random_graphs import (
 )
 from repro.generators.road import road_like
 from repro.generators.small_world import watts_strogatz
+from repro.generators.streams import (
+    PROFILES,
+    Query,
+    UpdateBatch,
+    generate_stream,
+)
 from repro.generators.suite import (
     REPRESENTATIVE,
     SAMPLING_TRIGGER,
@@ -37,10 +43,13 @@ from repro.generators.suite import (
 
 __all__ = [
     "GraphSpec",
+    "PROFILES",
+    "Query",
     "REPRESENTATIVE",
     "SAMPLING_TRIGGER",
     "SMALL",
     "SUITE",
+    "UpdateBatch",
     "barabasi_albert",
     "clique_chain",
     "complete_graph",
@@ -51,6 +60,7 @@ __all__ = [
     "erdos_renyi",
     "expected_hcns_coreness",
     "gaussian_mixture_points",
+    "generate_stream",
     "grid_2d",
     "hcns",
     "knn_from_points",

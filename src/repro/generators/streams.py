@@ -1,0 +1,261 @@
+"""Deterministic timestamped update + query streams for ``repro.serve``.
+
+The serving milestone needs traffic: sequences of edge-update batches and
+coreness queries with arrival times on the *simulated* clock.  This module
+generates them from a seed, fully deterministically (lint R003: one seeded
+``numpy`` generator, no set/dict iteration), in three profiles modeled on
+the workload taxonomy of streaming-graph systems:
+
+* ``steady`` — batches of constant size at uniform inter-arrival times,
+  balanced insert/delete mix around a stable edge count;
+* ``bursty`` — a quiet baseline punctuated by arrival bursts: several
+  oversized batches in quick succession, then a long gap (the profile
+  that exercises queueing in the service loop);
+* ``churn`` — deletion-heavy turnover biased toward recently inserted
+  edges (LIFO), keeping total size roughly flat while cycling the edge
+  set — the profile that stresses the deletion cascade.
+
+Every stream is a time-sorted list of :class:`UpdateBatch` and
+:class:`Query` events.  Queries arrive between batches and are answered
+by the service from the last *committed* epoch, never mid-batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+#: The stream profiles ``generate_stream`` understands.
+PROFILES = ("steady", "bursty", "churn")
+
+#: Default simulated inter-arrival gap between batches (ns).  Batches on
+#: the tiny suite peel in the 10^3–10^5 ns range, so the default keeps a
+#: steady service loop busy without unbounded queueing.
+DEFAULT_INTERVAL_NS = 50_000.0
+
+
+@dataclass(frozen=True)
+class UpdateBatch:
+    """A batch of edge updates arriving at one simulated instant."""
+
+    time: float
+    insertions: tuple[tuple[int, int], ...]
+    deletions: tuple[tuple[int, int], ...]
+
+    @property
+    def size(self) -> int:
+        """Number of individual edge updates in the batch."""
+        return len(self.insertions) + len(self.deletions)
+
+
+@dataclass(frozen=True)
+class Query:
+    """A coreness read for one vertex at one simulated instant."""
+
+    time: float
+    vertex: int
+
+
+class EdgePool:
+    """The evolving edge set a stream generator draws updates from.
+
+    Keeps the current edges in an indexable list (uniform deletion picks
+    by index; removal is swap-with-last) plus a membership dict — never
+    iterating the dict keeps the stream independent of hash order.
+    """
+
+    def __init__(self, graph: CSRGraph) -> None:
+        self.n = graph.n
+        src = np.repeat(
+            np.arange(graph.n, dtype=np.int64), graph.degrees
+        )
+        forward = src < graph.indices
+        self._edges: list[tuple[int, int]] = list(
+            zip(
+                src[forward].tolist(),
+                graph.indices[forward].tolist(),
+            )
+        )
+        self._index: dict[tuple[int, int], int] = {
+            edge: i for i, edge in enumerate(self._edges)
+        }
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __contains__(self, edge: tuple[int, int]) -> bool:
+        return edge in self._index
+
+    def draw_absent(
+        self, rng: np.random.Generator, attempts: int = 32
+    ) -> tuple[int, int] | None:
+        """A uniformly random edge not currently present (or ``None``)."""
+        for _ in range(attempts):
+            u = int(rng.integers(self.n))
+            v = int(rng.integers(self.n))
+            if u == v:
+                continue
+            edge = (u, v) if u < v else (v, u)
+            if edge not in self._index:
+                return edge
+        return None
+
+    def add(self, edge: tuple[int, int]) -> None:
+        self._index[edge] = len(self._edges)
+        self._edges.append(edge)
+
+    def remove_at(self, position: int) -> tuple[int, int]:
+        """Remove and return the edge at ``position`` (swap-with-last)."""
+        edge = self._edges[position]
+        last = self._edges[-1]
+        self._edges[position] = last
+        self._index[last] = position
+        self._edges.pop()
+        del self._index[edge]
+        return edge
+
+    def remove_random(
+        self, rng: np.random.Generator
+    ) -> tuple[int, int] | None:
+        if not self._edges:
+            return None
+        return self.remove_at(int(rng.integers(len(self._edges))))
+
+    def remove_recent(
+        self, rng: np.random.Generator, window: int = 8
+    ) -> tuple[int, int] | None:
+        """Remove an edge biased toward the most recently added ones."""
+        if not self._edges:
+            return None
+        span = min(window, len(self._edges))
+        position = len(self._edges) - 1 - int(rng.integers(span))
+        return self.remove_at(position)
+
+
+def _batch_updates(
+    pool: EdgePool,
+    rng: np.random.Generator,
+    size: int,
+    delete_share: float,
+    recent_bias: bool,
+) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
+    """Draw one batch of updates, mutating ``pool`` to the post state.
+
+    Batches are *set-conformant* with the engine's deletions-first
+    semantics: an edge inserted in this batch is never also deleted in
+    it (each edge appears at most once per list; the only same-edge
+    combination is delete+insert, which nets to present in both the
+    pool and the engine).  The pool therefore tracks the served edge
+    set exactly, batch for batch.
+    """
+    insertions: list[tuple[int, int]] = []
+    deletions: list[tuple[int, int]] = []
+    fresh: set[tuple[int, int]] = set()
+    for _ in range(size):
+        if len(pool) > 0 and rng.random() < delete_share:
+            edge = (
+                pool.remove_recent(rng)
+                if recent_bias
+                else pool.remove_random(rng)
+            )
+            if edge is None:
+                continue
+            if edge in fresh:
+                # Deleting an edge inserted in this same batch would
+                # contradict deletions-first set semantics; skip it.
+                pool.add(edge)
+                continue
+            deletions.append(edge)
+        else:
+            edge = pool.draw_absent(rng)
+            if edge is not None:
+                pool.add(edge)
+                insertions.append(edge)
+                fresh.add(edge)
+    return insertions, deletions
+
+
+def generate_stream(
+    graph: CSRGraph,
+    profile: str,
+    batches: int = 32,
+    batch_size: int = 16,
+    queries_per_batch: int = 8,
+    interval_ns: float = DEFAULT_INTERVAL_NS,
+    seed: int = 0,
+) -> list[UpdateBatch | Query]:
+    """A deterministic timestamped stream of update batches and queries.
+
+    Args:
+        graph: Initial graph; the stream evolves its edge set.
+        profile: One of :data:`PROFILES`.
+        batches: Number of update batches.
+        batch_size: Nominal updates per batch (profiles modulate it).
+        queries_per_batch: Coreness reads arriving between batches.
+        interval_ns: Nominal inter-arrival gap on the simulated clock.
+        seed: RNG seed; equal seeds produce equal streams, bit for bit.
+
+    Returns:
+        Events sorted by arrival time (queries precede the batch they
+        share an interval with).
+    """
+    if profile not in PROFILES:
+        raise ValueError(
+            f"unknown stream profile {profile!r}; expected one of "
+            f"{PROFILES}"
+        )
+    if graph.n < 2:
+        raise ValueError("streams need a graph with at least 2 vertices")
+    rng = np.random.default_rng(seed)
+    pool = EdgePool(graph)
+    events: list[UpdateBatch | Query] = []
+    clock = 0.0
+    for index in range(batches):
+        if profile == "steady":
+            gap = interval_ns
+            size = batch_size
+            delete_share, recent = 0.5, False
+        elif profile == "bursty":
+            in_burst = rng.random() < 0.25
+            if in_burst:
+                gap = interval_ns * 0.1
+                size = batch_size * 4
+            else:
+                gap = interval_ns * 1.5
+                size = max(1, batch_size // 4)
+            delete_share, recent = 0.5, False
+        else:  # churn
+            gap = interval_ns
+            size = batch_size
+            delete_share, recent = 0.7, True
+        arrival = clock + gap
+        for q in range(queries_per_batch):
+            qtime = clock + gap * (q + 1) / (queries_per_batch + 1)
+            events.append(
+                Query(time=qtime, vertex=int(rng.integers(graph.n)))
+            )
+        insertions, deletions = _batch_updates(
+            pool, rng, size, delete_share, recent
+        )
+        events.append(
+            UpdateBatch(
+                time=arrival,
+                insertions=tuple(insertions),
+                deletions=tuple(deletions),
+            )
+        )
+        clock = arrival
+    return events
+
+
+__all__ = [
+    "DEFAULT_INTERVAL_NS",
+    "PROFILES",
+    "EdgePool",
+    "Query",
+    "UpdateBatch",
+    "generate_stream",
+]

@@ -9,7 +9,15 @@ Commands:
 * ``bless``  — overwrite the goldens with the current matrix results;
 * ``oracle`` — confront every exact engine with sequential BZ across the
   suite, minimizing and dumping any mismatch; exit 1 on disagreement;
+* ``oracle-updates`` — replay randomized update-batch sequences through
+  the batch-dynamic engine and compare every committed state against a
+  full recompute and the legacy per-edge engine, across kernel modes,
+  with ddmin witness minimization; exit 1 on divergence;
 * ``list``   — print the pinned matrix cases.
+
+The ``run`` / ``diff`` / ``bless`` commands cover the pinned
+update-sequence goldens (``goldens/updates.json``) alongside the engine
+matrix.
 
 Exit status: 0 clean, 1 drift/mismatch, 2 usage or version errors — the
 contract CI and ``make regress`` rely on.
@@ -18,10 +26,20 @@ contract CI and ``make regress`` rely on.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
 from pathlib import Path
 
+from repro.generators.streams import PROFILES
+from repro.generators.suite import SMALL
+from repro.perf import (
+    KERNELS_ENV,
+    NATIVE,
+    REFERENCE,
+    VECTORIZED,
+    native_available,
+)
 from repro.regress.compare import diff_run
 from repro.regress.goldens import (
     GoldenVersionError,
@@ -33,6 +51,11 @@ from repro.regress.goldens import (
 from repro.regress.matrix import CASES, run_matrix, select_cases
 from repro.regress.oracle import run_oracle
 from repro.regress.reporters import DRIFT_REPORTERS, render_oracle_text
+from repro.regress.update_oracle import (
+    UPDATE_CASES,
+    run_update_matrix,
+    run_update_oracle,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -103,6 +126,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip ddmin minimization of mismatch witnesses",
     )
 
+    updates = sub.add_parser(
+        "oracle-updates",
+        help="differential sweep of the batch-dynamic update engine",
+    )
+    updates.add_argument(
+        "--graphs",
+        default=None,
+        help="comma-separated suite graph names (default: the SMALL set)",
+    )
+    updates.add_argument(
+        "--seeds",
+        type=int,
+        default=7,
+        help="stream seeds per (graph, profile) pair (default: 7)",
+    )
+    updates.add_argument("--batches", type=int, default=8)
+    updates.add_argument("--batch-size", type=int, default=10)
+    updates.add_argument(
+        "--kernels",
+        default="all",
+        help="comma-separated REPRO_KERNELS modes to sweep, or 'all' "
+        "(default: reference + vectorized, + native when available)",
+    )
+    updates.add_argument(
+        "--dump-dir",
+        type=Path,
+        default=None,
+        help="directory for sequence-reproducer dumps",
+    )
+    updates.add_argument(
+        "--no-minimize",
+        action="store_true",
+        help="skip ddmin minimization of failing sequences",
+    )
+    updates.add_argument(
+        "--no-legacy",
+        action="store_true",
+        help="skip the (slow) per-edge DynamicKCore cross-check",
+    )
+
     sub.add_parser("list", help="print the pinned matrix cases")
     return parser
 
@@ -110,6 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
 def _compare(args: argparse.Namespace, verbose: bool) -> int:
     directory = args.goldens_dir
     fresh = run_matrix(args.filter)
+    fresh.update(run_update_matrix(args.filter))
     try:
         blessed = {
             engine: read_golden(engine, directory) for engine in fresh
@@ -146,6 +210,7 @@ def cmd_diff(args: argparse.Namespace) -> int:
 def cmd_bless(args: argparse.Namespace) -> int:
     directory = args.goldens_dir
     fresh = run_matrix(args.filter)
+    fresh.update(run_update_matrix(args.filter))
     for engine, entries in fresh.items():
         if args.filter is not None:
             # Partial bless: merge into the existing golden entries.
@@ -173,10 +238,58 @@ def cmd_oracle(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def cmd_oracle_updates(args: argparse.Namespace) -> int:
+    names = args.graphs.split(",") if args.graphs else None
+    if args.kernels == "all":
+        kernels = [REFERENCE, VECTORIZED] + (
+            [NATIVE] if native_available() else []
+        )
+    else:
+        kernels = args.kernels.split(",")
+    findings = []
+    previous = os.environ.get(KERNELS_ENV)
+    try:
+        for kernels_mode in kernels:
+            os.environ[KERNELS_ENV] = kernels_mode
+            found = run_update_oracle(
+                graph_names=names,
+                seeds=range(args.seeds),
+                batches=args.batches,
+                batch_size=args.batch_size,
+                check_legacy=not args.no_legacy,
+                minimize=not args.no_minimize,
+                dump_dir=args.dump_dir,
+            )
+            for finding in found:
+                print(f"[{kernels_mode}] {finding}")
+            findings.extend(found)
+    finally:
+        if previous is None:
+            os.environ.pop(KERNELS_ENV, None)
+        else:
+            os.environ[KERNELS_ENV] = previous
+    if findings:
+        print(f"{len(findings)} update-oracle divergences")
+        return 1
+    graphs = names if names is not None else list(SMALL)
+    sequences = len(graphs) * len(PROFILES) * args.seeds
+    print(
+        f"OK: batch engine bit-equal to recompute"
+        + ("" if args.no_legacy else " and per-edge DynamicKCore")
+        + f" across {sequences} sequences x {len(kernels)} kernel modes"
+    )
+    return 0
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     for case in select_cases(None):
         print(case.case_id)
-    print(f"{len(CASES)} cases; goldens dir: {goldens_dir()}")
+    for update_case in UPDATE_CASES:
+        print(update_case.case_id)
+    print(
+        f"{len(CASES)} matrix cases + {len(UPDATE_CASES)} update "
+        f"sequences; goldens dir: {goldens_dir()}"
+    )
     return 0
 
 
@@ -185,6 +298,7 @@ COMMANDS = {
     "diff": cmd_diff,
     "bless": cmd_bless,
     "oracle": cmd_oracle,
+    "oracle-updates": cmd_oracle_updates,
     "list": cmd_list,
 }
 

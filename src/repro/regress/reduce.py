@@ -76,6 +76,52 @@ def minimize_graph(
     return current
 
 
+def minimize_sequence(
+    items: list,
+    failing: Callable[[list], bool],
+    budget: int = DEFAULT_BUDGET,
+) -> list:
+    """Smallest subsequence of ``items`` on which ``failing`` holds.
+
+    The sequence analogue of :func:`minimize_graph`, used by the update
+    oracle to shrink a failure-inducing stream of edge updates: ddmin
+    over list positions, preserving order.  ``failing`` must be
+    deterministic and hold for ``items`` itself.
+    """
+    if not failing(items):
+        raise ValueError(
+            "minimize_sequence needs an initially failing sequence"
+        )
+    current = list(items)
+    chunks = 2
+    spent = 1
+    while len(current) > 1 and spent < budget:
+        boundaries = np.linspace(
+            0, len(current), chunks + 1, dtype=np.int64
+        )
+        removed_any = False
+        for i in range(chunks):
+            lo, hi = int(boundaries[i]), int(boundaries[i + 1])
+            if lo == hi:
+                continue
+            candidate = current[:lo] + current[hi:]
+            if not candidate:
+                continue
+            spent += 1
+            if failing(candidate):
+                current = candidate
+                chunks = max(chunks - 1, 2)
+                removed_any = True
+                break
+            if spent >= budget:
+                break
+        if not removed_any:
+            if chunks >= len(current):
+                break  # 1-minimal at single-item granularity
+            chunks = min(len(current), chunks * 2)
+    return current
+
+
 def dump_reproducer(
     graph: CSRGraph,
     path: str | Path,

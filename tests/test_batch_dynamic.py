@@ -1,0 +1,349 @@
+"""Batch-dynamic engine: semantics, exactness, kernel-mode matrix.
+
+The engine's contract (src/repro/core/batch_dynamic.py): after every
+committed batch the coreness array is bit-equal to a full recompute of
+the current graph; batch results depend only on the *set* of updates;
+and every ``REPRO_KERNELS`` mode produces the identical coreness *and*
+the identical simulated-runtime ledger.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.batch_dynamic import BatchDynamicKCore, BatchResult
+from repro.core.dynamic import DynamicKCore
+from repro.core.verify import reference_coreness
+from repro.graphs.csr import CSRGraph
+from repro.perf import (
+    AUTO,
+    KERNELS_ENV,
+    NATIVE,
+    REFERENCE,
+    VECTORIZED,
+    native_available,
+)
+from repro.runtime.cost_model import DEFAULT_COST_MODEL
+
+
+def assert_exact(engine: BatchDynamicKCore, context=None):
+    expected = reference_coreness(engine.snapshot())
+    assert np.array_equal(engine.coreness, expected), (
+        context,
+        np.flatnonzero(engine.coreness != expected)[:10],
+    )
+
+
+def random_batches(graph, rng, batches, batch_size):
+    """A deterministic batch sequence over an evolving edge set."""
+    current = set()
+    src = np.repeat(np.arange(graph.n), np.diff(graph.indptr))
+    for s, d in zip(src.tolist(), graph.indices.tolist()):
+        if s < d:
+            current.add((s, d))
+    out = []
+    for _ in range(batches):
+        ins, dels = [], []
+        for _ in range(batch_size):
+            if current and rng.random() < 0.45:
+                pool = sorted(current)
+                edge = pool[int(rng.integers(len(pool)))]
+                current.discard(edge)
+                dels.append(edge)
+            else:
+                u = int(rng.integers(graph.n))
+                v = int(rng.integers(graph.n))
+                if u == v:
+                    continue
+                edge = (min(u, v), max(u, v))
+                if edge not in current:
+                    current.add(edge)
+                    ins.append(edge)
+        out.append((ins, dels))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Exactness against full recompute and the legacy engine
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(6))
+def test_exact_after_every_batch(small_er, seed):
+    rng = np.random.default_rng(seed)
+    engine = BatchDynamicKCore(small_er)
+    legacy = DynamicKCore(small_er)
+    for index, (ins, dels) in enumerate(
+        random_batches(small_er, rng, batches=6, batch_size=10)
+    ):
+        engine.apply_batch(insertions=ins, deletions=dels)
+        legacy.batch_update(insertions=ins, deletions=dels)
+        assert_exact(engine, (seed, index))
+        assert np.array_equal(engine.coreness, legacy.coreness)
+        assert engine.snapshot() == legacy.snapshot()
+
+
+def test_initial_state_matches_reference(any_graph):
+    engine = BatchDynamicKCore(any_graph)
+    assert np.array_equal(
+        engine.coreness, reference_coreness(any_graph)
+    )
+    assert engine.epoch == 0
+    assert engine.snapshot() == any_graph
+
+
+def test_triangle_from_isolated_vertices():
+    """A batch insertion can raise coreness by more than its parts."""
+    engine = BatchDynamicKCore(CSRGraph.from_edges(4, []))
+    result = engine.apply_batch(
+        insertions=[(0, 1), (1, 2), (0, 2)]
+    )
+    assert engine.coreness.tolist() == [2, 2, 2, 0]
+    assert result.raised.tolist() == [0, 1, 2]
+    assert result.lowered.size == 0
+    assert result.changed.tolist() == [0, 1, 2]
+
+
+def test_deletion_cascade(small_grid):
+    """Detaching the corner vertex cascades coreness drops in the grid."""
+    engine = BatchDynamicKCore(small_grid)
+    corner_edges = [(0, int(v)) for v in small_grid.neighbors(0)]
+    result = engine.apply_batch(deletions=corner_edges)
+    assert_exact(engine, "grid-delete")
+    assert result.applied_deletions == len(corner_edges)
+    assert engine.core_number(0) == 0
+    assert result.lowered.size > 0
+
+
+# ----------------------------------------------------------------------
+# Batch semantics
+# ----------------------------------------------------------------------
+def test_duplicate_updates_coalesce(triangle):
+    engine = BatchDynamicKCore(triangle)
+    result = engine.apply_batch(
+        insertions=[(0, 1), (1, 0), (0, 1)]  # already present, 3 ways
+    )
+    assert result.applied_insertions == 0
+    assert result.noop_insertions == 1  # coalesced to one canonical edge
+    assert_exact(engine)
+
+
+def test_insert_and_delete_same_edge_in_one_batch(triangle):
+    """Deletions apply first, so delete+insert of one edge keeps it."""
+    engine = BatchDynamicKCore(triangle)
+    result = engine.apply_batch(
+        insertions=[(0, 1)], deletions=[(0, 1)]
+    )
+    assert engine.has_edge(0, 1)
+    assert result.applied_deletions == 1
+    assert result.applied_insertions == 1
+    assert_exact(engine)
+    assert np.array_equal(
+        engine.coreness, reference_coreness(triangle)
+    )
+
+
+def test_self_loop_rejected(triangle):
+    engine = BatchDynamicKCore(triangle)
+    with pytest.raises(ValueError, match="self-loop"):
+        engine.apply_batch(insertions=[(1, 1)])
+    with pytest.raises(ValueError, match="self-loop"):
+        engine.apply_batch(deletions=[(2, 2)])
+
+
+def test_out_of_range_rejected(triangle):
+    engine = BatchDynamicKCore(triangle)
+    with pytest.raises(IndexError):
+        engine.apply_batch(insertions=[(0, 99)])
+    with pytest.raises(IndexError):
+        engine.apply_batch(deletions=[(-1, 0)])
+
+
+def test_noop_updates_counted(triangle):
+    engine = BatchDynamicKCore(triangle)
+    result = engine.apply_batch(
+        insertions=[(0, 1)], deletions=[(1, 2)]
+    )
+    # (0,1) already present -> noop insert; (1,2) present -> applied.
+    assert result.noop_insertions == 1
+    assert result.applied_deletions == 1
+    result = engine.apply_batch(deletions=[(1, 2)])
+    assert result.noop_deletions == 1 and result.applied_deletions == 0
+    assert engine.epoch == 2
+
+
+def test_empty_batch_commits_an_epoch(small_er):
+    engine = BatchDynamicKCore(small_er)
+    before = engine.coreness.copy()
+    result = engine.apply_batch()
+    assert engine.epoch == 1 and result.epoch == 1
+    assert result.changed.size == 0
+    assert np.array_equal(engine.coreness, before)
+
+
+def test_batch_of_one_equals_per_edge_engine(small_er):
+    rng = np.random.default_rng(7)
+    engine = BatchDynamicKCore(small_er)
+    legacy = DynamicKCore(small_er)
+    for ins, dels in random_batches(small_er, rng, 1, 40):
+        for u, v in dels:
+            raised_or_lowered = engine.delete_edge(u, v)
+            legacy_changed = legacy.delete_edge(u, v)
+            assert np.array_equal(engine.coreness, legacy.coreness)
+            assert sorted(raised_or_lowered.tolist()) == sorted(
+                int(x) for x in legacy_changed
+            )
+        for u, v in ins:
+            raised = engine.insert_edge(u, v)
+            legacy_changed = legacy.insert_edge(u, v)
+            assert np.array_equal(engine.coreness, legacy.coreness)
+            assert sorted(raised.tolist()) == sorted(
+                int(x) for x in legacy_changed
+            )
+    assert_exact(engine, "per-edge parity")
+
+
+def test_permutation_invariance_within_batch(small_er):
+    rng = np.random.default_rng(21)
+    [(ins, dels)] = random_batches(small_er, rng, 1, 24)
+    outcomes = []
+    for order_seed in range(3):
+        order = np.random.default_rng(order_seed)
+        shuffled_ins = list(ins)
+        shuffled_dels = list(dels)
+        order.shuffle(shuffled_ins)
+        order.shuffle(shuffled_dels)
+        engine = BatchDynamicKCore(small_er)
+        engine.apply_batch(
+            insertions=shuffled_ins, deletions=shuffled_dels
+        )
+        outcomes.append(
+            (engine.coreness.copy(), engine.snapshot())
+        )
+    first_core, first_graph = outcomes[0]
+    for coreness, graph in outcomes[1:]:
+        assert np.array_equal(coreness, first_core)
+        assert graph == first_graph
+
+
+def test_queries_read_committed_state(triangle):
+    engine = BatchDynamicKCore(triangle)
+    assert engine.core_number(0) == 2
+    assert engine.has_edge(0, 1) and not engine.has_edge(0, 3)
+    assert not engine.has_edge(0, 0)
+    assert engine.degree(0) == 2
+    engine.apply_batch(deletions=[(0, 1)])
+    assert engine.core_number(0) == 1
+    assert not engine.has_edge(0, 1)
+
+
+def test_batch_result_counters(small_er):
+    engine = BatchDynamicKCore(small_er)
+    result = engine.apply_batch(insertions=[(0, 1)])
+    assert isinstance(result, BatchResult)
+    assert engine.batches == 1
+    assert engine.updates == result.applied_insertions
+    assert result.rounds >= 0
+
+
+# ----------------------------------------------------------------------
+# Kernel-mode matrix: identical coreness AND identical ledger
+# ----------------------------------------------------------------------
+ALL_MODES = [REFERENCE, VECTORIZED, AUTO] + (
+    [NATIVE] if native_available() else []
+)
+
+
+def _replay(monkeypatch, mode, graph, batches):
+    monkeypatch.setenv(KERNELS_ENV, mode)
+    engine = BatchDynamicKCore(graph)
+    for ins, dels in batches:
+        engine.apply_batch(insertions=ins, deletions=dels)
+    return (
+        engine.coreness.copy(),
+        engine.metrics.to_stable_dict(DEFAULT_COST_MODEL),
+    )
+
+
+@pytest.mark.parametrize("mode", ALL_MODES)
+def test_kernel_modes_bit_exact(monkeypatch, small_er, mode):
+    rng = np.random.default_rng(3)
+    batches = random_batches(small_er, rng, batches=5, batch_size=12)
+    core_m, metrics_m = _replay(monkeypatch, mode, small_er, batches)
+    core_r, metrics_r = _replay(
+        monkeypatch, REFERENCE, small_er, batches
+    )
+    assert np.array_equal(core_m, core_r), mode
+    assert metrics_m == metrics_r, mode
+
+
+def test_native_unavailable_falls_back(monkeypatch):
+    """auto must resolve to the NumPy path when no compiler exists."""
+    import repro.perf.native as native_mod
+
+    monkeypatch.setattr(native_mod, "available", lambda: False)
+    monkeypatch.setenv(KERNELS_ENV, AUTO)
+    graph = CSRGraph.from_edges(5, [(0, 1), (1, 2), (2, 0)])
+    engine = BatchDynamicKCore(graph)
+    engine.apply_batch(insertions=[(0, 3)])
+    assert_exact(engine, "auto-fallback")
+    monkeypatch.setenv(KERNELS_ENV, NATIVE)
+    with pytest.raises(RuntimeError, match="no C compiler"):
+        engine.apply_batch(insertions=[(1, 3)])
+
+
+def test_tracing_does_not_change_the_ledger(small_er):
+    from repro.trace import Tracer, tracing
+
+    rng = np.random.default_rng(9)
+    batches = random_batches(small_er, rng, 3, 8)
+
+    engine = BatchDynamicKCore(small_er)
+    for ins, dels in batches:
+        engine.apply_batch(insertions=ins, deletions=dels)
+    untraced = engine.metrics.to_stable_dict(DEFAULT_COST_MODEL)
+
+    tracer = Tracer(label="batch-test")
+    with tracing(tracer):
+        traced_engine = BatchDynamicKCore(small_er)
+        for ins, dels in batches:
+            traced_engine.apply_batch(insertions=ins, deletions=dels)
+    traced = traced_engine.metrics.to_stable_dict(DEFAULT_COST_MODEL)
+
+    assert traced == untraced
+    assert np.array_equal(engine.coreness, traced_engine.coreness)
+    assert any(
+        event.name == "batch_commit" for event in tracer.instants
+    )
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: arbitrary small graphs and update sets
+# ----------------------------------------------------------------------
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(data=st.data())
+def test_hypothesis_batches_match_recompute_and_legacy(data):
+    n = data.draw(st.integers(min_value=2, max_value=24), label="n")
+    pair = st.tuples(
+        st.integers(0, n - 1), st.integers(0, n - 1)
+    ).filter(lambda uv: uv[0] != uv[1])
+    initial = data.draw(
+        st.lists(pair, max_size=40), label="initial_edges"
+    )
+    graph = CSRGraph.from_edges(n, initial)
+    engine = BatchDynamicKCore(graph)
+    legacy = DynamicKCore(graph)
+    for index in range(data.draw(st.integers(1, 4), label="batches")):
+        ins = data.draw(st.lists(pair, max_size=8), label=f"ins{index}")
+        dels = data.draw(
+            st.lists(pair, max_size=8), label=f"dels{index}"
+        )
+        engine.apply_batch(insertions=ins, deletions=dels)
+        legacy.batch_update(insertions=ins, deletions=dels)
+        assert_exact(engine, index)
+        assert np.array_equal(engine.coreness, legacy.coreness)

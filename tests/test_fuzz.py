@@ -9,6 +9,7 @@ import pytest
 
 from repro.core.approximate import approximate_coreness
 from repro.core.baselines import julienne_kcore, park_kcore, pkc_kcore
+from repro.core.batch_dynamic import BatchDynamicKCore
 from repro.core.dynamic import DynamicKCore
 from repro.core.framework import FrameworkConfig, decompose
 from repro.core.subgraph import max_kcore_subgraph
@@ -105,3 +106,30 @@ def test_dynamic_fuzz(seed):
     assert np.array_equal(
         dyn.coreness, reference_coreness(dyn.snapshot())
     ), seed
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_batch_dynamic_fuzz(seed):
+    """Noisy batches (dups, self-loops filtered upstream, absent
+    deletes, present inserts) against recompute and the legacy engine."""
+    graph = random_graph(seed)
+    batch = BatchDynamicKCore(graph)
+    legacy = DynamicKCore(graph)
+    rng = np.random.default_rng(2000 + seed)
+    for round_index in range(8):
+        raw = rng.integers(0, graph.n, size=(int(rng.integers(1, 14)), 2))
+        raw = raw[raw[:, 0] != raw[:, 1]]
+        split = int(rng.integers(raw.shape[0] + 1))
+        insertions = [tuple(int(x) for x in row) for row in raw[:split]]
+        deletions = [tuple(int(x) for x in row) for row in raw[split:]]
+        if rng.random() < 0.3 and insertions:
+            insertions.append(insertions[0])  # duplicate in-batch
+        batch.apply_batch(insertions=insertions, deletions=deletions)
+        legacy.batch_update(insertions=insertions, deletions=deletions)
+        assert np.array_equal(batch.coreness, legacy.coreness), (
+            seed, round_index,
+        )
+    assert np.array_equal(
+        batch.coreness, reference_coreness(batch.snapshot())
+    ), seed
+    assert batch.snapshot() == legacy.snapshot(), seed
