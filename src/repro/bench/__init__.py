@@ -23,8 +23,10 @@ byte-comparable against the goldens and against a fresh run.
 from repro.bench.cache import DiskCache, cache_key
 from repro.bench.runner import (
     BENCH_SCHEMA_VERSION,
+    KERNELIZED_ENGINES,
     BenchCell,
     compare_kernels,
+    compare_kernels_all,
     default_matrix,
     execute,
     run_cell,
@@ -33,11 +35,13 @@ from repro.bench.wallclock import WallSample, measure
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
+    "KERNELIZED_ENGINES",
     "BenchCell",
     "DiskCache",
     "WallSample",
     "cache_key",
     "compare_kernels",
+    "compare_kernels_all",
     "default_matrix",
     "execute",
     "measure",

@@ -22,7 +22,7 @@ import os
 import sys
 
 from repro.bench.cache import DiskCache
-from repro.bench.runner import compare_kernels, default_matrix, execute
+from repro.bench.runner import compare_kernels_all, default_matrix, execute
 from repro.perf import NATIVE, REFERENCE, VECTORIZED
 
 DEFAULT_OUTPUT = "BENCH_wallclock.json"
@@ -119,7 +119,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--compare-kernels",
         action="store_true",
-        help="also run the cold reference-vs-vectorized A/B on 'ours'",
+        help="also run the cold kernel-mode A/B/C on every kernelized "
+        "engine (ours plus the baselines)",
     )
     parser.add_argument(
         "--updates",
@@ -187,7 +188,7 @@ def main(argv: list[str] | None = None) -> int:
         progress=not args.no_progress,
     )
     if args.compare_kernels:
-        report["kernel_comparison"] = compare_kernels(
+        report["kernel_comparison"] = compare_kernels_all(
             graphs=args.graphs, size=size
         )
 
@@ -203,11 +204,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.trace:
         print(f"wrote per-cell traces to {args.trace}/")
     if "kernel_comparison" in report:
-        comp = report["kernel_comparison"]
-        walls = " vs ".join(
-            f"{mode} {wall:.2f}s" for mode, wall in comp["wall_s"].items()
-        )
-        print(f"kernels: {walls} -> {comp['speedup']:.2f}x")
+        for engine, comp in report["kernel_comparison"][
+            "per_engine"
+        ].items():
+            walls = " vs ".join(
+                f"{mode} {wall:.2f}s"
+                for mode, wall in comp["wall_s"].items()
+            )
+            print(
+                f"kernels[{engine}]: {walls} -> {comp['speedup']:.2f}x"
+            )
 
     if args.output != "-":
         with open(args.output, "w", encoding="utf-8") as handle:

@@ -39,7 +39,12 @@ from repro.trace import Tracer, tracing, write_trace
 #: Schema of the BENCH_wallclock.json report.
 #: v2: cells carry ``size`` (was ``tiny``); the summary separates
 #: measured from cached wall time and aggregates engines over all cells.
-BENCH_SCHEMA_VERSION = 2
+#: v3: ``kernel_comparison`` covers every kernelized engine — a
+#: ``per_engine`` map of cold A/B/C results — instead of 'ours' alone.
+BENCH_SCHEMA_VERSION = 3
+
+#: Engines with mode-switchable kernels, A/B/C'd by ``--compare-kernels``.
+KERNELIZED_ENGINES = ("ours", "pkc", "park", "julienne")
 
 
 @dataclass(frozen=True)
@@ -319,4 +324,28 @@ def compare_kernels(
         "wall_s": totals,
         "fastest": fastest,
         "speedup": round(speedup, 3),
+    }
+
+
+def compare_kernels_all(
+    graphs: list[str] | None = None,
+    size: str = "full",
+    engines: tuple[str, ...] = KERNELIZED_ENGINES,
+    modes: tuple[str, ...] | None = None,
+) -> dict[str, object]:
+    """Cold kernel A/B/C for every kernelized engine (schema v3 shape).
+
+    One :func:`compare_kernels` sweep per engine; the report keys the
+    results by engine so the regenerated wallclock evidence records how
+    much each baseline gains from its flat kernels, not just ours.
+    """
+    per_engine = {
+        engine: compare_kernels(
+            graphs=graphs, size=size, engine=engine, modes=modes
+        )
+        for engine in engines
+    }
+    return {
+        "size": size,
+        "per_engine": per_engine,
     }

@@ -28,7 +28,12 @@ import numpy as np
 
 from repro.core.result import CorenessResult
 from repro.graphs.csr import CSRGraph
-from repro.runtime.atomics import batch_decrement
+from repro.perf.kernels import (
+    FlatPeelState,
+    get_scratch,
+    scan_peel_round,
+    threshold_frontier,
+)
 from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.runtime.simulator import SimRuntime
 
@@ -56,7 +61,9 @@ def approximate_coreness(
     runtime = SimRuntime(model)
     n = graph.n
     dtilde = graph.degrees.astype(np.int64).copy()
-    alive = np.ones(n, dtype=bool)
+    peeled = np.zeros(n, dtype=bool)
+    state = FlatPeelState(graph, dtilde)
+    scratch = get_scratch(state)
     estimate = np.zeros(n, dtype=np.int64)
     if n:
         runtime.parallel_for(
@@ -72,21 +79,20 @@ def approximate_coreness(
             model.scan_op, count=max(remaining, 1), barriers=1,
             tag="approx_frontier",
         )
-        frontier = np.nonzero(alive & (dtilde <= threshold))[0]
+        frontier = threshold_frontier(dtilde, peeled, threshold, scratch)
         while frontier.size:
             runtime.begin_subround(int(frontier.size))
             estimate[frontier] = threshold
-            alive[frontier] = False
+            peeled[frontier] = True
             remaining -= int(frontier.size)
-            targets = graph.gather_neighbors(frontier)
             task_costs = (
                 model.vertex_op
                 + model.edge_op
                 * (graph.indptr[frontier + 1] - graph.indptr[frontier])
             ).astype(np.float64)
-            if targets.size:
-                outcome = batch_decrement(dtilde, targets, threshold)
-                crossed = outcome.crossed[alive[outcome.crossed]]
+            outcome = scan_peel_round(state, frontier, threshold)
+            if outcome.touched.size:
+                crossed = outcome.crossed[~peeled[outcome.crossed]]
                 runtime.parallel_update(
                     task_costs, outcome.counts, barriers=1,
                     tag="approx_peel",

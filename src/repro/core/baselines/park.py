@@ -16,6 +16,7 @@ from repro.core.peel_online import OnlinePeel
 from repro.core.result import CorenessResult
 from repro.core.state import PeelState
 from repro.graphs.csr import CSRGraph
+from repro.perf.kernels import get_scratch, threshold_frontier
 from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.runtime.simulator import SimRuntime
 from repro.structures.null_buckets import NullBuckets
@@ -56,7 +57,7 @@ def park_kcore(
         runtime.parallel_for(
             model.scan_op, count=n, barriers=1, tag="park_scan"
         )
-        frontier = np.nonzero((~peeled) & (dtilde <= k))[0]
+        frontier = threshold_frontier(dtilde, peeled, k, get_scratch(state))
         while frontier.size:
             runtime.begin_subround(int(frontier.size))
             coreness[frontier] = k

@@ -10,6 +10,16 @@ round.  That eliminates synchronization but sacrifices load balance: a
 peeling chain stays on the thread that discovered it, so one thread can
 end up with nearly all the work (the paper's critique in Sec. 4.2).  The
 simulated step records per-thread work and takes the maximum as the span.
+
+The round drain comes in three bit-exact implementations behind the
+``REPRO_KERNELS`` switch: the original per-edge Python loop
+(:func:`_chain_drain_reference`, the equivalence oracle), the flat NumPy
+wave kernel (:func:`repro.perf.kernels.pkc_chain_drain`) and the
+compiled C drain (:func:`repro.perf.kernels.pkc_chain_drain_native`).
+All three produce the same coreness, the same contention-count multiset
+and — via the closed form :func:`repro.perf.kernels.pkc_thread_works` —
+the same per-thread work vector, so the metrics ledger is bit-identical
+(enforced by the regression goldens and the kernel-matrix tests).
 """
 
 from __future__ import annotations
@@ -18,8 +28,68 @@ import numpy as np
 
 from repro.core.result import CorenessResult
 from repro.graphs.csr import CSRGraph
+from repro.perf import NATIVE, REFERENCE, kernel_mode
+from repro.perf.kernels import (
+    KernelScratch,
+    pkc_chain_drain,
+    pkc_chain_drain_native,
+    pkc_thread_works,
+    threshold_frontier,
+)
 from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.runtime.simulator import SimRuntime
+
+
+def _chain_drain_reference(
+    graph: CSRGraph,
+    dtilde: np.ndarray,
+    peeled: np.ndarray,
+    coreness: np.ndarray,
+    frontier: np.ndarray,
+    k: int,
+    p: int,
+    model: CostModel,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """The original per-edge Python drain (equivalence oracle).
+
+    Returns ``(thread_works, counts, claimed)``: per-thread accumulated
+    work, the round's contention counts per distinct decrement target,
+    and the number of chain claims.
+    """
+    indptr, indices = graph.indptr, graph.indices
+    thread_works = np.zeros(p, dtype=np.float64)
+    decrement_targets: list[int] = []
+    claimed = 0
+    for tid in range(p):
+        buffer = [int(v) for v in frontier[tid::p]]
+        head = 0
+        work = 0.0
+        while head < len(buffer):
+            v = buffer[head]
+            head += 1
+            work += model.vertex_op
+            for u in indices[indptr[v] : indptr[v + 1]]:
+                u = int(u)
+                work += model.edge_op + model.atomic_op
+                old = dtilde[u]
+                dtilde[u] = old - 1
+                decrement_targets.append(u)
+                if old == k + 1 and not peeled[u]:
+                    # The atomic claim: the decrementing thread takes
+                    # the whole chain into its own buffer — the source
+                    # of PKC's load imbalance.
+                    peeled[u] = True
+                    coreness[u] = k
+                    claimed += 1
+                    buffer.append(u)
+        thread_works[tid] = work
+
+    targets = np.asarray(decrement_targets, dtype=np.int64)
+    if targets.size:
+        _, counts = np.unique(targets, return_counts=True)
+    else:
+        counts = np.zeros(0, dtype=np.int64)
+    return thread_works, counts, claimed
 
 
 def pkc_kcore(
@@ -37,7 +107,6 @@ def pkc_kcore(
     runtime = SimRuntime(model)
     p = threads if threads is not None else model.n_cores
     n = graph.n
-    indptr, indices = graph.indptr, graph.indices
     dtilde = graph.degrees.astype(np.int64).copy()
     peeled = np.zeros(n, dtype=bool)
     coreness = np.zeros(n, dtype=np.int64)
@@ -46,6 +115,9 @@ def pkc_kcore(
             model.scan_op, count=n, barriers=1, tag="init_degrees"
         )
 
+    regime = kernel_mode()
+    scratch = KernelScratch(graph) if regime != REFERENCE else None
+
     remaining = n
     k = 0
     while remaining:
@@ -53,7 +125,7 @@ def pkc_kcore(
         runtime.parallel_for(
             model.scan_op, count=n, barriers=1, tag="pkc_scan"
         )
-        frontier = np.nonzero((~peeled) & (dtilde <= k))[0]
+        frontier = threshold_frontier(dtilde, peeled, k, scratch)
         if frontier.size == 0:
             k += 1
             continue
@@ -64,35 +136,21 @@ def pkc_kcore(
 
         # Static partition of the frontier over the thread-local buffers;
         # each thread drains its buffer sequentially, chains included.
-        thread_works = np.zeros(p, dtype=np.float64)
-        decrement_targets: list[int] = []
-        for tid in range(p):
-            buffer = [int(v) for v in frontier[tid::p]]
-            head = 0
-            work = 0.0
-            while head < len(buffer):
-                v = buffer[head]
-                head += 1
-                work += model.vertex_op
-                for u in indices[indptr[v] : indptr[v + 1]]:
-                    u = int(u)
-                    work += model.edge_op + model.atomic_op
-                    old = dtilde[u]
-                    dtilde[u] = old - 1
-                    decrement_targets.append(u)
-                    if old == k + 1 and not peeled[u]:
-                        # The atomic claim: the decrementing thread takes
-                        # the whole chain into its own buffer — the source
-                        # of PKC's load imbalance.
-                        peeled[u] = True
-                        coreness[u] = k
-                        remaining -= 1
-                        buffer.append(u)
-            thread_works[tid] = work
+        if regime == REFERENCE:
+            thread_works, counts, claimed = _chain_drain_reference(
+                graph, dtilde, peeled, coreness, frontier, k, p, model
+            )
+        else:
+            drain = pkc_chain_drain_native if regime == NATIVE else (
+                pkc_chain_drain
+            )
+            nv, ne, counts, claimed = drain(
+                graph, dtilde, peeled, coreness, frontier, k, p, scratch
+            )
+            thread_works = pkc_thread_works(model, nv, ne)
+        remaining -= claimed
 
-        targets = np.asarray(decrement_targets, dtype=np.int64)
-        if targets.size:
-            _, counts = np.unique(targets, return_counts=True)
+        if counts.size:
             runtime.metrics.observe_contention(
                 int(counts.max()), int(counts.sum())
             )

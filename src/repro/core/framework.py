@@ -205,18 +205,24 @@ def _run_once(
         runtime.begin_round(k)
 
         if sampling is not None:
+            # The extracted frontier is sorted and duplicate-free until a
+            # resampled batch is folded in (lows can collide with it).
+            canonical = True
             # Alg. 4 lines 5-6: validate every sample-mode vertex; failed
             # validations are resampled, possibly joining this round.
             failures = sampling.validate_failures(k)
             if failures.size:
                 before = dtilde[failures]
-                low = sampling.resample_bulk(failures, k)
+                # ``failures`` is a masked subset of the sorted
+                # ``np.nonzero(mode)`` scan — already canonical.
+                low = sampling.resample_bulk(failures, k, assume_unique=True)
                 survivors_mask = ~sorted_member_mask(failures, low)
                 survivors = failures[survivors_mask]
                 if survivors.size:
                     buckets.on_decrements(survivors, before[survivors_mask])
                 if low.size:
                     frontier = np.concatenate([frontier, low])
+                    canonical = False
 
             # Last-line safety: a vertex must never be peeled while still
             # in sample mode (its induced degree is a stale over-estimate).
@@ -241,7 +247,9 @@ def _run_once(
             rejected = frontier[~keep]
             if rejected.size:
                 buckets.on_decrements(rejected)
-            frontier = np.unique(frontier[keep])
+            frontier = frontier[keep]
+            if not canonical:
+                frontier = np.unique(frontier)
 
         while frontier.size:
             runtime.begin_subround(int(frontier.size))

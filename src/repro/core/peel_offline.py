@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.state import PeelState
-from repro.primitives.histogram import histogram
+from repro.perf.kernels import scan_peel_round
 
 
 class OfflinePeel:
@@ -30,33 +30,36 @@ class OfflinePeel:
         model = runtime.model
 
         # Gather the concatenated neighbor list L (Alg. 2 line 3).
-        targets = graph.gather_neighbors(frontier)
+        degrees = graph.indptr[frontier + 1] - graph.indptr[frontier]
         task_costs = (
-            model.vertex_op
-            + model.edge_op
-            * (graph.indptr[frontier + 1] - graph.indptr[frontier])
+            model.vertex_op + model.edge_op * degrees
         ).astype(np.float64)
         runtime.parallel_for(task_costs, barriers=1, tag="offline_gather")
 
-        if targets.size == 0:
+        edge_total = int(degrees.sum())
+        if edge_total == 0:
             return np.zeros(0, dtype=np.int64)
 
-        # HISTOGRAM via semisort (two phases) and batched application.
-        hist = histogram(targets, runtime=runtime, phases=2, tag="offline_hist")
-        old = state.dtilde[hist.keys]
-        new = old - hist.counts
-        state.dtilde[hist.keys] = new
-        crossed = hist.keys[(old > k) & (new <= k)]
-        survivors = (new > k) & (~state.peeled[hist.keys])
+        # HISTOGRAM via semisort (two phases) and batched application,
+        # fused into one flat kernel pass: the charge is the semisort's
+        # (per element of L), the counting itself runs in
+        # :func:`repro.perf.kernels.scan_peel_round` — whose sorted
+        # ``touched`` / ``counts`` are exactly the semisort's groups.
+        runtime.parallel_for(
+            model.histogram_op, count=edge_total, barriers=2,
+            tag="offline_hist",
+        )
+        outcome = scan_peel_round(state, frontier, k)
+        survivors = (outcome.new > k) & (~state.peeled[outcome.touched])
         runtime.parallel_for(
             model.scan_op,
-            count=int(hist.keys.size),
+            count=int(outcome.touched.size),
             barriers=1,
             tag="offline_apply",
         )
 
         if np.any(survivors):
             state.buckets.on_decrements(
-                hist.keys[survivors], old[survivors]
+                outcome.touched[survivors], outcome.old[survivors]
             )
-        return crossed[~state.peeled[crossed]]
+        return outcome.crossed[~state.peeled[outcome.crossed]]

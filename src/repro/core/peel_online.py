@@ -17,6 +17,7 @@ from repro.core.vgc import VGCConfig
 from repro.perf import NATIVE, REFERENCE, kernel_mode
 from repro.perf.kernels import (
     VGCTaskResult,
+    scan_peel_round,
     vgc_peel_tasks,
     vgc_peel_tasks_native,
 )
@@ -52,24 +53,33 @@ class OnlinePeel:
     ) -> np.ndarray:
         graph, runtime = state.graph, state.runtime
         model = runtime.model
-        targets = graph.gather_neighbors(frontier)
+        degrees = graph.indptr[frontier + 1] - graph.indptr[frontier]
         task_costs = (
-            model.vertex_op
-            + model.edge_op
-            * (graph.indptr[frontier + 1] - graph.indptr[frontier])
+            model.vertex_op + model.edge_op * degrees
         ).astype(np.float64)
 
-        if state.sampling is not None:
-            direct, sampled = state.sampling.split_targets(targets)
-        else:
-            direct, sampled = targets, np.zeros(0, dtype=np.int64)
-
         # Direct atomic decrements (batched, with contention tracking).
+        # Without sampling every target is direct, so the gather, the
+        # histogram and the apply fuse into one flat kernel pass
+        # (:func:`repro.perf.kernels.scan_peel_round`).
+        sampled = np.zeros(0, dtype=np.int64)
+        if state.sampling is not None:
+            targets = graph.gather_neighbors(frontier)
+            direct, sampled = state.sampling.split_targets(targets)
+            outcome = (
+                batch_decrement(state.dtilde, direct, k)
+                if direct.size
+                else None
+            )
+        elif int(degrees.sum()):
+            outcome = scan_peel_round(state, frontier, k)
+        else:
+            outcome = None
+
         crossed = np.zeros(0, dtype=np.int64)
         changed = np.zeros(0, dtype=np.int64)
         old_keys = np.zeros(0, dtype=np.int64)
-        if direct.size:
-            outcome = batch_decrement(state.dtilde, direct, k)
+        if outcome is not None:
             crossed = outcome.crossed
             survivors = (outcome.new > k) & (~state.peeled[outcome.touched])
             changed = outcome.touched[survivors]
@@ -92,7 +102,12 @@ class OnlinePeel:
             saturated = state.sampling.apply_hits(hits)
             resampled_low = _resample_and_rebucket(state, saturated, k)
 
-        next_frontier = _merge_frontier(state, crossed, resampled_low)
+        # ``crossed`` comes out of the batch-decrement contract sorted
+        # and duplicate-free, so the merge can skip canonicalization
+        # when there is no resampled stream to fold in.
+        next_frontier = _merge_frontier(
+            state, crossed, resampled_low, crossed_sorted=True
+        )
         if changed.size:
             state.buckets.on_decrements(changed, old_keys)
         return next_frontier
@@ -272,7 +287,7 @@ def _resample_and_rebucket(
     assert state.sampling is not None
     saturated = np.unique(saturated)
     before = state.dtilde[saturated]
-    low = state.sampling.resample_bulk(saturated, k)
+    low = state.sampling.resample_bulk(saturated, k, assume_unique=True)
     # One sorted-membership pass serves both the survivor selection and
     # the old-key pairing (``low`` is a sorted subset of ``saturated``).
     in_low = sorted_member_mask(saturated, low)
@@ -283,15 +298,27 @@ def _resample_and_rebucket(
 
 
 def _merge_frontier(
-    state: PeelState, crossed: np.ndarray, resampled_low: np.ndarray
+    state: PeelState,
+    crossed: np.ndarray,
+    resampled_low: np.ndarray,
+    crossed_sorted: bool = False,
 ) -> np.ndarray:
     """Combine crossing and resampled vertices into the next frontier.
 
     Charges the hash-bag insertions that maintain the frontier and filters
     out anything already peeled (resampling can race a crossing).
+    ``crossed_sorted`` declares that ``crossed`` is already sorted and
+    duplicate-free (the batch-decrement contract), so the common
+    no-resample case needs no canonicalization pass at all.
     """
-    if crossed.size or resampled_low.size:
+    if resampled_low.size:
         merged = np.unique(np.concatenate([crossed, resampled_low]))
+    elif crossed.size:
+        # ``crossed`` is duplicate-free in every producer — exactly one
+        # decrement takes a vertex from ``k + 1`` to ``k``, and that
+        # single crossing is what appends it — so an unsorted stream
+        # (the VGC task loops) only needs the canonical sort.
+        merged = crossed if crossed_sorted else np.sort(crossed)
     else:
         return crossed
     merged = merged[~state.peeled[merged]]

@@ -182,12 +182,18 @@ class SamplingState:
     # ------------------------------------------------------------------
     # RESAMPLE (Alg. 5 lines 18-21)
     # ------------------------------------------------------------------
-    def resample_bulk(self, vertices: np.ndarray, k: int) -> np.ndarray:
+    def resample_bulk(
+        self, vertices: np.ndarray, k: int, assume_unique: bool = False
+    ) -> np.ndarray:
         """Recount induced degrees and reinstall samplers.
 
         Returns the vertices whose exact induced degree turned out to be at
         most ``k``; the caller adds them to the running frontier (they are
         peeled in the current round with coreness ``k``).
+
+        ``assume_unique`` skips the canonicalization sort when the caller
+        already holds ``vertices`` sorted and duplicate-free (the result
+        is a sorted subset either way).
 
         Raises:
             SamplingRestartError: the Las-Vegas retrospective check detected
@@ -195,7 +201,9 @@ class SamplingState:
                 current round — its true coreness is smaller than ``k`` and
                 the run must restart with stronger parameters (Sec. 4.1.4).
         """
-        vertices = np.unique(np.asarray(vertices, dtype=np.int64))
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if not assume_unique:
+            vertices = np.unique(vertices)
         if vertices.size == 0:
             return vertices
         vertices = vertices[self.mode[vertices]]
@@ -266,12 +274,21 @@ class SamplingState:
             "framework must call attach_coreness before peeling"
         )
         coreness_now = self._coreness_view
-        for v in vertices:
-            nbrs = self.graph.neighbors(v)
-            ok = (~self.peeled[nbrs]) | (coreness_now[nbrs] >= k)
-            if int(ok.sum()) < k:
-                return True
-        return False
+        neighbors = self.graph.gather_neighbors(vertices)
+        lengths = (
+            self.graph.indptr[vertices + 1] - self.graph.indptr[vertices]
+        )
+        ok = (
+            (~self.peeled[neighbors]) | (coreness_now[neighbors] >= k)
+        ).astype(np.int64)
+        if ok.size:
+            bounds = np.concatenate(([0], np.cumsum(lengths)))
+            starts = np.minimum(bounds[:-1], ok.size - 1)
+            counts = np.add.reduceat(ok, starts)
+            counts[lengths == 0] = 0
+        else:
+            counts = np.zeros(vertices.size, dtype=np.int64)
+        return bool(np.any(counts < k))
 
     def attach_coreness(self, coreness: np.ndarray) -> None:
         """Give the Las-Vegas check read access to the coreness array."""

@@ -17,6 +17,12 @@ import numpy as np
 from repro.core.result import CorenessResult
 from repro.graphs.csr import CSRGraph
 from repro.perf import REFERENCE, kernel_mode
+from repro.perf.kernels import (
+    FlatPeelState,
+    get_scratch,
+    scan_peel_round,
+    threshold_frontier,
+)
 from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.runtime.metrics import RunMetrics
 from repro.runtime.simulator import active_tracer
@@ -90,27 +96,27 @@ def _bz_peel_flat(graph: CSRGraph) -> tuple[np.ndarray, int]:
     if n == 0:
         return coreness, ops
     dtilde = graph.degrees.astype(np.int64)
-    alive = np.ones(n, dtype=bool)
+    peeled = np.zeros(n, dtype=bool)
+    state = FlatPeelState(graph, dtilde)
+    scratch = get_scratch(state)
     remaining = n
     sentinel = np.iinfo(np.int64).max
     k = 0
     while remaining:
         # Jump to the lowest occupied level, then peel its cascade.
-        k = max(k, int(np.min(np.where(alive, dtilde, sentinel))))
-        frontier = np.flatnonzero(alive & (dtilde <= k))
+        k = max(k, int(np.min(np.where(peeled, sentinel, dtilde))))
+        frontier = threshold_frontier(dtilde, peeled, k, scratch)
         while frontier.size:
-            alive[frontier] = False
+            peeled[frontier] = True
             coreness[frontier] = k
             remaining -= int(frontier.size)
-            targets = graph.gather_neighbors(frontier)
-            targets = targets[alive[targets]]
-            if targets.size == 0:
-                break
-            uniq, counts = np.unique(targets, return_counts=True)
-            old = dtilde[uniq]
-            new = old - counts
-            dtilde[uniq] = new
-            frontier = uniq[(old > k) & (new <= k)]
+            # The fused scan decrements every gathered neighbor, peeled
+            # ones included; a peeled vertex's dtilde is never read
+            # again (every consumer masks on ``peeled``), so the values
+            # the algorithm observes match the alive-filtered loop.
+            outcome = scan_peel_round(state, frontier, k)
+            cross = outcome.crossed
+            frontier = cross[~peeled[cross]]
     return coreness, ops
 
 

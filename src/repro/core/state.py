@@ -24,6 +24,9 @@ class PeelState:
         runtime: Simulated runtime collecting cost accounting.
         buckets: The active-set / bucketing strategy.
         sampling: Sampler state, or None when sampling is disabled.
+        scratch: Lazily created per-run kernel buffer arena
+            (:class:`repro.perf.kernels.KernelScratch`); use
+            :func:`repro.perf.kernels.get_scratch` to access it.
     """
 
     graph: CSRGraph
@@ -33,3 +36,4 @@ class PeelState:
     runtime: SimRuntime
     buckets: BucketStructure
     sampling: SamplingState | None = None
+    scratch: object | None = None

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import gzip
 import hashlib
+import io
 import json
 import os
 import tempfile
@@ -119,20 +120,73 @@ def load_adjacency(path: str | os.PathLike, name: str = "") -> CSRGraph:
     return CSRGraph.from_edges(n, edges, name=name)
 
 
+#: Byte alignment of uncompressed npz member data (matches numpy's npy
+#: header padding, ``ARRAY_ALIGN``), so mapped arrays are element-aligned.
+NPZ_ALIGN = 64
+
+
+def _save_npz_aligned(
+    target, arrays: Mapping[str, np.ndarray]
+) -> None:
+    """Write a stored (uncompressed) npz with 64-byte-aligned members.
+
+    ``np.savez`` makes no alignment promise: a member's data lands
+    wherever the zip local header ends, so a memory-mapped int64 array
+    can start at any byte offset.  Unaligned arrays are slower and —
+    decisively — export a non-native PEP 3118 format (``=q``) that the
+    scalar kernel memoryviews cannot index.  This writer pads each local
+    header's extra field so the member payload (whose own npy header is
+    64-padded by numpy) begins on a :data:`NPZ_ALIGN` boundary.
+    """
+    with zipfile.ZipFile(target, "w", zipfile.ZIP_STORED) as archive:
+        for member_name, arr in arrays.items():
+            buf = io.BytesIO()
+            np.lib.format.write_array(
+                buf, np.asarray(arr), allow_pickle=False
+            )
+            zinfo = zipfile.ZipInfo(
+                member_name, date_time=(1980, 1, 1, 0, 0, 0)
+            )
+            zinfo.compress_type = zipfile.ZIP_STORED
+            header_end = (
+                archive.fp.tell()
+                + 30
+                + len(zinfo.filename.encode("ascii"))
+            )
+            pad = -header_end % NPZ_ALIGN
+            if 0 < pad < 4:
+                # A zip extra-field block is at least 4 bytes (id + len).
+                pad += NPZ_ALIGN
+            if pad:
+                zinfo.extra = (
+                    b"\x00\x00"
+                    + int(pad - 4).to_bytes(2, "little")
+                    + bytes(pad - 4)
+                )
+            archive.writestr(zinfo, buf.getvalue())
+
+
 def save_npz(
     graph: CSRGraph, path: str | os.PathLike, compress: bool = True
 ) -> None:
     """Write a graph to an ``.npz`` container.
 
-    ``compress=False`` stores the members raw (``np.savez``), which is
-    what makes :func:`load_npz`'s memory-mapped path possible — mapped
-    loads need the array bytes verbatim in the file.
+    ``compress=False`` stores the members raw with aligned data offsets
+    (:func:`_save_npz_aligned`), which is what makes :func:`load_npz`'s
+    memory-mapped path possible — mapped loads need the array bytes
+    verbatim in the file, on an element-aligned boundary.
     """
-    writer = np.savez_compressed if compress else np.savez
-    writer(
-        path, indptr=graph.indptr, indices=graph.indices,
-        name=np.array(graph.name),
-    )
+    arrays = {
+        "indptr.npy": graph.indptr,
+        "indices.npy": graph.indices,
+        "name.npy": np.array(graph.name),
+    }
+    if compress:
+        np.savez_compressed(
+            path, **{k[: -len(".npy")]: v for k, v in arrays.items()}
+        )
+    else:
+        _save_npz_aligned(path, arrays)
 
 
 def load_npz(path: str | os.PathLike, mmap: bool = False) -> CSRGraph:
@@ -200,9 +254,16 @@ def _load_npz_mmap(path: str | os.PathLike) -> CSRGraph:
                 shape, fortran, dtype = header
                 if fortran or dtype.hasobject:
                     raise ValueError(f"{member_name}: unmappable layout")
+                offset = handle.tell()
+                if offset % max(dtype.itemsize, 1):
+                    # A misaligned map would be slow and would export a
+                    # non-native buffer format the kernels reject; fall
+                    # back to the copying load (files written by
+                    # save_npz(compress=False) are always aligned).
+                    raise ValueError(f"{member_name}: unaligned data")
                 arrays[member_name] = np.memmap(
                     path, mode="r", dtype=dtype, shape=shape,
-                    offset=handle.tell(),
+                    offset=offset,
                 )
     return CSRGraph(
         arrays["indptr.npy"], arrays["indices.npy"], name=name
@@ -214,7 +275,7 @@ def _load_npz_mmap(path: str | os.PathLike) -> CSRGraph:
 # ----------------------------------------------------------------------
 
 #: Bump to invalidate every cached graph (e.g. a CSR layout change).
-GRAPH_CACHE_VERSION = 1
+GRAPH_CACHE_VERSION = 2
 
 
 def graph_cache_key(generator: str, params: Mapping[str, object]) -> str:

@@ -63,12 +63,14 @@ void vgc_peel_tasks(
     int64_t *dec_out,         /* decrement targets, stream order */
     int64_t *enc_out,         /* sampled-edge encounters, stream order */
     int64_t *nf_out,          /* crossings denied absorption */
+    int64_t *scratch,         /* all-zero per-vertex decrement counters */
+    int64_t *touched_out,     /* first-touch list, capacity >= n */
     int64_t *nv_out,          /* per task: queue items processed */
     int64_t *ne_out,          /* per task: edges seen */
     int64_t *ns_out,          /* per task: sampled edges seen */
-    int64_t *counters)        /* [dec, enc, nf, local_search_hits] */
+    int64_t *counters)        /* [dec, enc, nf, local_search_hits, touched] */
 {
-    int64_t dp = 0, ep = 0, fp = 0, ls = 0;
+    int64_t dp = 0, ep = 0, fp = 0, ls = 0, tp = 0;
     int64_t k1 = k + 1;
     for (int64_t t = 0; t < n_tasks; t++) {
         int64_t head = 0, qlen = 1;
@@ -89,6 +91,8 @@ void vgc_peel_tasks(
                 int64_t old = dtilde[u];
                 dtilde[u] = old - 1;
                 dec_out[dp++] = u;
+                if (scratch[u]++ == 0)
+                    touched_out[tp++] = u;
                 if (old == k1 && !peeled[u]) {
                     if (qlen < budget && ne < edge_budget) {
                         queue[qlen++] = u;
@@ -109,6 +113,117 @@ void vgc_peel_tasks(
     counters[1] = ep;
     counters[2] = fp;
     counters[3] = ls;
+    counters[4] = tp;
+}
+
+/* The PKC round drain (Kabir & Madduri 2017), transcribed from the
+ * Python reference loop in core/baselines/pkc.py: the frontier is
+ * statically partitioned over p thread-local FIFO buffers and each
+ * thread drains its buffer sequentially, claiming every vertex its own
+ * decrements drop from k+1 to k.  Contention bookkeeping is batched:
+ * instead of appending every decrement target to a stream, per-vertex
+ * counts accumulate in the caller's all-zero scratch array with a
+ * first-touch list (the count multiset is identical, and the caller
+ * only consumes its max and sum). */
+void pkc_chain_drain(
+    const int64_t *indptr,
+    const int64_t *indices,
+    int64_t *dtilde,
+    uint8_t *peeled,
+    int64_t *coreness,
+    const int64_t *frontier,
+    int64_t n_front,
+    int64_t k,
+    int64_t p,
+    int64_t *queue,           /* scratch, capacity >= n */
+    int64_t *scratch,         /* all-zero per-vertex counters */
+    int64_t *touched_out,     /* first-touch list, capacity >= n */
+    int64_t *nv_out,          /* per thread: queue items processed */
+    int64_t *ne_out,          /* per thread: edges seen */
+    int64_t *counters)        /* [touched, claimed] */
+{
+    int64_t tp = 0, claimed = 0;
+    int64_t k1 = k + 1;
+    for (int64_t tid = 0; tid < p; tid++) {
+        int64_t head = 0, qlen = 0;
+        for (int64_t i = tid; i < n_front; i += p)
+            queue[qlen++] = frontier[i];
+        int64_t nv = 0, ne = 0;
+        while (head < qlen) {
+            int64_t v = queue[head++];
+            nv++;
+            int64_t end = indptr[v + 1];
+            for (int64_t e = indptr[v]; e < end; e++) {
+                int64_t u = indices[e];
+                ne++;
+                int64_t old = dtilde[u];
+                dtilde[u] = old - 1;
+                if (scratch[u]++ == 0)
+                    touched_out[tp++] = u;
+                if (old == k1 && !peeled[u]) {
+                    /* The atomic claim: the chain stays on this thread. */
+                    peeled[u] = 1;
+                    coreness[u] = k;
+                    claimed++;
+                    queue[qlen++] = u;
+                }
+            }
+        }
+        nv_out[tid] = nv;
+        ne_out[tid] = ne;
+    }
+    counters[0] = tp;
+    counters[1] = claimed;
+}
+
+/* Fused gather + histogram + apply over a frontier's neighborhoods:
+ * one pass counts occurrences per target (first-touch list into the
+ * caller's all-zero scratch), a second applies the batched decrements.
+ * Equivalent to batch_decrement(dtilde, gather_neighbors(frontier), k)
+ * without materializing or sorting the target stream. */
+void scan_peel(
+    const int64_t *indptr,
+    const int64_t *indices,
+    int64_t *dtilde,
+    const int64_t *frontier,
+    int64_t n_front,
+    int64_t *scratch,         /* all-zero per-vertex counters */
+    int64_t *touched_out,     /* first-touch list, capacity >= n */
+    int64_t *counters)        /* [touched] */
+{
+    int64_t tp = 0;
+    for (int64_t i = 0; i < n_front; i++) {
+        int64_t v = frontier[i];
+        int64_t end = indptr[v + 1];
+        for (int64_t e = indptr[v]; e < end; e++) {
+            int64_t u = indices[e];
+            if (scratch[u]++ == 0)
+                touched_out[tp++] = u;
+        }
+    }
+    for (int64_t i = 0; i < tp; i++) {
+        int64_t u = touched_out[i];
+        dtilde[u] -= scratch[u];
+    }
+    counters[0] = tp;
+}
+
+/* The full-array frontier scan of the scan-based baselines: pack every
+ * unpeeled vertex with dtilde <= k, ascending (np.nonzero order). */
+void scan_frontier(
+    const int64_t *dtilde,
+    const uint8_t *peeled,
+    int64_t n,
+    int64_t k,
+    int64_t *out,             /* capacity >= n */
+    int64_t *counters)        /* [matches] */
+{
+    int64_t fp = 0;
+    for (int64_t v = 0; v < n; v++) {
+        if (!peeled[v] && dtilde[v] <= k)
+            out[fp++] = v;
+    }
+    counters[0] = fp;
 }
 """
 
@@ -123,6 +238,15 @@ COST_COUNTERS = {
     "nv": "vertex_op",
     "ne": "edge_op",
     "ns": "sample_flip_op",
+}
+
+#: Same cross-check for the PKC chain-drain kernel: its per-thread
+#: counter outputs mapped to the cost-model fields each is priced with
+#: in :func:`repro.perf.kernels.pkc_thread_works` (the reference drain
+#: charges every edge with *both* ``edge_op`` and ``atomic_op``).
+PKC_COST_COUNTERS = {
+    "nv": "vertex_op",
+    "ne": ["edge_op", "atomic_op"],
 }
 
 
@@ -187,13 +311,28 @@ def _load() -> ctypes.CDLL | None:
     try:
         lib = ctypes.CDLL(path)
         fn = lib.vgc_peel_tasks
+        pkc = lib.pkc_chain_drain
+        peel = lib.scan_peel
+        scan = lib.scan_frontier
     except (OSError, AttributeError):
         _available = False
         return None
     fn.restype = None
     fn.argtypes = [ctypes.c_void_p] * 7 + [ctypes.c_int64] * 4 + [
         ctypes.c_void_p
-    ] * 8
+    ] * 10
+    pkc.restype = None
+    pkc.argtypes = [ctypes.c_void_p] * 6 + [ctypes.c_int64] * 3 + [
+        ctypes.c_void_p
+    ] * 6
+    peel.restype = None
+    peel.argtypes = [ctypes.c_void_p] * 4 + [ctypes.c_int64] * 1 + [
+        ctypes.c_void_p
+    ] * 3
+    scan.restype = None
+    scan.argtypes = [ctypes.c_void_p] * 2 + [ctypes.c_int64] * 2 + [
+        ctypes.c_void_p
+    ] * 2
     _lib = lib
     _available = True
     return _lib
@@ -210,6 +349,9 @@ def _ptr(array: np.ndarray | None) -> ctypes.c_void_p | None:
     return ctypes.c_void_p(array.ctypes.data)
 
 
+_NO_ENC = np.zeros(0, dtype=np.int64)
+
+
 def run_task_loop(
     graph,
     dtilde: np.ndarray,
@@ -220,15 +362,22 @@ def run_task_loop(
     k: int,
     budget: int,
     edge_budget: int,
+    scratch=None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray,
-           np.ndarray, int]:
+           np.ndarray, int, np.ndarray]:
     """Run every local search of a subround in the compiled kernel.
 
     Mutates ``dtilde`` / ``peeled`` / ``coreness`` exactly like the
     reference loop and returns ``(dec, enc, next_frontier, nv, ne, ns,
-    local_search_hits)`` where ``dec`` / ``enc`` are the decrement and
-    sampled-encounter streams in task-major order and ``nv`` / ``ne`` /
-    ``ns`` are the per-task item / edge / sampled-edge counts.
+    local_search_hits, marks)`` where ``dec`` / ``enc`` are the
+    decrement and sampled-encounter streams in task-major order, ``nv``
+    / ``ne`` / ``ns`` are the per-task item / edge / sampled-edge
+    counts, and ``marks`` is the first-touch list of distinct decrement
+    targets whose multiplicities the kernel accumulated into the
+    scratch count buffer (the caller reads and re-zeros them).  When a
+    :class:`repro.perf.kernels.KernelScratch` arena is provided the flat
+    buffers come from it (returned streams are views valid until the
+    next kernel call on the same arena).
     """
     lib = _load()
     if lib is None:  # pragma: no cover - callers check available() first
@@ -240,38 +389,81 @@ def run_task_loop(
     # item sets of distinct tasks are disjoint, so the total edge stream is
     # bounded by the degree sum of all vertices — indices.size.  Denied
     # crossings are bounded by one crossing per vertex per subround.
-    cap = int(indices.size)
-    dec = np.empty(cap, dtype=np.int64)
-    enc = np.empty(cap if mode is not None else 0, dtype=np.int64)
-    nf = np.empty(graph.n, dtype=np.int64)
-    queue = np.empty(max(int(budget), 1), dtype=np.int64)
-    nv = np.empty(n_tasks, dtype=np.int64)
-    ne = np.empty(n_tasks, dtype=np.int64)
-    ns = np.empty(n_tasks, dtype=np.int64)
-    counters = np.zeros(4, dtype=np.int64)
-    mode_u8 = mode.view(np.uint8) if mode is not None else None
-    lib.vgc_peel_tasks(
-        _ptr(indptr),
-        _ptr(indices),
-        _ptr(dtilde),
-        _ptr(peeled.view(np.uint8)),
-        _ptr(coreness),
-        _ptr(mode_u8),
-        _ptr(frontier),
-        n_tasks,
-        int(k),
-        int(budget),
-        int(edge_budget),
-        _ptr(queue),
-        _ptr(dec),
-        _ptr(enc),
-        _ptr(nf),
-        _ptr(nv),
-        _ptr(ne),
-        _ptr(ns),
-        _ptr(counters),
-    )
-    dp, ep, fp, ls = (int(x) for x in counters)
+    counters = np.zeros(5, dtype=np.int64)
+    if scratch is not None:
+        # Buffer *and* pointer reuse: the run-stable arrays go through
+        # the scratch pointer cache, so the per-subround call pays two
+        # ctypes conversions (frontier, counters) instead of seventeen.
+        sp = scratch.ptr
+        dec = scratch.dec_buf()
+        enc = scratch.enc_buf() if mode is not None else _NO_ENC
+        nf = scratch.nf_buf()
+        queue = scratch.queue_buf(budget)
+        count = scratch.count_buf()
+        touched = scratch.touched_buf()
+        nv_all, ne_all, ns_all = scratch.task_bufs()
+        nv = nv_all[:n_tasks]
+        ne = ne_all[:n_tasks]
+        ns = ns_all[:n_tasks]
+        lib.vgc_peel_tasks(
+            sp(indptr),
+            sp(indices),
+            sp(dtilde),
+            sp(scratch.u8(peeled)),
+            sp(coreness),
+            sp(scratch.u8(mode)) if mode is not None else None,
+            _ptr(frontier),
+            n_tasks,
+            int(k),
+            int(budget),
+            int(edge_budget),
+            sp(queue),
+            sp(dec),
+            sp(enc),
+            sp(nf),
+            sp(count),
+            sp(touched),
+            sp(nv_all),
+            sp(ne_all),
+            sp(ns_all),
+            _ptr(counters),
+        )
+    else:
+        cap = int(indices.size)
+        dec = np.empty(cap, dtype=np.int64)
+        enc = np.empty(cap if mode is not None else 0, dtype=np.int64)
+        nf = np.empty(graph.n, dtype=np.int64)
+        queue = np.empty(max(int(budget), 1), dtype=np.int64)
+        count = np.zeros(graph.n, dtype=np.int64)
+        touched = np.empty(graph.n, dtype=np.int64)
+        nv = np.empty(n_tasks, dtype=np.int64)
+        ne = np.empty(n_tasks, dtype=np.int64)
+        ns = np.empty(n_tasks, dtype=np.int64)
+        mode_u8 = mode.view(np.uint8) if mode is not None else None
+        lib.vgc_peel_tasks(
+            _ptr(indptr),
+            _ptr(indices),
+            _ptr(dtilde),
+            _ptr(peeled.view(np.uint8)),
+            _ptr(coreness),
+            _ptr(mode_u8),
+            _ptr(frontier),
+            n_tasks,
+            int(k),
+            int(budget),
+            int(edge_budget),
+            _ptr(queue),
+            _ptr(dec),
+            _ptr(enc),
+            _ptr(nf),
+            _ptr(count),
+            _ptr(touched),
+            _ptr(nv),
+            _ptr(ne),
+            _ptr(ns),
+            _ptr(counters),
+        )
+    dp, ep, fp, ls, tp = (int(x) for x in counters)
     return (
         dec[:dp],
         enc[:ep] if mode is not None else enc,
@@ -280,4 +472,125 @@ def run_task_loop(
         ne,
         ns,
         ls,
+        touched[:tp],
     )
+
+
+def run_pkc_round(
+    graph,
+    dtilde: np.ndarray,
+    peeled: np.ndarray,
+    coreness: np.ndarray,
+    frontier: np.ndarray,
+    k: int,
+    p: int,
+    queue: np.ndarray,
+    counts: np.ndarray,
+    touched: np.ndarray,
+    scratch=None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Run one PKC round's chain drains in the compiled kernel.
+
+    Mutates ``dtilde`` / ``peeled`` / ``coreness`` exactly like the
+    reference drain, accumulates per-target decrement counts into the
+    caller's all-zero ``counts`` scratch (caller re-zeros its marks) and
+    returns ``(nv, ne, marks, claimed)`` with per-thread item / edge
+    counters and the first-touch list as a view into ``touched``.
+    """
+    lib = _load()
+    if lib is None:  # pragma: no cover - callers check available() first
+        raise RuntimeError("native kernel unavailable")
+    frontier = np.ascontiguousarray(frontier, dtype=np.int64)
+    nv = np.empty(p, dtype=np.int64)
+    ne = np.empty(p, dtype=np.int64)
+    counters = np.zeros(2, dtype=np.int64)
+    if scratch is not None:
+        sp = scratch.ptr
+        peeled_p = sp(scratch.u8(peeled))
+    else:
+        sp = _ptr
+        peeled_p = _ptr(peeled.view(np.uint8))
+    lib.pkc_chain_drain(
+        sp(graph.indptr),
+        sp(graph.indices),
+        sp(dtilde),
+        peeled_p,
+        sp(coreness),
+        _ptr(frontier),
+        int(frontier.size),
+        int(k),
+        int(p),
+        sp(queue),
+        sp(counts),
+        sp(touched),
+        _ptr(nv),
+        _ptr(ne),
+        _ptr(counters),
+    )
+    tp, claimed = (int(x) for x in counters)
+    return nv, ne, touched[:tp], claimed
+
+
+def run_scan_peel(
+    graph,
+    dtilde: np.ndarray,
+    frontier: np.ndarray,
+    counts: np.ndarray,
+    touched: np.ndarray,
+    scratch=None,
+) -> np.ndarray:
+    """Fused gather + count + decrement-apply in the compiled kernel.
+
+    Accumulates per-target occurrence counts into the caller's all-zero
+    ``counts`` scratch (caller re-zeros its marks), applies the batched
+    decrements to ``dtilde`` and returns the first-touch list as a view
+    into ``touched`` (unsorted).
+    """
+    lib = _load()
+    if lib is None:  # pragma: no cover - callers check available() first
+        raise RuntimeError("native kernel unavailable")
+    frontier = np.ascontiguousarray(frontier, dtype=np.int64)
+    counters = np.zeros(1, dtype=np.int64)
+    sp = scratch.ptr if scratch is not None else _ptr
+    lib.scan_peel(
+        sp(graph.indptr),
+        sp(graph.indices),
+        sp(dtilde),
+        _ptr(frontier),
+        int(frontier.size),
+        sp(counts),
+        sp(touched),
+        _ptr(counters),
+    )
+    return touched[: int(counters[0])]
+
+
+def run_scan_frontier(
+    dtilde: np.ndarray,
+    peeled: np.ndarray,
+    k: int,
+    out: np.ndarray,
+    scratch=None,
+) -> np.ndarray:
+    """Pack the unpeeled vertices with ``dtilde <= k`` (ascending)."""
+    lib = _load()
+    if lib is None:  # pragma: no cover - callers check available() first
+        raise RuntimeError("native kernel unavailable")
+    counters = np.zeros(1, dtype=np.int64)
+    if scratch is not None:
+        dtilde_p = scratch.ptr(dtilde)
+        peeled_p = scratch.ptr(scratch.u8(peeled))
+        out_p = scratch.ptr(out)
+    else:
+        dtilde_p = _ptr(dtilde)
+        peeled_p = _ptr(peeled.view(np.uint8))
+        out_p = _ptr(out)
+    lib.scan_frontier(
+        dtilde_p,
+        peeled_p,
+        int(dtilde.size),
+        int(k),
+        out_p,
+        _ptr(counters),
+    )
+    return out[: int(counters[0])].copy()

@@ -1,0 +1,289 @@
+"""Flat-array hash table and counter (npstructures-style).
+
+The remaining dict-backed internals (the monotone priority queue's key
+map, Dial's tentative-distance map) pay a boxed Python object per entry
+and a Python-level loop per bulk operation.  This module provides the
+vectorized replacement: open-addressed tables over preallocated int64
+arrays whose bulk operations (``get_many`` / ``set_many`` /
+``contains_many``) resolve every probe round for *all* pending keys at
+once with masked NumPy gathers — the idiom of npstructures'
+``HashTable``/``Counter`` — while keeping exact dict semantics for the
+scalar operations the sequential call sites still need.
+
+Keys and values are non-negative int64 (vertex ids, integer priorities);
+the sign bit is reserved for the ``EMPTY`` / ``TOMBSTONE`` slot markers.
+Deletion uses tombstones, counted against the load factor so probe
+chains stay short and bulk probing always terminates; growth rehashes
+live entries only, discarding tombstones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EMPTY = -1
+_TOMBSTONE = -2
+
+#: Maximum fraction of occupied slots (live + tombstones) before growth.
+LOAD_FACTOR = 0.7
+
+_M1 = np.uint64(0xBF58476D1CE4E5B9)
+_M2 = np.uint64(0x94D049BB133111EB)
+_S30 = np.uint64(30)
+_S27 = np.uint64(27)
+_S31 = np.uint64(31)
+
+
+def mix64(keys: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer (the hash-bag hash, batched)."""
+    x = np.asarray(keys).astype(np.uint64)
+    with np.errstate(over="ignore"):
+        x = (x ^ (x >> _S30)) * _M1
+        x = (x ^ (x >> _S27)) * _M2
+    return x ^ (x >> _S31)
+
+
+def _next_pow2(value: int) -> int:
+    return 1 << max(int(value) - 1, 1).bit_length()
+
+
+class FlatHashTable:
+    """Open-addressed int64 -> int64 map over flat preallocated arrays.
+
+    Supports the dict protocol for scalar use (``table[k]``, ``get``,
+    ``in``, ``del``, ``len``) plus vectorized bulk operations.  Bulk
+    inserts require *distinct* keys per call (duplicates within one
+    batch would race on a slot, exactly like concurrent hash-table
+    inserts); ``FlatCounter`` dedups before delegating.
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._cap = _next_pow2(max(int(capacity / LOAD_FACTOR), 8))
+        self._slots = np.full(self._cap, _EMPTY, dtype=np.int64)
+        self._vals = np.zeros(self._cap, dtype=np.int64)
+        self._len = 0  # live entries
+        self._used = 0  # live entries + tombstones
+
+    def __len__(self) -> int:
+        return self._len
+
+    # -- scalar operations ---------------------------------------------
+    def _probe(self, key: int) -> tuple[int, int]:
+        """``(slot of key or -1, first free slot on the chain)``."""
+        mask = self._cap - 1
+        pos = int(mix64(np.int64(key))) & mask
+        first_free = -1
+        while True:
+            slot = int(self._slots[pos])
+            if slot == key:
+                return pos, first_free
+            if slot == _TOMBSTONE:
+                if first_free < 0:
+                    first_free = pos
+            elif slot == _EMPTY:
+                if first_free < 0:
+                    first_free = pos
+                return -1, first_free
+            pos = (pos + 1) & mask
+
+    def get(self, key: int, default: int | None = None) -> int | None:
+        pos, _ = self._probe(int(key))
+        return default if pos < 0 else int(self._vals[pos])
+
+    def __getitem__(self, key: int) -> int:
+        pos, _ = self._probe(int(key))
+        if pos < 0:
+            raise KeyError(key)
+        return int(self._vals[pos])
+
+    def __contains__(self, key: int) -> bool:
+        return self._probe(int(key))[0] >= 0
+
+    def __setitem__(self, key: int, value: int) -> None:
+        key = int(key)
+        if key < 0:
+            raise ValueError(f"flat table stores non-negative keys: {key}")
+        self._maybe_grow(1)
+        pos, free = self._probe(key)
+        if pos >= 0:
+            self._vals[pos] = value
+            return
+        if int(self._slots[free]) == _EMPTY:
+            self._used += 1
+        self._slots[free] = key
+        self._vals[free] = value
+        self._len += 1
+
+    def __delitem__(self, key: int) -> None:
+        pos, _ = self._probe(int(key))
+        if pos < 0:
+            raise KeyError(key)
+        self._slots[pos] = _TOMBSTONE
+        self._len -= 1
+
+    def pop(self, key: int, default: int | None = None) -> int | None:
+        pos, _ = self._probe(int(key))
+        if pos < 0:
+            return default
+        value = int(self._vals[pos])
+        self._slots[pos] = _TOMBSTONE
+        self._len -= 1
+        return value
+
+    # -- bulk operations -----------------------------------------------
+    def _find_positions(self, keys: np.ndarray) -> np.ndarray:
+        """Slot index per key (-1 where absent), fully vectorized.
+
+        Each probe round gathers the current slot of every unresolved
+        key at once; keys stop on a hit or an empty slot and step past
+        tombstones and foreign keys.
+        """
+        found = np.full(keys.size, -1, dtype=np.int64)
+        if keys.size == 0 or self._len == 0:
+            return found
+        mask = self._cap - 1
+        pos = (mix64(keys) & np.uint64(mask)).astype(np.int64)
+        active = np.arange(keys.size)
+        while active.size:
+            slots = self._slots[pos[active]]
+            hit = slots == keys[active]
+            if np.any(hit):
+                found[active[hit]] = pos[active[hit]]
+            active = active[~(hit | (slots == _EMPTY))]
+            if active.size:
+                pos[active] = (pos[active] + 1) & mask
+        return found
+
+    def get_many(
+        self, keys: np.ndarray, default: int = -1
+    ) -> np.ndarray:
+        """Value per key (``default`` where absent), fully vectorized."""
+        keys = np.asarray(keys, dtype=np.int64)
+        found = self._find_positions(keys)
+        out = np.full(keys.size, default, dtype=np.int64)
+        hit = found >= 0
+        out[hit] = self._vals[found[hit]]
+        return out
+
+    def contains_many(self, keys: np.ndarray) -> np.ndarray:
+        """Boolean membership per key, fully vectorized."""
+        keys = np.asarray(keys, dtype=np.int64)
+        return self._find_positions(keys) >= 0
+
+    def set_many(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Insert-or-update a batch of *distinct* keys, vectorized.
+
+        Two bulk phases: a lookup pass updates the present keys in
+        place; the absent ones then probe for free slots, claiming each
+        with one fancy write and a read-back (the last writer of a
+        contended slot wins, losers keep probing — the CAS-retry loop
+        of a concurrent table, batched).  The phases are separate
+        because a tombstone may precede a key on its chain: claiming it
+        before the lookup resolves would duplicate the key.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        values = np.asarray(values, dtype=np.int64)
+        if keys.size == 0:
+            return
+        if int(keys.min()) < 0:
+            raise ValueError("flat table stores non-negative keys")
+        self._maybe_grow(int(keys.size))
+        found = self._find_positions(keys)
+        present = found >= 0
+        self._vals[found[present]] = values[present]
+        missing = np.nonzero(~present)[0]
+        if missing.size == 0:
+            return
+        mask = self._cap - 1
+        pos = (mix64(keys[missing]) & np.uint64(mask)).astype(np.int64)
+        active = np.arange(missing.size)
+        while active.size:
+            slots = self._slots[pos[active]]
+            free = (slots == _EMPTY) | (slots == _TOMBSTONE)
+            cand = active[free]
+            claimed = np.zeros(active.size, dtype=bool)
+            if cand.size:
+                cand_pos = pos[cand]
+                was_empty = self._slots[cand_pos] == _EMPTY
+                self._slots[cand_pos] = keys[missing[cand]]
+                won = self._slots[cand_pos] == keys[missing[cand]]
+                winners = cand[won]
+                self._vals[pos[winners]] = values[missing[winners]]
+                self._len += int(winners.size)
+                self._used += int(np.count_nonzero(was_empty & won))
+                claimed[free] = won
+            active = active[~claimed]
+            if active.size:
+                pos[active] = (pos[active] + 1) & mask
+
+    # -- whole-table views ---------------------------------------------
+    def keys_array(self) -> np.ndarray:
+        """All live keys (unordered copy)."""
+        live = self._slots >= 0
+        return self._slots[live].copy()
+
+    def values_array(self) -> np.ndarray:
+        """All live values, aligned with :meth:`keys_array`."""
+        live = self._slots >= 0
+        return self._vals[live].copy()
+
+    def min_value(self) -> int:
+        """Smallest live value (vectorized; table must be non-empty)."""
+        if self._len == 0:
+            raise ValueError("min_value of an empty flat table")
+        return int(self._vals[self._slots >= 0].min())
+
+    # -- growth ---------------------------------------------------------
+    def _maybe_grow(self, incoming: int) -> None:
+        if self._used + incoming <= self._cap * LOAD_FACTOR:
+            return
+        live = self._slots >= 0
+        keys = self._slots[live]
+        vals = self._vals[live]
+        need = self._len + incoming
+        self._cap = _next_pow2(max(int(need / (LOAD_FACTOR / 2)), 8))
+        self._slots = np.full(self._cap, _EMPTY, dtype=np.int64)
+        self._vals = np.zeros(self._cap, dtype=np.int64)
+        self._len = 0
+        self._used = 0
+        if keys.size:
+            self.set_many(keys, vals)
+
+
+class FlatCounter:
+    """Multiset counter over a :class:`FlatHashTable` (vectorized).
+
+    ``add_many`` histograms the batch (``np.unique``) and upserts the
+    per-key totals with two bulk probes — no Python-level loop.
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        self._table = FlatHashTable(capacity)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def add_many(self, keys: np.ndarray) -> None:
+        """Count one occurrence per entry of ``keys``."""
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size == 0:
+            return
+        distinct, counts = np.unique(keys, return_counts=True)
+        current = self._table.get_many(distinct, default=0)
+        self._table.set_many(distinct, current + counts)
+
+    def count(self, key: int) -> int:
+        value = self._table.get(int(key))
+        return 0 if value is None else value
+
+    def counts_many(self, keys: np.ndarray) -> np.ndarray:
+        return self._table.get_many(keys, default=0)
+
+    def items_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(keys, counts)`` in ascending key order."""
+        keys = self._table.keys_array()
+        counts = self._table.values_array()
+        order = np.argsort(keys, kind="stable")
+        return keys[order], counts[order]

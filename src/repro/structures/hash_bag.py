@@ -68,7 +68,14 @@ class HashBag:
             bounds.append(bounds[-1] + size)
             size *= 2
         self._bounds = bounds
-        self._slots = np.full(bounds[-1], _EMPTY, dtype=np.int64)
+        # Allocate only the first chunk eagerly; later chunks materialize
+        # in ``_advance_chunk`` as the fill actually reaches them.  The
+        # chunk geometry (``bounds``) is fixed up front either way, so
+        # ``used_prefix`` — and hence every extraction charge — is
+        # unchanged; bags that never outgrow ``lambda`` (the common case
+        # for HBS buckets, which allocates one bag per interval) never
+        # touch the doubled tail.
+        self._slots = np.full(bounds[1], _EMPTY, dtype=np.int64)
         self._chunk = 0  # index of the chunk currently receiving inserts
         self._chunk_count = 0  # elements in the current chunk
         self._count = 0
@@ -87,14 +94,18 @@ class HashBag:
 
     def _advance_chunk(self) -> None:
         if self._chunk + 2 >= len(self._bounds):
-            # Grow: append one more doubled chunk.
+            # Grow the geometry: append one more doubled chunk bound.
             extra = (self._bounds[-1] - self._bounds[-2]) * 2
             self._bounds.append(self._bounds[-1] + extra)
-            self._slots = np.concatenate(
-                [self._slots, np.full(extra, _EMPTY, dtype=np.int64)]
-            )
         self._chunk += 1
         self._chunk_count = 0
+        # Materialize the backing store up to the new chunk's end (lazy
+        # allocation: ``__init__`` only allocates the first chunk).
+        need = self._bounds[self._chunk + 1]
+        if self._slots.size < need:
+            grown = np.full(need, _EMPTY, dtype=np.int64)
+            grown[: self._slots.size] = self._slots
+            self._slots = grown
 
     # ------------------------------------------------------------------
     def insert(self, value: int) -> None:

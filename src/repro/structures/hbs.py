@@ -158,6 +158,14 @@ class HierarchicalBuckets(BucketStructure):
         if vertices.size == 0:
             return
         ids = self._bucket_of(keys)
+        if int(ids.min()) == int(ids.max()):
+            # Single destination bucket — the dominant case during a
+            # round's DecreaseKey storms (all movers land just below the
+            # current threshold).  Skip the argsort/run-boundary pass;
+            # within-bag placement order is unobservable (extraction is
+            # an unordered multiset and every consumer canonicalizes).
+            self._bags[self._head + int(ids[0])].insert_many(vertices)
+            return
         order = np.argsort(ids, kind="stable")
         ids_sorted = ids[order]
         verts_sorted = vertices[order]

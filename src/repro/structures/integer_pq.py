@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import BucketStructureError
+from repro.structures.flat_table import FlatHashTable
 from repro.structures.hash_bag import HashBag
 from repro.structures.hbs import interval_layout
 
@@ -37,7 +38,9 @@ class MonotoneIntPQ:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self._capacity = capacity
-        self._keys: dict[int, int] = {}
+        # Flat-array key table (item -> current key); replaces the boxed
+        # dict so membership filtering at extraction is one bulk probe.
+        self._keys = FlatHashTable(capacity)
         self._floor = 0  # extracted keys never go below this
         self._intervals = interval_layout(0, max(max_key, 8))
         self._bags = [HashBag(capacity) for _ in self._intervals]
@@ -100,9 +103,7 @@ class MonotoneIntPQ:
         """Smallest key currently stored (None when empty)."""
         if self._count == 0:
             return None
-        return min(
-            self._keys[item] for item in self._keys
-        )
+        return self._keys.min_value()
 
     def extract_min_bucket(self) -> tuple[int, list[int]]:
         """Remove and return ``(key, items)`` for the smallest key.
@@ -119,28 +120,31 @@ class MonotoneIntPQ:
                 self._los = self._los[1:]
                 continue
             lo, hi = self._intervals[0]
-            members = self._bags[0].extract_all()
-            live = [
-                int(v)
-                for v in np.unique(members)
-                if self._keys.get(int(v)) is not None
-                and lo <= self._keys[int(v)] <= hi
-            ]
-            if not live:
+            members = np.unique(self._bags[0].extract_all())
+            # One bulk probe filters stale copies: a member is live iff
+            # it still has a key (-1 marks absence; keys are >= 0) and
+            # that key falls inside this interval.  ``members`` is
+            # ascending, so ``live`` is too — extraction order matches
+            # the dict-backed scan exactly.
+            vals = self._keys.get_many(members)
+            in_range = (vals >= 0) & (lo <= vals) & (vals <= hi)
+            live = members[in_range]
+            live_keys = vals[in_range]
+            if live.size == 0:
                 continue
             if lo == hi:
-                result = [v for v in live if self._keys[v] == lo]
-                stale = [v for v in live if self._keys[v] != lo]
-                for v in stale:
-                    # A fresher copy exists in a lower... impossible for
-                    # single-key intervals; reinsert defensively.
-                    self._bags[self._bucket_of(self._keys[v])].insert(v)
+                at_lo = live_keys == lo
+                result = live[at_lo]
+                # A fresher copy exists in a lower... impossible for
+                # single-key intervals; reinsert defensively.
+                for v, key in zip(live[~at_lo], live_keys[~at_lo]):
+                    self._bags[self._bucket_of(int(key))].insert(int(v))
                 for v in result:
-                    del self._keys[v]
-                self._count -= len(result)
+                    del self._keys[int(v)]
+                self._count -= int(result.size)
                 self._floor = lo
-                if result:
-                    return lo, sorted(result)
+                if result.size:
+                    return lo, [int(v) for v in result]
                 continue
             # Range interval at the front: split and redistribute.
             refined = interval_layout(lo, hi)
@@ -151,8 +155,8 @@ class MonotoneIntPQ:
             self._los = np.asarray(
                 [a for a, _ in self._intervals], dtype=np.int64
             )
-            for v in live:
-                self._bags[self._bucket_of(self._keys[v])].insert(v)
+            for v, key in zip(live, live_keys):
+                self._bags[self._bucket_of(int(key))].insert(int(v))
         raise BucketStructureError("extract from an empty priority queue")
 
     def is_empty(self) -> bool:
@@ -188,7 +192,8 @@ def dial_sssp(
         raise IndexError(f"source {source} out of range")
     pq = MonotoneIntPQ(capacity=max(n, 1))
     pq.insert(source, 0)
-    tentative = {source: 0}
+    tentative = FlatHashTable(max(n, 1))
+    tentative[source] = 0
     while not pq.is_empty():
         key, items = pq.extract_min_bucket()
         for v in items:
@@ -201,7 +206,8 @@ def dial_sssp(
                 if dist[u] != -1:
                     continue
                 candidate = key + int(weights[idx])
-                if tentative.get(u, None) is None or candidate < tentative[u]:
+                current = tentative.get(u)
+                if current is None or candidate < current:
                     tentative[u] = candidate
                     pq.decrease_key(u, candidate)
     return dist

@@ -17,6 +17,7 @@ from repro.bench.cli import main
 from repro.bench.runner import (
     BenchCell,
     compare_kernels,
+    compare_kernels_all,
     default_matrix,
     execute,
     run_cell,
@@ -165,6 +166,20 @@ class TestRunner:
         assert comp["wall_s"]["vectorized"] > 0
         assert comp["fastest"] != "reference"
         assert set(comp["graphs"]) == {"GL2-S"}
+
+    def test_compare_kernels_all_covers_baselines(self):
+        report = compare_kernels_all(
+            graphs=["GL2-S"],
+            size="tiny",
+            engines=("pkc", "julienne"),
+            modes=("reference", "vectorized"),
+        )
+        assert set(report["per_engine"]) == {"pkc", "julienne"}
+        for engine, comp in report["per_engine"].items():
+            assert comp["engine"] == engine
+            assert comp["wall_s"]["reference"] > 0
+            assert comp["wall_s"]["vectorized"] > 0
+            assert set(comp["graphs"]) == {"GL2-S"}
 
 
 class TestCLI:

@@ -441,6 +441,123 @@ class CostModel:
     edge_op: float = 1.0
 """
 
+MULTI_NATIVE = '''
+_SOURCE = r"""
+void vgc_peel_tasks(
+    const long *indptr,
+    long *dtilde,
+    long n_tasks,
+    long k,
+    long *nv_out,
+    long *counters)
+{
+    counters[0] = 0;
+    counters[1] = 0;
+}
+
+void pkc_chain_drain(
+    const long *indptr,
+    long *dtilde,
+    long *nv_out,
+    long *ne_out,
+    long n_front,
+    long *counters)
+{
+    counters[0] = 0;
+    counters[1] = 0;
+}
+"""
+
+COST_COUNTERS = {"nv": "vertex_op"}
+PKC_COST_COUNTERS = {"nv": "vertex_op", "ne": ["edge_op", "atomic_op"]}
+
+import ctypes
+import numpy as np
+
+def _ptr(a):
+    return a
+
+def run(lib, indptr, dtilde, n_tasks, k, nv):
+    fn = lib.vgc_peel_tasks
+    fn.argtypes = [ctypes.c_void_p] * 2 + [ctypes.c_int64] * 2 + [
+        ctypes.c_void_p
+    ] * 2
+    counters = np.zeros(2, dtype=np.int64)
+    lib.vgc_peel_tasks(
+        _ptr(indptr), _ptr(dtilde), n_tasks, k, _ptr(nv), _ptr(counters)
+    )
+    dp, ep = (int(x) for x in counters)
+    return dp, ep
+
+def run_pkc(lib, indptr, dtilde, nv, n_front):
+    pkc = lib.pkc_chain_drain
+    pkc.argtypes = [ctypes.c_void_p] * 4 + [ctypes.c_int64] * 1 + [
+        ctypes.c_void_p
+    ] * 1
+    counters = np.zeros(2, dtype=np.int64)
+    lib.pkc_chain_drain(
+        _ptr(indptr), _ptr(dtilde), _ptr(nv), _ptr(nv), n_front,
+        _ptr(counters)
+    )
+    tp, claimed = (int(x) for x in counters)
+    return tp, claimed
+'''
+
+PKC_COST_MODEL = """
+from dataclasses import dataclass
+
+@dataclass(frozen=True)
+class CostModel:
+    vertex_op: float = 1.5
+    edge_op: float = 1.0
+    atomic_op: float = 2.0
+"""
+
+# Same kernel driven through the cached-pointer idiom: an `sp` alias
+# bound to `scratch.ptr` (falling back to `_ptr`), a pointer local
+# assigned per branch, and a conditional pointer argument.
+CACHED_PTR_NATIVE = '''
+_SOURCE = r"""
+void vgc_peel_tasks(
+    const long *indptr,
+    long *dtilde,
+    long n_tasks,
+    long k,
+    long *nv_out,
+    long *counters)
+{
+    counters[0] = 0;
+    counters[1] = 0;
+}
+"""
+
+COST_COUNTERS = {"nv": "vertex_op"}
+
+import ctypes
+import numpy as np
+
+def _ptr(a):
+    return a
+
+def run(lib, indptr, dtilde, n_tasks, k, nv, scratch=None):
+    fn = lib.vgc_peel_tasks
+    fn.argtypes = [ctypes.c_void_p] * 2 + [ctypes.c_int64] * 2 + [
+        ctypes.c_void_p
+    ] * 2
+    counters = np.zeros(2, dtype=np.int64)
+    sp = scratch.ptr if scratch is not None else _ptr
+    if scratch is not None:
+        dtilde_p = scratch.ptr(dtilde)
+    else:
+        dtilde_p = _ptr(dtilde)
+    lib.vgc_peel_tasks(
+        sp(indptr), dtilde_p, n_tasks, k,
+        sp(nv) if nv is not None else None, _ptr(counters)
+    )
+    dp, ep = (int(x) for x in counters)
+    return dp, ep
+'''
+
 
 class TestR007NativeParity:
     def _lint(self, tmp_path, native: str, cost_model: str = GOOD_COST_MODEL):
@@ -503,6 +620,60 @@ class TestR007NativeParity:
         )
         findings = run_lint([tmp_path / "src"], select=["R007"]).findings
         assert any("COST_COUNTERS" in f.message for f in findings)
+
+    def test_multi_kernel_fixture_passes(self, tmp_path):
+        assert self._lint(tmp_path, MULTI_NATIVE, PKC_COST_MODEL) == []
+
+    def test_cached_pointer_idiom_passes(self, tmp_path):
+        findings = self._lint(tmp_path, CACHED_PTR_NATIVE)
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_raw_pointer_argument_fails(self, tmp_path):
+        broken = GOOD_NATIVE.replace("_ptr(dtilde)", "dtilde")
+        findings = self._lint(tmp_path, broken)
+        assert any("pointer expression" in f.message for f in findings)
+
+    def test_unbound_alias_call_fails(self, tmp_path):
+        # A call through a name never bound to a pointer maker is not a
+        # pointer expression.
+        broken = CACHED_PTR_NATIVE.replace(
+            "sp = scratch.ptr if scratch is not None else _ptr",
+            "sp = some_other_helper",
+        )
+        findings = self._lint(tmp_path, broken)
+        assert any("pointer expression" in f.message for f in findings)
+
+    def test_second_kernel_argtypes_mismatch_fails(self, tmp_path):
+        broken = MULTI_NATIVE.replace(
+            "[ctypes.c_void_p] * 4 + [ctypes.c_int64] * 1",
+            "[ctypes.c_void_p] * 3 + [ctypes.c_int64] * 2",
+        )
+        findings = self._lint(tmp_path, broken, PKC_COST_MODEL)
+        assert any("argtypes" in f.message for f in findings)
+
+    def test_list_valued_counter_key_fails(self, tmp_path):
+        broken = MULTI_NATIVE.replace(
+            '"ne": ["edge_op", "atomic_op"]',
+            '"nx": ["edge_op", "atomic_op"]',
+        )
+        findings = self._lint(tmp_path, broken, PKC_COST_MODEL)
+        assert any("nx_out" in f.message for f in findings)
+
+    def test_pkc_closed_form_drift_fails(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "src/repro/perf/native.py": MULTI_NATIVE,
+                "src/repro/runtime/cost_model.py": PKC_COST_MODEL,
+                "src/repro/perf/kernels.py": """
+                def pkc_thread_works(model, nv, ne):
+                    task_costs = model.vertex_op * nv + model.edge_op * ne
+                    return task_costs
+                """,
+            },
+        )
+        findings = run_lint([tmp_path / "src"], select=["R007"]).findings
+        assert any("PKC_COST_COUNTERS" in f.message for f in findings)
 
 
 # ----------------------------------------------------------------------

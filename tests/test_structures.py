@@ -58,7 +58,19 @@ class TestHashBag:
     def test_used_prefix_smaller_than_capacity(self):
         bag = HashBag(100_000)
         bag.insert(1)
-        assert bag.used_prefix < bag._slots.size
+        # Extraction scans only the first chunk, not the full geometry...
+        assert bag.used_prefix < bag._bounds[-1]
+        # ...and allocation is lazy: only the used prefix is backed.
+        assert bag._slots.size == bag.used_prefix
+
+    def test_lazy_allocation_grows_with_chunks(self):
+        bag = HashBag(10_000, lam=16)
+        bag.insert_many(np.arange(2_000))
+        assert bag._slots.size >= bag.used_prefix
+        assert sorted(bag.extract_all()) == list(range(2_000))
+        # Reset after extraction keeps the grown backing store usable.
+        bag.insert_many(np.arange(50))
+        assert sorted(bag.extract_all()) == list(range(50))
 
     def test_peek_does_not_remove(self):
         bag = HashBag(10)
