@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint lint-changed bench bench-large bench-figures bench-updates examples clean loc regress regress-bless oracle oracle-updates serve-smoke trace
+.PHONY: install test lint lint-changed bench bench-large bench-figures bench-updates bench-trend examples clean loc regress regress-bless oracle oracle-updates serve-smoke obs-smoke trace
 
 install:
 	$(PYTHON) setup.py develop
@@ -37,6 +37,20 @@ oracle-updates:
 
 serve-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.serve --tiny
+
+obs-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.serve --tiny --metrics \
+		--metrics-output serve-tiny.obs.json --prom serve-tiny.prom \
+		--output serve-tiny.json
+
+# Re-run the tiny matrix cold and gate it against the committed baseline.
+bench-trend:
+	PYTHONPATH=src $(PYTHON) -m repro.bench --tiny --refresh \
+		--cache-dir .bench_cache_trend \
+		--output BENCH_wallclock_tiny_fresh.json
+	PYTHONPATH=src $(PYTHON) -m repro.obs trend \
+		BENCH_wallclock_tiny.json BENCH_wallclock_tiny_fresh.json \
+		--max-regress 1.25
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro.bench

@@ -177,6 +177,9 @@ class ExperimentCache:
 
     def get(self, algorithm: str, graph_name: str) -> RunRecord:
         """Run (or fetch) ``algorithm`` on ``graph_name``."""
+        from repro.obs.registry import active_registry
+
+        registry = active_registry()
         key = (algorithm, graph_name)
         if key not in self._records:
             record = None
@@ -186,7 +189,11 @@ class ExperimentCache:
                 payload = self._disk.get(disk_key)
                 if payload is not None:
                     record = RunRecord(**payload)
+                    if registry is not None:
+                        registry.inc("cache.bench_record.disk_hit")
             if record is None:
+                if registry is not None:
+                    registry.inc("cache.bench_record.miss")
                 record = run(
                     algorithm,
                     graph_name,
@@ -196,6 +203,8 @@ class ExperimentCache:
                 if self._disk is not None:
                     self._disk.put(disk_key, asdict(record))
             self._records[key] = record
+        elif registry is not None:
+            registry.inc("cache.bench_record.memo_hit")
         return self._records[key]
 
     def best_sequential_ms(self, graph_name: str) -> float:

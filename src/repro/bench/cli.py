@@ -222,8 +222,14 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {args.output}")
 
     if args.assert_all_hits and summary["misses"]:
+        missed = ", ".join(
+            f"{name} ({events.get('miss', 0)} misses)"
+            for name, events in sorted(summary.get("caches", {}).items())
+            if events.get("miss", 0)
+        ) or "bench_cell"
         print(
-            f"error: expected all hits, got {summary['misses']} misses",
+            f"error: expected all hits, got {summary['misses']} misses; "
+            f"caches that missed: {missed}",
             file=sys.stderr,
         )
         return 1

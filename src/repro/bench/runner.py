@@ -23,6 +23,8 @@ from dataclasses import dataclass
 from repro.bench.cache import DiskCache, cache_key
 from repro.bench.wallclock import measure
 from repro.generators import suite
+from repro.obs import MetricsRegistry, observing
+from repro.obs.registry import active_registry
 from repro.perf import (
     KERNELS_ENV,
     NATIVE,
@@ -41,7 +43,10 @@ from repro.trace import Tracer, tracing, write_trace
 #: measured from cached wall time and aggregates engines over all cells.
 #: v3: ``kernel_comparison`` covers every kernelized engine — a
 #: ``per_engine`` map of cold A/B/C results — instead of 'ours' alone.
-BENCH_SCHEMA_VERSION = 3
+#: v4: the summary gains a ``caches`` section (per-cache hit/miss
+#: counters sourced from the metrics registry, workers included), so
+#: ``--assert-all-hits`` failures can name the cache that missed.
+BENCH_SCHEMA_VERSION = 4
 
 #: Engines with mode-switchable kernels, A/B/C'd by ``--compare-kernels``.
 KERNELIZED_ENGINES = ("ours", "pkc", "park", "julienne")
@@ -158,6 +163,36 @@ def run_cell(
     }
 
 
+def _run_cell_with_obs(
+    cell: BenchCell, trace_dir: str | None = None
+) -> tuple[dict[str, object], dict[str, float]]:
+    """Run one cell under a fresh registry; return (payload, counters).
+
+    Pool workers are separate processes, so each runs its cell under a
+    private :class:`repro.obs.MetricsRegistry` and ships the counter
+    snapshot back with the payload; the parent folds the snapshots into
+    its own registry (:meth:`~repro.obs.MetricsRegistry.merge_counts`).
+    The payload itself never embeds counters, so cache entries stay
+    bit-identical with and without observation.
+    """
+    with observing(MetricsRegistry("bench-worker")) as registry:
+        payload = run_cell(cell, trace_dir)
+        return payload, registry.counter_values()
+
+
+def cache_summary(registry: MetricsRegistry) -> dict[str, dict[str, int]]:
+    """Per-cache event totals from the ``cache.*`` counters.
+
+    Shape: ``{"bench_cell": {"hit": 3, "miss": 1}, "graph_npz": ...}``
+    — the ``summary.caches`` section of the bench report (schema v4).
+    """
+    caches: dict[str, dict[str, int]] = {}
+    for name, value in registry.counter_values("cache.").items():
+        _, cache_name, event = name.split(".", 2)
+        caches.setdefault(cache_name, {})[event] = int(value)
+    return caches
+
+
 def execute(
     cells: list[BenchCell],
     jobs: int | None = None,
@@ -180,6 +215,9 @@ def execute(
     cache = cache if cache is not None else DiskCache()
     if trace_dir is not None:
         refresh = True
+    registry = active_registry()
+    if registry is None:
+        registry = MetricsRegistry("bench")
     done = 0
 
     def note(cell: BenchCell, disposition: str, wall_s: float) -> None:
@@ -196,28 +234,38 @@ def execute(
     for cell in cells:
         payload = None if refresh else cache.get(cell.key())
         if payload is not None:
+            if registry is not None:
+                registry.inc("cache.bench_cell.hit")
             resolved[cell] = ("hit", payload)
             note(cell, "cached", 0.0)
         else:
+            if registry is not None:
+                registry.inc("cache.bench_cell.miss")
             pending.append(cell)
 
-    def finish(cell: BenchCell, payload: dict[str, object]) -> None:
+    def finish(
+        cell: BenchCell,
+        payload: dict[str, object],
+        counters: dict[str, float],
+    ) -> None:
         cache.put(cell.key(), payload)
         resolved[cell] = ("miss", payload)
+        if registry is not None:
+            registry.merge_counts(counters)
         note(cell, "ran", float(payload["wall"]["wall_s"]))
 
     if pending:
         if jobs is not None and jobs > 1:
             with ProcessPoolExecutor(max_workers=jobs) as pool:
                 futures = {
-                    pool.submit(run_cell, cell, trace_dir): cell
+                    pool.submit(_run_cell_with_obs, cell, trace_dir): cell
                     for cell in pending
                 }
                 for future in as_completed(futures):
-                    finish(futures[future], future.result())
+                    finish(futures[future], *future.result())
         else:
             for cell in pending:
-                finish(cell, run_cell(cell, trace_dir))
+                finish(cell, *_run_cell_with_obs(cell, trace_dir))
 
     report_cells = []
     measured_wall = 0.0
@@ -272,6 +320,7 @@ def execute(
                 engine: round(total, 6)
                 for engine, total in sorted(by_engine.items())
             },
+            "caches": cache_summary(registry),
         },
     }
 

@@ -52,6 +52,7 @@ import numpy as np
 
 from repro.core.verify import reference_coreness
 from repro.graphs.csr import CSRGraph
+from repro.obs.registry import SIZE_BOUNDARIES
 from repro.perf import REFERENCE, kernel_mode
 from repro.primitives.bitops import sorted_member_mask
 from repro.runtime.atomics import batch_decrement
@@ -158,12 +159,16 @@ class BatchDynamicKCore:
         graph: CSRGraph,
         model: CostModel | None = None,
         runtime: SimRuntime | None = None,
+        registry=None,
     ) -> None:
         self.n = graph.n
         self.runtime = (
             runtime
             if runtime is not None
-            else SimRuntime(model if model is not None else DEFAULT_COST_MODEL)
+            else SimRuntime(
+                model if model is not None else DEFAULT_COST_MODEL,
+                registry=registry,
+            )
         )
         src = np.repeat(np.arange(graph.n, dtype=np.int64), graph.degrees)
         #: Sorted arc keys (both directions of every undirected edge).
@@ -286,6 +291,26 @@ class BatchDynamicKCore:
                 raised=int(raised.size),
                 lowered=int(lowered.size),
                 rounds=result.rounds,
+            )
+        registry = runtime.registry
+        if registry is not None:
+            registry.inc("dyn.batches")
+            registry.set_gauge("dyn.epoch", float(self.epoch))
+            if applied_ins:
+                registry.inc("dyn.insertions.applied", applied_ins)
+            if applied_del:
+                registry.inc("dyn.deletions.applied", applied_del)
+            if noop_ins or noop_del:
+                registry.inc("dyn.updates.noop", noop_ins + noop_del)
+            if raised.size:
+                registry.inc("dyn.coreness.raised", int(raised.size))
+            if lowered.size:
+                registry.inc("dyn.coreness.lowered", int(lowered.size))
+            registry.inc("dyn.repair_rounds", result.rounds)
+            registry.observe(
+                "dyn.batch_size",
+                float(applied_ins + applied_del),
+                boundaries=SIZE_BOUNDARIES,
             )
         return result
 

@@ -36,6 +36,7 @@ from repro.core.state import PeelState
 from repro.core.vgc import DEFAULT_QUEUE_SIZE, VGCConfig
 from repro.errors import SamplingRestartError
 from repro.graphs.csr import CSRGraph
+from repro.obs.registry import active_registry
 from repro.primitives.bitops import sorted_member_mask
 from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.runtime.metrics import RunMetrics
@@ -105,6 +106,7 @@ def decompose(
     config: FrameworkConfig | None = None,
     model: CostModel = DEFAULT_COST_MODEL,
     tracer=None,
+    registry=None,
 ) -> CorenessResult:
     """Run the framework on ``graph`` and return the coreness of every vertex.
 
@@ -112,7 +114,9 @@ def decompose(
 
     ``tracer`` optionally attaches a :class:`repro.trace.Tracer` to the
     run; tracing is observational only (the ledger is bit-identical with
-    and without it) and spans every restart attempt.
+    and without it) and spans every restart attempt.  ``registry``
+    likewise attaches a :class:`repro.obs.MetricsRegistry` under the
+    same observational contract (lint rule R008).
     """
     config = config if config is not None else FrameworkConfig()
     if config.peel not in ("online", "offline"):
@@ -121,13 +125,17 @@ def decompose(
         raise ValueError("sampling applies to the online peel only")
     if tracer is None:
         tracer = active_tracer()
+    if registry is None:
+        registry = active_registry()
 
     carried = None  # metrics from failed attempts
     mu_boost = 1
     attempt_config = config
     while True:
         try:
-            result = _run_once(graph, attempt_config, model, mu_boost, tracer)
+            result = _run_once(
+                graph, attempt_config, model, mu_boost, tracer, registry
+            )
         except SamplingRestartError:
             # Las-Vegas recovery (Sec. 4.1.4): retry with a stronger mu,
             # then give up on sampling entirely.
@@ -141,6 +149,8 @@ def decompose(
                     restarts=carried.restarts,
                     mu_boost=mu_boost,
                 )
+            if registry is not None:
+                registry.inc("framework.sampling_restarts")
             if carried.restarts > MAX_RESTARTS:
                 attempt_config = replace(attempt_config, sampling=False)
             continue
@@ -156,9 +166,10 @@ def _run_once(
     model: CostModel,
     mu_boost: int,
     tracer=None,
+    registry=None,
 ) -> CorenessResult:
     """One attempt of the decomposition (may raise SamplingRestartError)."""
-    runtime = SimRuntime(model, tracer=tracer)
+    runtime = SimRuntime(model, tracer=tracer, registry=registry)
     n = graph.n
     dtilde = graph.degrees.astype(np.int64).copy()
     peeled = np.zeros(n, dtype=bool)

@@ -79,13 +79,22 @@ class ParallelKCore:
         return "+".join(techniques)
 
     # ------------------------------------------------------------------
-    def decompose(self, graph: CSRGraph, tracer=None) -> CorenessResult:
+    def decompose(
+        self, graph: CSRGraph, tracer=None, registry=None
+    ) -> CorenessResult:
         """Coreness of every vertex of ``graph``.
 
-        ``tracer`` optionally attaches a :class:`repro.trace.Tracer`;
-        tracing is observational only (see docs/OBSERVABILITY.md).
+        ``tracer`` optionally attaches a :class:`repro.trace.Tracer`
+        and ``registry`` a :class:`repro.obs.MetricsRegistry`; both are
+        observational only (see docs/OBSERVABILITY.md).
         """
-        return decompose(graph, self.config(), model=self.model, tracer=tracer)
+        return decompose(
+            graph,
+            self.config(),
+            model=self.model,
+            tracer=tracer,
+            registry=registry,
+        )
 
     def coreness(self, graph: CSRGraph) -> np.ndarray:
         """Convenience: just the coreness array."""

@@ -329,14 +329,20 @@ def _load_impl(name: str, size: str) -> CSRGraph:
             load_cached_graph,
             store_cached_graph,
         )
+        from repro.obs.registry import active_registry
 
+        registry = active_registry()
         path = cached_graph_path(
             cache_dir, name, size, spec.cache_key(size)
         )
         graph = load_cached_graph(path)
         if graph is not None:
+            if registry is not None:
+                registry.inc("cache.graph_npz.hit")
             graph.name = name
             return graph
+        if registry is not None:
+            registry.inc("cache.graph_npz.miss")
         graph = spec.build_size(size)
         store_cached_graph(graph, path)
         return graph

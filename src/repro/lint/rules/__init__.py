@@ -13,4 +13,5 @@ from repro.lint.rules import (  # noqa: F401
     r005_magic_cost_constant,
     r006_trace_side_effect,
     r007_native_parity,
+    r008_metrics_side_effect,
 )

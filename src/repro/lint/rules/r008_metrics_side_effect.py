@@ -1,0 +1,226 @@
+"""R008 metrics-side-effect: the metrics registry stays observational.
+
+The obs layer's contract (docs/OBSERVABILITY.md) mirrors the tracer's:
+attaching a :class:`repro.obs.MetricsRegistry` changes *nothing* — the
+regression goldens pass bit-exactly with metrics on and off, and two
+same-seed observed runs produce byte-identical snapshots.  Two
+disciplines keep that true, enforced syntactically here exactly as
+R006 enforces them for the tracer:
+
+* **(A) obs purity** — code under ``repro/obs/`` must not charge the
+  simulated ledger (no ``parallel_for`` / ``sequential`` / ...,
+  no ``record_*``), must not draw randomness, and must not assign to
+  ``*.metrics.*``; the registry only *reads* the execution.  Purity is
+  interprocedural: an obs module calling a resolved project function
+  from which a ledger charge is reachable is flagged too (driver
+  modules — ``cli.py`` / ``__main__.py`` — are exempt; launching an
+  observed run is their job).
+* **(B) guarded hooks** — every registry mutation outside
+  ``repro/obs/`` (``inc``, ``observe``, ``set_gauge``, ``mark``, ...)
+  on an optional slot (a name ending in ``registry``) must sit inside
+  an ``if <slot> is not None:`` guard, so the unobserved path stays
+  zero-cost and can never raise.  A local variable assigned directly
+  from a ``MetricsRegistry(...)`` constructor is known non-None and
+  exempt.
+
+Wall-clock containment (no host-clock reads outside
+``repro.bench.wallclock``) is already pinned structurally by R006 and
+covers metric values too: a ``wall``-family observation can only carry
+a value measured by the one sanctioned reader.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.lint import astutil
+from repro.lint.context import ModuleContext
+from repro.lint.finding import Finding
+from repro.lint.registry import rule
+
+#: Registry methods that record into the metrics (optional-slot hooks).
+REGISTRY_MUTATORS = frozenset(
+    {
+        "attach",
+        "attach_model",
+        "inc",
+        "set_gauge",
+        "observe",
+        "mark",
+        "merge_counts",
+        "declare_histogram",
+    }
+)
+
+#: Ledger-charging calls forbidden inside ``repro/obs/``.
+CHARGING_METHODS = astutil.CHARGE_METHODS | {
+    "record_parallel",
+    "record_sequential",
+}
+
+
+def _parents(tree: ast.Module) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _constructed_registries(tree: ast.Module) -> set[str]:
+    """Bare names assigned from a ``MetricsRegistry(...)`` constructor."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not isinstance(node.value, ast.Call):
+            continue
+        callee = astutil.call_name(node.value)
+        if callee is None or not callee.split(".")[-1].endswith(
+            "MetricsRegistry"
+        ):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _is_guarded(
+    call: ast.Call, base: str, parents: dict[ast.AST, ast.AST]
+) -> bool:
+    """Whether ``call`` is in the body of ``if <base> is not None:``."""
+    child: ast.AST = call
+    parent = parents.get(call)
+    while parent is not None:
+        if isinstance(parent, ast.If) and any(
+            child is stmt for stmt in parent.body
+        ):
+            test = parent.test
+            if (
+                isinstance(test, ast.Compare)
+                and len(test.ops) == 1
+                and isinstance(test.ops[0], ast.IsNot)
+                and isinstance(test.comparators[0], ast.Constant)
+                and test.comparators[0].value is None
+                and astutil.dotted_name(test.left) == base
+            ):
+                return True
+        child, parent = parent, parents.get(parent)
+    return False
+
+
+@rule(
+    "R008",
+    "metrics-side-effect",
+    "metrics are observational: pure obs/ package, registry hooks "
+    "behind 'is not None' guards",
+)
+def check(ctx: ModuleContext) -> Iterator[Finding]:
+    if ctx.in_package("repro", "obs"):
+        yield from _check_purity(ctx)
+        yield from _check_transitive_purity(ctx)
+        return
+    yield from _check_guards(ctx)
+
+
+def _is_obs_driver(ctx: ModuleContext) -> bool:
+    """Driver modules that legitimately launch charging runs."""
+    return Path(ctx.path).name in ("cli.py", "__main__.py")
+
+
+def _check_transitive_purity(ctx: ModuleContext) -> Iterator[Finding]:
+    """Obs code must not *reach* a ledger charge through calls."""
+    if ctx.program is None or ctx.module is None or _is_obs_driver(ctx):
+        return
+    graph = ctx.program.callgraph
+    for info in ctx.functions():
+        for site in graph.sites_in(info):
+            for target in site.targets:
+                if target.module.startswith("repro.obs"):
+                    continue  # flagged by (A) where the charge appears
+                if graph.can_charge(target):
+                    yield ctx.finding(
+                        site.call,
+                        "R008",
+                        f"obs code calls '{target.qualname}', from which "
+                        "a ledger charge is reachable; the registry must "
+                        "observe the run, not drive it (drivers belong in "
+                        "cli.py/__main__.py)",
+                    )
+                    break
+
+
+def _check_purity(ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            name = astutil.call_name(node)
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in CHARGING_METHODS
+            ):
+                yield ctx.finding(
+                    node,
+                    "R008",
+                    f"obs code must not charge the ledger "
+                    f"('{func.attr}'); the registry only observes the run",
+                )
+            elif name is not None and (
+                name.startswith(("np.random.", "numpy.random."))
+                or name.split(".")[-1] == "random"
+            ):
+                yield ctx.finding(
+                    node,
+                    "R008",
+                    f"obs code must not draw randomness ('{name}()'); "
+                    "an observed run must equal the unobserved run "
+                    "bit-exactly",
+                )
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                dotted = astutil.dotted_name(target)
+                if dotted is not None and ".metrics." in dotted + ".":
+                    yield ctx.finding(
+                        node,
+                        "R008",
+                        f"obs code must not mutate runtime metrics "
+                        f"('{dotted}')",
+                    )
+
+
+def _check_guards(ctx: ModuleContext) -> Iterator[Finding]:
+    parents: dict[ast.AST, ast.AST] | None = None
+    constructed: set[str] | None = None
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = astutil.call_name(node)
+        if name is None or "." not in name:
+            continue
+        base, _, method = name.rpartition(".")
+        if method not in REGISTRY_MUTATORS:
+            continue
+        if not (base == "registry" or base.endswith("registry")):
+            continue
+        if constructed is None:
+            constructed = _constructed_registries(ctx.tree)
+        if base in constructed:
+            continue
+        if parents is None:
+            parents = _parents(ctx.tree)
+        if not _is_guarded(node, base, parents):
+            yield ctx.finding(
+                node,
+                "R008",
+                f"registry hook '{name}()' outside an "
+                f"'if {base} is not None:' guard; the unobserved path "
+                "must stay zero-cost",
+            )

@@ -1,0 +1,81 @@
+"""``python -m repro.obs`` — the observability CLI (trend gate).
+
+Examples::
+
+    python -m repro.obs trend BENCH_a.json BENCH_b.json
+    python -m repro.obs trend BENCH_wallclock.json fresh.json \
+        --max-regress 1.25 --json
+
+Exit codes: 0 clean, 1 regression found, 2 usage / unreadable report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.trend import (
+    DEFAULT_MAX_REGRESS,
+    DEFAULT_MIN_WALL,
+    TrendError,
+    render_trend,
+    trend_gate,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="metrics registry tooling: the perf-trend gate",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    trend = sub.add_parser(
+        "trend",
+        help="diff two bench reports; non-zero exit on a wall regression",
+    )
+    trend.add_argument("old", help="baseline BENCH_*.json report")
+    trend.add_argument("new", help="candidate BENCH_*.json report")
+    trend.add_argument(
+        "--max-regress",
+        type=float,
+        default=DEFAULT_MAX_REGRESS,
+        metavar="RATIO",
+        help="fail when new/old wall exceeds RATIO "
+        f"(default: {DEFAULT_MAX_REGRESS})",
+    )
+    trend.add_argument(
+        "--min-wall",
+        type=float,
+        default=DEFAULT_MIN_WALL,
+        metavar="SECONDS",
+        help="noise floor: cells below it only gate in aggregate "
+        f"(default: {DEFAULT_MIN_WALL})",
+    )
+    trend.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the structured trend result instead of text",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "trend":
+        try:
+            result = trend_gate(
+                args.old,
+                args.new,
+                max_regress=args.max_regress,
+                min_wall=args.min_wall,
+            )
+        except TrendError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(result, indent=1, sort_keys=True))
+        else:
+            print(render_trend(result))
+        return 0 if result["ok"] else 1
+    return 2  # pragma: no cover - argparse enforces the subcommand

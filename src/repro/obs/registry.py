@@ -1,0 +1,410 @@
+"""The metrics registry: deterministic counters, gauges and histograms.
+
+A :class:`MetricsRegistry` is the numeric twin of the span tracer
+(:class:`repro.trace.Tracer`): it attaches to an execution — explicitly
+via ``registry=`` kwargs, or process-wide via
+:func:`repro.obs.observing` — and accumulates *totals* (cache hits,
+kernel dispatches, serve commits, staleness histograms) where the tracer
+records a *timeline*.  Like the tracer it is strictly observational
+(lint rule R008):
+
+* registry code never charges the simulated ledger, never draws
+  randomness, and never mutates ``RunMetrics`` — the regression goldens
+  pass bit-exactly with a registry attached and detached;
+* every hook outside ``repro/obs/`` is guarded by an
+  ``is not None`` check, so the unobserved path stays zero-cost;
+* wall-clock readings enter only through values measured by the one
+  sanctioned reader, :mod:`repro.bench.wallclock`, and live in a
+  **separate metric family** (``wall``) that can never mix with the
+  simulated-clock family (``sim``) under one metric name.
+
+Snapshots (:meth:`MetricsRegistry.to_snapshot`) are schema-versioned and
+bit-deterministic: two same-seed runs produce byte-identical JSON.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Version of the metric snapshot schema.  Bump whenever a metric kind,
+#: snapshot field, or family convention is added, removed or redefined
+#: (mirrors ``METRICS_SCHEMA_VERSION`` / ``TRACE_SCHEMA_VERSION``).
+OBS_SCHEMA_VERSION = 1
+
+#: The simulated-clock family: values derived from the deterministic
+#: execution (simulated ns, counts, sizes).  Deterministic across hosts.
+SIM = "sim"
+
+#: The wall-clock family: host measurements handed in by benchmark code
+#: (seconds from ``repro.bench.wallclock``).  Host-dependent by nature;
+#: kept strictly apart from the ``sim`` family.
+WALL = "wall"
+
+FAMILIES = (SIM, WALL)
+
+#: Default histogram boundaries for simulated durations (ns): one bucket
+#: per decade from 1us to 100s of simulated time.
+TIME_BOUNDARIES_NS: tuple[float, ...] = tuple(
+    float(10**e) for e in range(3, 12)
+)
+
+#: Default histogram boundaries for small cardinalities (batch sizes,
+#: queue depths, repair rounds): powers of two up to 4096.
+SIZE_BOUNDARIES: tuple[float, ...] = tuple(float(2**e) for e in range(13))
+
+#: Default histogram boundaries for host wall-clock seconds.
+WALL_BOUNDARIES_S: tuple[float, ...] = tuple(
+    float(10**e) for e in range(-4, 3)
+)
+
+#: Percentiles reported by :func:`percentile_summary`.
+PERCENTILES = (50, 95, 99)
+
+
+def percentile_summary(samples: list[float]) -> dict[str, float]:
+    """Deterministic percentile summary of a raw sample list.
+
+    The serve report's latency fields are computed with this helper (it
+    predates the registry; the histogram views complement it — fixed
+    buckets cannot reproduce exact percentiles bit-for-bit).
+    """
+    if not samples:
+        return {f"p{p}": 0.0 for p in PERCENTILES} | {"max": 0.0}
+    arr = np.asarray(samples, dtype=np.float64)
+    summary = {
+        f"p{p}": float(np.percentile(arr, p)) for p in PERCENTILES
+    }
+    summary["max"] = float(arr.max())
+    return summary
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing total."""
+
+    name: str
+    family: str
+    value: float = 0.0
+
+    kind = "counter"
+
+    def to_dict(self) -> dict[str, object]:
+        return {"value": self.value}
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    name: str
+    family: str
+    value: float = 0.0
+
+    kind = "gauge"
+
+    def to_dict(self) -> dict[str, object]:
+        return {"value": self.value}
+
+
+@dataclass
+class Histogram:
+    """A fixed-boundary histogram (cumulative-free bucket counts).
+
+    ``boundaries`` are the upper bucket edges in strictly increasing
+    order; an observation lands in the first bucket whose edge is
+    ``>= value``, or the overflow bucket past the last edge, so there
+    are ``len(boundaries) + 1`` counts.  Boundaries are fixed at
+    declaration — snapshots of the same run are always comparable.
+    """
+
+    name: str
+    family: str
+    boundaries: tuple[float, ...]
+    counts: list[int] = field(default_factory=list)
+    sum: float = 0.0
+    count: int = 0
+
+    kind = "histogram"
+
+    def __post_init__(self) -> None:
+        edges = tuple(float(b) for b in self.boundaries)
+        if not edges or any(
+            nxt <= prev for prev, nxt in zip(edges, edges[1:])
+        ):
+            raise ValueError(
+                f"histogram {self.name!r}: boundaries must be strictly "
+                f"increasing and non-empty, got {edges}"
+            )
+        self.boundaries = edges
+        if not self.counts:
+            self.counts = [0] * (len(edges) + 1)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_right(self.boundaries, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def quantile(self, q: float) -> float:
+        """Histogram-estimated quantile (linear within the hit bucket).
+
+        An *estimate* for dashboards — exact percentiles need the raw
+        samples (:func:`percentile_summary`).
+        """
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            if seen + c >= rank and c:
+                lo = self.boundaries[i - 1] if i > 0 else 0.0
+                hi = (
+                    self.boundaries[i]
+                    if i < len(self.boundaries)
+                    else max(self.sum / self.count, lo)
+                )
+                frac = (rank - seen) / c
+                return lo + (hi - lo) * min(frac, 1.0)
+            seen += c
+        return self.boundaries[-1]
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "boundaries": list(self.boundaries),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+@dataclass
+class Mark:
+    """A named snapshot of every scalar ``sim`` metric at one sim time.
+
+    The serve loop marks the registry at each epoch commit; the Perfetto
+    exporter turns marks into counter tracks so metrics and spans
+    correlate on one simulated timeline.
+    """
+
+    ts: float
+    label: str
+    values: dict[str, float]
+
+
+class MetricsRegistry:
+    """Collects the metrics of one observed execution.
+
+    Mirrors the tracer's attach protocol: ``SimRuntime`` calls
+    :meth:`attach` when constructed under an active registry, restarts
+    re-attach the same registry, and detaching is leaving the
+    :func:`repro.obs.observing` block (or passing ``registry=None``).
+    """
+
+    def __init__(self, label: str = "run") -> None:
+        self.label = label
+        self.attached = 0  # runtimes observed (restarts re-attach)
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self.marks: list[Mark] = []
+
+    # ------------------------------------------------------------------
+    # Attach protocol (mirrors Tracer)
+    # ------------------------------------------------------------------
+    def attach(self, runtime) -> None:
+        """Adopt a runtime; called by ``SimRuntime`` on construction."""
+        self.attached += 1
+
+    def attach_model(self, model) -> None:
+        """Adopt a bare cost model (runtime-less sequential engines)."""
+        self.attached += 1
+
+    # ------------------------------------------------------------------
+    # Declaration and lookup
+    # ------------------------------------------------------------------
+    def _register(self, metric):
+        existing = self._metrics.get(metric.name)
+        if existing is None:
+            self._metrics[metric.name] = metric
+            return metric
+        if existing.kind != metric.kind:
+            raise ValueError(
+                f"metric {metric.name!r} already registered as "
+                f"{existing.kind}, not {metric.kind}"
+            )
+        if existing.family != metric.family:
+            raise ValueError(
+                f"metric {metric.name!r} belongs to the "
+                f"{existing.family!r} family; the simulated and "
+                f"wall-clock families never mix under one name"
+            )
+        return existing
+
+    def declare_histogram(
+        self,
+        name: str,
+        boundaries: tuple[float, ...],
+        family: str = SIM,
+    ) -> Histogram:
+        """Declare (or fetch) a histogram with fixed ``boundaries``."""
+        self._check_family(family)
+        hist = self._register(Histogram(name, family, tuple(boundaries)))
+        if hist.boundaries != tuple(float(b) for b in boundaries):
+            raise ValueError(
+                f"histogram {name!r} already declared with boundaries "
+                f"{hist.boundaries}"
+            )
+        return hist
+
+    def get(self, name: str):
+        """The metric registered under ``name``, or ``None``."""
+        return self._metrics.get(name)
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Scalar value of a counter/gauge (``default`` when absent)."""
+        metric = self._metrics.get(name)
+        if metric is None or metric.kind == "histogram":
+            return default
+        return metric.value
+
+    def histogram_dict(self, name: str) -> dict[str, object]:
+        """JSON-safe dict of histogram ``name`` (empty shape if absent)."""
+        metric = self._metrics.get(name)
+        if isinstance(metric, Histogram):
+            return metric.to_dict()
+        return {"boundaries": [], "counts": [], "sum": 0.0, "count": 0}
+
+    @staticmethod
+    def _check_family(family: str) -> None:
+        if family not in FAMILIES:
+            raise ValueError(
+                f"unknown metric family {family!r}; known: {FAMILIES}"
+            )
+
+    # ------------------------------------------------------------------
+    # Mutation hooks (every call outside repro/obs/ is R008-guarded)
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: float = 1.0, family: str = SIM) -> None:
+        """Increment counter ``name`` by ``value`` (must be >= 0)."""
+        self._check_family(family)
+        value = float(value)
+        if value < 0:
+            raise ValueError(
+                f"counter {name!r}: increments must be >= 0, got {value}"
+            )
+        self._register(Counter(name, family)).value += value
+
+    def set_gauge(self, name: str, value: float, family: str = SIM) -> None:
+        """Set gauge ``name`` to ``value``."""
+        self._check_family(family)
+        self._register(Gauge(name, family)).value = float(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        boundaries: tuple[float, ...] | None = None,
+        family: str = SIM,
+    ) -> None:
+        """Record ``value`` into histogram ``name``.
+
+        ``boundaries`` applies on first use only (defaults to
+        :data:`TIME_BOUNDARIES_NS` for ``sim``, :data:`WALL_BOUNDARIES_S`
+        for ``wall``); later calls reuse the declared edges.
+        """
+        self._check_family(family)
+        metric = self._metrics.get(name)
+        if metric is None:
+            if boundaries is None:
+                boundaries = (
+                    TIME_BOUNDARIES_NS if family == SIM else WALL_BOUNDARIES_S
+                )
+            metric = self.declare_histogram(name, boundaries, family)
+        elif not isinstance(metric, Histogram):
+            raise ValueError(
+                f"metric {name!r} is a {metric.kind}, not a histogram"
+            )
+        metric.observe(value)
+
+    def mark(self, ts: float, label: str = "") -> None:
+        """Snapshot every scalar ``sim`` metric at simulated time ``ts``."""
+        values = {
+            name: metric.value
+            for name, metric in sorted(self._metrics.items())
+            if metric.family == SIM and metric.kind != "histogram"
+        }
+        self.marks.append(Mark(float(ts), label, values))
+
+    def merge_counts(self, snapshot: dict[str, object]) -> None:
+        """Fold a worker's counter snapshot into this registry.
+
+        ``snapshot`` maps metric name to scalar increments (the shape
+        :func:`counter_values` returns) — how the benchmark pool
+        aggregates per-process cache counters into the parent registry.
+        """
+        for name in sorted(snapshot):
+            self.inc(name, float(snapshot[name]))
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def counter_values(self, prefix: str = "") -> dict[str, float]:
+        """All ``sim`` counters whose name starts with ``prefix``."""
+        return {
+            name: metric.value
+            for name, metric in sorted(self._metrics.items())
+            if metric.kind == "counter"
+            and metric.family == SIM
+            and name.startswith(prefix)
+        }
+
+    def to_snapshot(self) -> dict[str, object]:
+        """The full registry as a schema-versioned JSON-safe dict.
+
+        Key order is fixed (sorted metric names inside each kind) so the
+        serialized snapshot is byte-deterministic across same-seed runs.
+        """
+        families: dict[str, dict[str, dict]] = {
+            SIM: {"counters": {}, "gauges": {}, "histograms": {}},
+            WALL: {"counters": {}, "gauges": {}, "histograms": {}},
+        }
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            section = families[metric.family][metric.kind + "s"]
+            section[name] = metric.to_dict()
+        return {
+            "obs_schema_version": OBS_SCHEMA_VERSION,
+            "label": self.label,
+            "attached": self.attached,
+            "families": families,
+            "marks": [
+                {"ts": mark.ts, "label": mark.label, "values": mark.values}
+                for mark in self.marks
+            ],
+        }
+
+
+# ----------------------------------------------------------------------
+# The process-wide active registry (mirrors runtime.simulator's tracer)
+# ----------------------------------------------------------------------
+_ACTIVE_REGISTRY: MetricsRegistry | None = None
+
+
+def set_active_registry(
+    registry: MetricsRegistry | None,
+) -> MetricsRegistry | None:
+    """Install the process-wide default registry; returns the previous.
+
+    Pass ``None`` to uninstall.  Prefer the :func:`repro.obs.observing`
+    context manager, which restores the previous registry on exit.
+    """
+    global _ACTIVE_REGISTRY
+    previous = _ACTIVE_REGISTRY
+    _ACTIVE_REGISTRY = registry
+    return previous
+
+
+def active_registry() -> MetricsRegistry | None:
+    """The installed process-wide registry (or ``None``: metrics off)."""
+    return _ACTIVE_REGISTRY

@@ -1,0 +1,240 @@
+"""The perf-trend regression gate: diff two benchmark reports.
+
+``python -m repro.obs trend BENCH_old.json BENCH_new.json`` compares the
+wall-clock trajectory of two ``repro.bench`` matrix reports (the
+committed ``BENCH_*.json`` evidence files) and exits non-zero when any
+matched cell — or any per-engine / overall aggregate — got slower than
+``--max-regress`` (default 1.25x).  The committed benchmark snapshots
+thereby become an *enforced* regression surface: CI runs the tiny matrix
+cold and gates it against the committed baseline.
+
+Matching and noise discipline:
+
+* cells are matched on ``(engine, graph, size)``; the kernel mode is
+  matched exactly when both sides have it, and relaxed otherwise (the
+  baseline host and the CI host may resolve ``auto`` differently);
+* sub-``--min-wall`` cells are compared only in the aggregates — a
+  0.4ms cell doubling to 0.8ms is scheduler noise, not a regression —
+  unless the new side grew past ``10 * min_wall`` (a real blow-up is
+  never waved through);
+* the gate reads reports of any ``schema_version >= 2`` (cells carry
+  ``size`` since v2); older or foreign files fail with exit code 2.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+class TrendError(Exception):
+    """A report could not be loaded or compared (CLI exit code 2)."""
+
+
+#: Default regression threshold: fail when new/old exceeds this ratio.
+DEFAULT_MAX_REGRESS = 1.25
+
+#: Default noise floor (seconds): cells below it only count in aggregates.
+DEFAULT_MIN_WALL = 0.05
+
+
+def load_report(path: str) -> dict:
+    """Load one bench matrix report; validate the minimum shape."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except OSError as exc:
+        raise TrendError(f"cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise TrendError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(report, dict) or "cells" not in report:
+        raise TrendError(
+            f"{path} is not a bench matrix report (no 'cells'); "
+            "the trend gate reads BENCH_wallclock*.json files"
+        )
+    if int(report.get("schema_version", 0)) < 2:
+        raise TrendError(
+            f"{path}: bench schema_version >= 2 required, got "
+            f"{report.get('schema_version')!r}"
+        )
+    return report
+
+
+def _cell_index(report: dict) -> dict[tuple, dict]:
+    index: dict[tuple, dict] = {}
+    for cell in report["cells"]:
+        key = (cell["engine"], cell["graph"], cell["size"])
+        index.setdefault(key, {})[cell.get("kernels", "")] = cell
+    return index
+
+
+def diff_reports(
+    old: dict,
+    new: dict,
+    max_regress: float = DEFAULT_MAX_REGRESS,
+    min_wall: float = DEFAULT_MIN_WALL,
+) -> dict[str, object]:
+    """Compare two loaded reports; returns the structured trend result.
+
+    The result is JSON-safe: matched cells with old/new wall and ratio,
+    per-engine and overall aggregates, and the list of regressions that
+    breached ``max_regress``.
+    """
+    old_index = _cell_index(old)
+    new_index = _cell_index(new)
+    matched: list[dict[str, object]] = []
+    regressions: list[dict[str, object]] = []
+    unmatched = 0
+
+    engine_old: dict[str, float] = {}
+    engine_new: dict[str, float] = {}
+
+    for key in sorted(new_index):
+        by_kernels = new_index[key]
+        old_by_kernels = old_index.get(key)
+        if old_by_kernels is None:
+            unmatched += len(by_kernels)
+            continue
+        for kernels in sorted(by_kernels):
+            new_cell = by_kernels[kernels]
+            old_cell = old_by_kernels.get(kernels)
+            if old_cell is None:
+                # Kernel modes differ between hosts (auto resolution);
+                # fall back to any cell of the same (engine,graph,size).
+                old_cell = old_by_kernels[sorted(old_by_kernels)[0]]
+            engine, graph, size = key
+            old_wall = float(old_cell["wall_s"])
+            new_wall = float(new_cell["wall_s"])
+            ratio = new_wall / old_wall if old_wall > 0 else None
+            comparable = old_wall >= min_wall or new_wall >= 10 * min_wall
+            entry = {
+                "engine": engine,
+                "graph": graph,
+                "size": size,
+                "kernels": {
+                    "old": old_cell.get("kernels", ""),
+                    "new": new_cell.get("kernels", ""),
+                },
+                "old_wall_s": old_wall,
+                "new_wall_s": new_wall,
+                "ratio": None if ratio is None else round(ratio, 4),
+                "compared": bool(comparable),
+            }
+            matched.append(entry)
+            engine_old[engine] = engine_old.get(engine, 0.0) + old_wall
+            engine_new[engine] = engine_new.get(engine, 0.0) + new_wall
+            if (
+                comparable
+                and ratio is not None
+                and ratio > max_regress
+            ):
+                regressions.append(
+                    dict(entry, level="cell")
+                )
+
+    engines: dict[str, dict[str, object]] = {}
+    for engine in sorted(engine_old):
+        old_total = engine_old[engine]
+        new_total = engine_new[engine]
+        ratio = new_total / old_total if old_total > 0 else None
+        engines[engine] = {
+            "old_wall_s": round(old_total, 6),
+            "new_wall_s": round(new_total, 6),
+            "ratio": None if ratio is None else round(ratio, 4),
+        }
+        if (
+            old_total >= min_wall
+            and ratio is not None
+            and ratio > max_regress
+        ):
+            regressions.append(
+                {
+                    "level": "engine",
+                    "engine": engine,
+                    "old_wall_s": round(old_total, 6),
+                    "new_wall_s": round(new_total, 6),
+                    "ratio": round(ratio, 4),
+                }
+            )
+
+    old_total = sum(engine_old.values())
+    new_total = sum(engine_new.values())
+    overall_ratio = new_total / old_total if old_total > 0 else None
+    overall = {
+        "old_wall_s": round(old_total, 6),
+        "new_wall_s": round(new_total, 6),
+        "ratio": None if overall_ratio is None else round(overall_ratio, 4),
+    }
+    if (
+        old_total >= min_wall
+        and overall_ratio is not None
+        and overall_ratio > max_regress
+    ):
+        regressions.append(dict(overall, level="overall"))
+
+    if not matched:
+        raise TrendError(
+            "no cells match between the two reports (different suites?)"
+        )
+    return {
+        "max_regress": max_regress,
+        "min_wall_s": min_wall,
+        "cells_matched": len(matched),
+        "cells_unmatched": unmatched,
+        "cells": matched,
+        "engines": engines,
+        "overall": overall,
+        "regressions": regressions,
+        "ok": not regressions,
+    }
+
+
+def render_trend(result: dict[str, object]) -> str:
+    """Human-readable summary of a :func:`diff_reports` result."""
+    lines = [
+        f"trend: {result['cells_matched']} cells matched "
+        f"({result['cells_unmatched']} unmatched), threshold "
+        f"{result['max_regress']}x, floor {result['min_wall_s']}s",
+    ]
+    for engine, entry in result["engines"].items():
+        ratio = entry["ratio"]
+        shown = "n/a" if ratio is None else f"{ratio:.3f}x"
+        lines.append(
+            f"  {engine:<12s} {entry['old_wall_s']:>9.3f}s -> "
+            f"{entry['new_wall_s']:>9.3f}s  {shown}"
+        )
+    overall = result["overall"]
+    ratio = overall["ratio"]
+    shown = "n/a" if ratio is None else f"{ratio:.3f}x"
+    lines.append(
+        f"  {'overall':<12s} {overall['old_wall_s']:>9.3f}s -> "
+        f"{overall['new_wall_s']:>9.3f}s  {shown}"
+    )
+    for reg in result["regressions"]:
+        if reg["level"] == "cell":
+            where = f"{reg['engine']}/{reg['graph']}/{reg['size']}"
+        elif reg["level"] == "engine":
+            where = f"engine {reg['engine']}"
+        else:
+            where = "overall"
+        lines.append(
+            f"REGRESSION [{where}] {reg['old_wall_s']}s -> "
+            f"{reg['new_wall_s']}s ({reg['ratio']}x)"
+        )
+    if result["ok"]:
+        lines.append("trend: OK (no regression)")
+    return "\n".join(lines)
+
+
+def trend_gate(
+    old_path: str,
+    new_path: str,
+    max_regress: float = DEFAULT_MAX_REGRESS,
+    min_wall: float = DEFAULT_MIN_WALL,
+) -> dict[str, object]:
+    """Load both reports and diff them (the CLI's workhorse)."""
+    return diff_reports(
+        load_report(old_path),
+        load_report(new_path),
+        max_regress=max_regress,
+        min_wall=min_wall,
+    )

@@ -30,6 +30,8 @@ from __future__ import annotations
 
 import os
 
+from repro.obs.registry import active_registry
+
 #: Environment variable selecting the kernel implementation.
 KERNELS_ENV = "REPRO_KERNELS"
 
@@ -72,13 +74,21 @@ def kernel_mode() -> str:
         raise ValueError(
             f"{KERNELS_ENV} must be one of {_VALID_MODES}, got {mode!r}"
         )
+    registry = active_registry()
     if mode == AUTO:
-        return NATIVE if native_available() else VECTORIZED
+        resolved = NATIVE if native_available() else VECTORIZED
+        if registry is not None:
+            registry.inc(f"kernel.mode.{resolved}")
+            if resolved != NATIVE:
+                registry.inc("kernel.fallback.native_unavailable")
+        return resolved
     if mode == NATIVE and not native_available():
         raise RuntimeError(
             f"{KERNELS_ENV}={NATIVE} but no C compiler is available; "
             f"use {AUTO} to fall back to the vectorized NumPy kernels"
         )
+    if registry is not None:
+        registry.inc(f"kernel.mode.{mode}")
     return mode
 
 

@@ -40,6 +40,8 @@ import tempfile
 
 import numpy as np
 
+from repro.obs.registry import active_registry
+
 _SOURCE = r"""
 #include <stdint.h>
 
@@ -275,8 +277,11 @@ def _so_path() -> str:
 
 def _build() -> str | None:
     """Compile the kernel (once per source version); return the .so path."""
+    registry = active_registry()
     path = _so_path()
     if os.path.exists(path):
+        if registry is not None:
+            registry.inc("cache.native_so.hit")
         return path
     cc = _compiler()
     if cc is None:
@@ -296,7 +301,11 @@ def _build() -> str | None:
             )
             os.replace(out, path)  # atomic: concurrent builders agree
     except (OSError, subprocess.SubprocessError):
+        if registry is not None:
+            registry.inc("cache.native_so.build_failed")
         return None
+    if registry is not None:
+        registry.inc("cache.native_so.build")
     return path
 
 

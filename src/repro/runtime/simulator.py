@@ -25,12 +25,18 @@ Tracing is strictly observational: every tracer call is guarded by an
 ``is not None`` check (lint rule R006), the tracer never charges work or
 draws randomness, and with no tracer attached the only overhead is that
 guard — the ledger is bit-identical either way.
+
+A :class:`~repro.obs.MetricsRegistry` may likewise observe a runtime
+(``registry=`` kwarg, or process-wide via :func:`repro.obs.observing`):
+it accumulates step/round counters under the same observational
+contract, enforced by lint rule R008.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.registry import active_registry
 from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.runtime.metrics import RunMetrics
 
@@ -66,6 +72,7 @@ class SimRuntime:
         model: CostModel | None = None,
         record_task_costs: bool = False,
         tracer=None,
+        registry=None,
     ) -> None:
         self.model = model if model is not None else DEFAULT_COST_MODEL
         self.metrics = RunMetrics()
@@ -76,6 +83,21 @@ class SimRuntime:
         self.tracer = tracer if tracer is not None else _ACTIVE_TRACER
         if self.tracer is not None:
             self.tracer.attach(self)
+        #: Observing metrics registry, or None (metrics are absent).
+        self.registry = (
+            registry if registry is not None else active_registry()
+        )
+        if self.registry is not None:
+            self.registry.attach(self)
+
+    def _observe_step(self, kind: str, work: float, atomics: int) -> None:
+        """Feed one ledger step to the registry (caller guards != None)."""
+        registry = self.registry
+        if registry is not None:
+            registry.inc(f"runtime.steps.{kind}")
+            registry.inc("runtime.work", work)
+            if atomics:
+                registry.inc("runtime.atomics", atomics)
 
     # ------------------------------------------------------------------
     # Parallel constructs
@@ -107,6 +129,7 @@ class SimRuntime:
         )
         if self.tracer is not None:
             self.tracer.on_step("parallel_for", work, span, barriers, tag)
+        self._observe_step("parallel_for", work, 0)
 
     def parallel_update(
         self,
@@ -150,6 +173,7 @@ class SimRuntime:
                 "parallel_update", work, span, barriers, tag,
                 atomics=n_atomics, max_contention=max_contention,
             )
+        self._observe_step("parallel_update", work, n_atomics)
 
     def _retain(self, task_costs, count):
         """Materialize the per-task cost array when recording is on."""
@@ -167,12 +191,14 @@ class SimRuntime:
                 self.tracer.on_step(
                     "sequential", float(work), float(work), 0, tag
                 )
+            self._observe_step("sequential", float(work), 0)
 
     def barrier_only(self, count: int = 1, tag: str = "") -> None:
         """Charge ``count`` extra synchronization phases with no work."""
         self.metrics.record_parallel(0.0, 0.0, count, tag)
         if self.tracer is not None:
             self.tracer.on_step("barrier_only", 0.0, 0.0, count, tag)
+        self._observe_step("barrier_only", 0.0, 0)
 
     def imbalanced_step(
         self,
@@ -195,6 +221,7 @@ class SimRuntime:
             self.tracer.on_step(
                 "imbalanced_step", work, span, barriers, tag
             )
+        self._observe_step("imbalanced_step", work, 0)
 
     # ------------------------------------------------------------------
     # Peeling-structure counters
@@ -209,6 +236,8 @@ class SimRuntime:
         self.metrics.rounds += 1
         if self.tracer is not None:
             self.tracer.on_round(k)
+        if self.registry is not None:
+            self.registry.inc("runtime.rounds")
 
     def begin_subround(self, frontier_size: int) -> None:
         """Note the start of a peeling subround over ``frontier_size``."""
@@ -217,6 +246,8 @@ class SimRuntime:
             self.metrics.peak_frontier = frontier_size
         if self.tracer is not None:
             self.tracer.on_subround(int(frontier_size))
+        if self.registry is not None:
+            self.registry.inc("runtime.subrounds")
 
     # ------------------------------------------------------------------
     # Results

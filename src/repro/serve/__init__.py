@@ -25,6 +25,13 @@ asynchronous-reads split:
 All timing lives on the simulated clock (``SimRuntime.time_on``); the
 wall clock never enters (lint R003/R006).  Two replays of the same
 stream on the same graph produce bit-identical reports.
+
+Every service carries a :class:`repro.obs.MetricsRegistry` (the one
+active when it was constructed, or a private one): the writer loop
+feeds commit-latency / batch-size / queue-wait / staleness histograms
+and marks the registry at each epoch commit, and the report's
+``histograms`` section is sourced from it.  Exact percentiles still
+come from the raw samples via :func:`repro.obs.percentile_summary`.
 """
 
 from __future__ import annotations
@@ -37,27 +44,23 @@ import numpy as np
 from repro.core.batch_dynamic import BatchDynamicKCore
 from repro.generators.streams import Query, UpdateBatch
 from repro.graphs.csr import CSRGraph
+from repro.obs.registry import (
+    OBS_SCHEMA_VERSION,
+    PERCENTILES,
+    SIZE_BOUNDARIES,
+    MetricsRegistry,
+    active_registry,
+    percentile_summary,
+)
 from repro.regress.matrix import coreness_fingerprint
 from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
 
 #: Version of the serve-report schema.  Bump whenever a field is added,
 #: removed, or changes meaning, so consumers fail loudly on mismatch.
-SERVE_SCHEMA_VERSION = 1
-
-#: Percentiles reported for every latency distribution.
-PERCENTILES = (50, 95, 99)
-
-
-def _percentile_summary(samples: list[float]) -> dict[str, float]:
-    """Deterministic percentile summary of a latency sample list."""
-    if not samples:
-        return {f"p{p}": 0.0 for p in PERCENTILES} | {"max": 0.0}
-    arr = np.asarray(samples, dtype=np.float64)
-    summary = {
-        f"p{p}": float(np.percentile(arr, p)) for p in PERCENTILES
-    }
-    summary["max"] = float(arr.max())
-    return summary
+#: v2: latency summaries moved to the shared obs helper (values are
+#: bit-identical to v1) and the registry-sourced ``histograms`` section
+#: was added.
+SERVE_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -98,12 +101,23 @@ class CoreService:
         graph: CSRGraph,
         model: CostModel | None = None,
         threads: int | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.model = model if model is not None else DEFAULT_COST_MODEL
         self.threads = (
             int(threads) if threads is not None else self.model.n_cores
         )
-        self.engine = BatchDynamicKCore(graph, model=self.model)
+        if registry is None:
+            registry = active_registry()
+        #: The observing registry: the caller's (or the process-wide
+        #: active one), else a private registry so the report's
+        #: histogram section is always populated.
+        self.registry = (
+            registry if registry is not None else MetricsRegistry("serve")
+        )
+        self.engine = BatchDynamicKCore(
+            graph, model=self.model, registry=self.registry
+        )
         #: Simulated time at which the writer becomes free.
         self.clock = 0.0
         #: Committed epochs still visible to in-flight readers.  Epoch 0
@@ -124,6 +138,7 @@ class CoreService:
         free; its latency is arrival-to-commit, including queueing.
         """
         start = max(self.clock, event.time)
+        queue_wait = start - event.time
         before = self.engine.runtime.time_on(self.threads)
         result = self.engine.apply_batch(
             insertions=event.insertions, deletions=event.deletions
@@ -134,14 +149,27 @@ class CoreService:
         self._epochs.append(
             _Epoch(commit, result.epoch, self.engine.coreness.copy())
         )
+        applied = result.applied_insertions + result.applied_deletions
         self.stats.batches += 1
-        self.stats.updates_applied += (
-            result.applied_insertions + result.applied_deletions
-        )
+        self.stats.updates_applied += applied
         self.stats.updates_noop += (
             result.noop_insertions + result.noop_deletions
         )
         self.stats.update_latency_ns.append(commit - event.time)
+        registry = self.registry
+        if registry is not None:
+            registry.observe("serve.commit_latency_ns", commit - event.time)
+            registry.observe("serve.queue_wait_ns", queue_wait)
+            registry.observe(
+                "serve.batch_size", float(applied),
+                boundaries=SIZE_BOUNDARIES,
+            )
+            if queue_wait > 0:
+                registry.inc("serve.queued_batches")
+            registry.set_gauge(
+                "serve.queue_depth", 1.0 if queue_wait > 0 else 0.0
+            )
+            registry.mark(commit, label=f"epoch {result.epoch}")
         return commit
 
     def committed_at(self, time: float) -> _Epoch:
@@ -165,6 +193,12 @@ class CoreService:
         self.stats.queries += 1
         self.stats.query_latency_ns.append(self.model.scan_op)
         self.stats.staleness_ns.append(event.time - epoch.commit_time)
+        registry = self.registry
+        if registry is not None:
+            registry.inc("serve.queries")
+            registry.observe(
+                "serve.staleness_ns", event.time - epoch.commit_time
+            )
         self._answers.update(
             f"{event.vertex}:{epoch.epoch}:{value};".encode()
         )
@@ -214,9 +248,24 @@ class CoreService:
                 "queries_per_sec": stats.queries * per_second,
             },
             "latency": {
-                "update_ns": _percentile_summary(stats.update_latency_ns),
-                "query_ns": _percentile_summary(stats.query_latency_ns),
-                "staleness_ns": _percentile_summary(stats.staleness_ns),
+                "update_ns": percentile_summary(stats.update_latency_ns),
+                "query_ns": percentile_summary(stats.query_latency_ns),
+                "staleness_ns": percentile_summary(stats.staleness_ns),
+            },
+            "histograms": {
+                "obs_schema_version": OBS_SCHEMA_VERSION,
+                "commit_latency_ns": self.registry.histogram_dict(
+                    "serve.commit_latency_ns"
+                ),
+                "queue_wait_ns": self.registry.histogram_dict(
+                    "serve.queue_wait_ns"
+                ),
+                "batch_size": self.registry.histogram_dict(
+                    "serve.batch_size"
+                ),
+                "staleness_ns": self.registry.histogram_dict(
+                    "serve.staleness_ns"
+                ),
             },
             "epochs": {"committed": self.engine.epoch},
             "coreness": coreness_fingerprint(self.engine.coreness),
@@ -231,9 +280,12 @@ def run_service(
     model: CostModel | None = None,
     threads: int | None = None,
     context: dict[str, object] | None = None,
+    registry: MetricsRegistry | None = None,
 ) -> dict[str, object]:
     """Replay ``events`` against a fresh service; return its report."""
-    service = CoreService(graph, model=model, threads=threads)
+    service = CoreService(
+        graph, model=model, threads=threads, registry=registry
+    )
     service.replay(events)
     return service.report(context)
 

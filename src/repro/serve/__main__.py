@@ -5,11 +5,14 @@ Examples::
     python -m repro.serve --tiny
     python -m repro.serve --graph OK-S --profile bursty --batches 48
     python -m repro.serve --tiny --profile churn --trace serve.trace.json
+    python -m repro.serve --tiny --metrics --metrics-output serve.obs.json
 
 The report is schema-versioned JSON (see ``SERVE_SCHEMA_VERSION``) on
 stdout, or at ``--output``.  Same arguments → bit-identical report: the
 stream generator, the engine, and the service clock are all
-deterministic.
+deterministic.  ``--metrics`` prints the registry dashboard and the
+per-epoch table to stderr; ``--metrics-output`` / ``--prom`` write the
+byte-deterministic JSON snapshot / Prometheus text exposition.
 """
 
 from __future__ import annotations
@@ -19,6 +22,14 @@ import json
 import sys
 
 from repro.generators import streams, suite
+from repro.obs import (
+    MetricsRegistry,
+    observing,
+    render_dashboard,
+    render_epoch_table,
+    write_prometheus,
+    write_snapshot,
+)
 from repro.runtime.cost_model import DEFAULT_COST_MODEL
 from repro.serve import run_service
 from repro.trace import Tracer, tracing, write_trace
@@ -81,6 +92,23 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write a Perfetto trace of the replay to FILE",
     )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics dashboard and per-epoch table to stderr",
+    )
+    parser.add_argument(
+        "--metrics-output",
+        default=None,
+        metavar="FILE",
+        help="write the registry's JSON snapshot to FILE",
+    )
+    parser.add_argument(
+        "--prom",
+        default=None,
+        metavar="FILE",
+        help="write the registry in Prometheus text exposition to FILE",
+    )
     return parser
 
 
@@ -118,17 +146,21 @@ def main(argv: list[str] | None = None) -> int:
         "interval_ns": args.interval,
         "seed": args.seed,
     }
-    if args.trace:
-        tracer = Tracer(label=f"serve/{args.graph}/{args.profile}")
-        with tracing(tracer):
+    registry = MetricsRegistry(label=f"serve/{args.graph}/{args.profile}")
+    with observing(registry):
+        if args.trace:
+            tracer = Tracer(label=f"serve/{args.graph}/{args.profile}")
+            with tracing(tracer):
+                report = run_service(
+                    graph, events, threads=args.threads, context=context,
+                    registry=registry,
+                )
+            write_trace(tracer, args.trace, registry=registry)
+        else:
             report = run_service(
-                graph, events, threads=args.threads, context=context
+                graph, events, threads=args.threads, context=context,
+                registry=registry,
             )
-        write_trace(tracer, args.trace)
-    else:
-        report = run_service(
-            graph, events, threads=args.threads, context=context
-        )
 
     text = json.dumps(report, indent=2, sort_keys=True)
     if args.output:
@@ -139,6 +171,16 @@ def main(argv: list[str] | None = None) -> int:
         print(text)
     if args.trace:
         print(f"wrote trace to {args.trace}", file=sys.stderr)
+    if args.metrics:
+        print(render_dashboard(registry), file=sys.stderr)
+        print(render_epoch_table(registry), file=sys.stderr)
+    if args.metrics_output:
+        write_snapshot(registry, args.metrics_output)
+        print(f"wrote metrics snapshot to {args.metrics_output}",
+              file=sys.stderr)
+    if args.prom:
+        write_prometheus(registry, args.prom)
+        print(f"wrote prometheus metrics to {args.prom}", file=sys.stderr)
     return 0
 
 

@@ -17,6 +17,12 @@ Track layout:
 Timestamps: the simulated clock counts ops == nanoseconds; trace-event
 ``ts``/``dur`` are microseconds, so values are divided by 1000 (floats
 are legal and keep the export bit-deterministic).
+
+Pass ``registry=`` (a :class:`repro.obs.MetricsRegistry`) to add its
+epoch marks as ``obs/<metric>`` counter tracks on the simulated
+timeline, plus one final sample of every scalar ``sim`` metric at the
+trace end — metrics and spans then correlate on one clock.  With no
+registry the payload is byte-identical to the registry-less export.
 """
 
 from __future__ import annotations
@@ -50,7 +56,39 @@ def _meta(pid: int, tid: int | None, key: str, name: str) -> dict:
     return event
 
 
-def to_perfetto(tracer: Tracer) -> dict:
+def _registry_counter_events(registry, end_ts: float) -> list[dict]:
+    """``obs/*`` counter samples from a registry's marks + final state."""
+    events: list[dict] = []
+
+    def sample(ts: float, values: dict[str, float]) -> None:
+        for name in sorted(values):
+            events.append(
+                {
+                    "name": f"obs/{name}",
+                    "cat": "counter",
+                    "ph": "C",
+                    "ts": ts / _NS_PER_US,
+                    "pid": SIM_PID,
+                    "tid": 0,
+                    "args": {"value": values[name]},
+                }
+            )
+
+    for mark in registry.marks:
+        sample(mark.ts, mark.values)
+    snapshot = registry.to_snapshot()
+    final = {
+        name: metric["value"]
+        for kind in ("counters", "gauges")
+        for name, metric in snapshot["families"]["sim"][kind].items()
+    }
+    if final:
+        last_ts = registry.marks[-1].ts if registry.marks else 0.0
+        sample(max(float(end_ts), last_ts), final)
+    return events
+
+
+def to_perfetto(tracer: Tracer, registry=None) -> dict:
     """The full trace as a Chrome/Perfetto trace-event JSON object."""
     tracer.finish()
     events: list[dict] = [
@@ -132,6 +170,9 @@ def to_perfetto(tracer: Tracer) -> dict:
             }
         )
 
+    if registry is not None:
+        events.extend(_registry_counter_events(registry, tracer.clock))
+
     host_ts = 0.0
     for host in tracer.host_spans:
         dur_us = host.wall_s * 1e6
@@ -167,14 +208,16 @@ def to_perfetto(tracer: Tracer) -> dict:
     }
 
 
-def render_perfetto(tracer: Tracer) -> str:
+def render_perfetto(tracer: Tracer, registry=None) -> str:
     """The Perfetto JSON serialized with a stable key order."""
-    return json.dumps(to_perfetto(tracer), indent=1, sort_keys=True)
+    return json.dumps(
+        to_perfetto(tracer, registry=registry), indent=1, sort_keys=True
+    )
 
 
-def write_trace(tracer: Tracer, path: str) -> str:
+def write_trace(tracer: Tracer, path: str, registry=None) -> str:
     """Write the Perfetto JSON to ``path``; returns ``path``."""
     with open(path, "w", encoding="utf-8") as handle:
-        handle.write(render_perfetto(tracer))
+        handle.write(render_perfetto(tracer, registry=registry))
         handle.write("\n")
     return path

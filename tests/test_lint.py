@@ -40,10 +40,11 @@ def rule_ids(findings) -> list[str]:
 # Registry
 # ----------------------------------------------------------------------
 class TestRegistry:
-    def test_all_seven_rules_registered(self):
+    def test_all_eight_rules_registered(self):
         ids = [rule.rule_id for rule in all_rules()]
         assert ids == [
             "R001", "R002", "R003", "R004", "R005", "R006", "R007",
+            "R008",
         ]
 
     def test_rules_have_names_and_summaries(self):
@@ -640,6 +641,121 @@ class TestR006TraceSideEffect:
                 return self.tracer.telemetry()
             """,
             select=["R006"],
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# R008 metrics-side-effect
+# ----------------------------------------------------------------------
+class TestR008MetricsSideEffect:
+    def test_unguarded_registry_hook_is_flagged(self):
+        findings = lint(
+            """
+            def f(self):
+                self.registry.inc("runtime.rounds")
+            """,
+            select=["R008"],
+        )
+        assert rule_ids(findings) == ["R008"]
+        assert "is not None" in findings[0].message
+
+    def test_guarded_registry_hook_is_clean(self):
+        findings = lint(
+            """
+            def f(self):
+                registry = self.registry
+                if registry is not None:
+                    registry.inc("runtime.rounds")
+                    registry.observe("x", 1.0)
+            """,
+            select=["R008"],
+        )
+        assert findings == []
+
+    def test_guard_on_wrong_name_does_not_count(self):
+        findings = lint(
+            """
+            def f(self, other):
+                if other is not None:
+                    self.registry.observe("x", 1.0)
+            """,
+            select=["R008"],
+        )
+        assert rule_ids(findings) == ["R008"]
+
+    def test_else_branch_of_guard_is_still_flagged(self):
+        findings = lint(
+            """
+            def f(registry):
+                if registry is not None:
+                    pass
+                else:
+                    registry.set_gauge("x", 1.0)
+            """,
+            select=["R008"],
+        )
+        assert rule_ids(findings) == ["R008"]
+
+    def test_constructed_registry_is_exempt(self):
+        findings = lint(
+            """
+            from repro.obs import MetricsRegistry
+
+            def f():
+                registry = MetricsRegistry("t")
+                registry.inc("x")
+                return registry
+            """,
+            path="tests/snippet.py",
+            select=["R008"],
+        )
+        assert findings == []
+
+    def test_charge_inside_obs_package_is_flagged(self):
+        findings = lint(
+            """
+            def export(runtime):
+                runtime.sequential(3.0, tag="oops")
+            """,
+            path="src/repro/obs/export.py",
+            select=["R008"],
+        )
+        assert rule_ids(findings) == ["R008"]
+        assert "charge" in findings[0].message
+
+    def test_randomness_inside_obs_package_is_flagged(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def jitter():
+                return np.random.default_rng(0).random()
+            """,
+            path="src/repro/obs/export.py",
+            select=["R008"],
+        )
+        assert findings and all(f.rule_id == "R008" for f in findings)
+
+    def test_metrics_mutation_inside_obs_package_is_flagged(self):
+        findings = lint(
+            """
+            def poke(runtime):
+                runtime.metrics.restarts = 1
+            """,
+            path="src/repro/obs/export.py",
+            select=["R008"],
+        )
+        assert rule_ids(findings) == ["R008"]
+        assert "metrics" in findings[0].message
+
+    def test_reading_registry_state_is_clean(self):
+        findings = lint(
+            """
+            def f(self):
+                return self.registry.counter_values("cache.")
+            """,
+            select=["R008"],
         )
         assert findings == []
 

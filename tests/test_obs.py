@@ -1,0 +1,648 @@
+"""repro.obs: metrics registry, exporters, trend gate, observational law.
+
+The two load-bearing suites are determinism (two same-seed observed runs
+produce byte-identical JSON snapshots) and the observational guarantee
+(the blessed regression goldens pass bit-exactly *with a registry
+attached*, without re-blessing anything) — the numeric twin of
+tests/test_trace.py.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.cache import DiskCache
+from repro.bench.runner import BenchCell, execute
+from repro.core.batch_dynamic import BatchDynamicKCore
+from repro.core.parallel_kcore import ParallelKCore
+from repro.generators import grid_2d, suite
+from repro.generators.streams import generate_stream
+from repro.obs import (
+    DEFAULT_MAX_REGRESS,
+    OBS_SCHEMA_VERSION,
+    SIZE_BOUNDARIES,
+    TIME_BOUNDARIES_NS,
+    Histogram,
+    MetricsRegistry,
+    TrendError,
+    active_registry,
+    diff_reports,
+    observing,
+    percentile_summary,
+    render_dashboard,
+    render_epoch_table,
+    render_json,
+    render_prometheus,
+    render_trend,
+    write_snapshot,
+)
+from repro.obs.cli import main as obs_main
+from repro.regress.goldens import read_golden
+from repro.regress.matrix import run_case, select_cases
+from repro.runtime.simulator import SimRuntime
+from repro.serve import CoreService, run_service
+from repro.serve.__main__ import main as serve_main
+from repro.trace import Tracer, render_perfetto, to_perfetto, tracing
+
+
+# ----------------------------------------------------------------------
+# Registry units
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_absent_by_default(self):
+        assert active_registry() is None
+        assert SimRuntime().registry is None
+
+    def test_observing_installs_and_restores(self):
+        registry = MetricsRegistry()
+        with observing(registry) as installed:
+            assert installed is registry
+            assert active_registry() is registry
+            assert SimRuntime().registry is registry
+        assert active_registry() is None
+
+    def test_observing_restores_previous(self):
+        outer = MetricsRegistry("outer")
+        inner = MetricsRegistry("inner")
+        with observing(outer):
+            with observing(inner):
+                assert active_registry() is inner
+            assert active_registry() is outer
+        assert active_registry() is None
+
+    def test_counters_accumulate(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.inc("a", 2.5)
+        assert registry.value("a") == 3.5
+        assert registry.value("missing", default=-1.0) == -1.0
+
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match=">= 0"):
+            registry.inc("a", -1.0)
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("depth", 3.0)
+        registry.set_gauge("depth", 1.0)
+        assert registry.value("depth") == 1.0
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.inc("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.set_gauge("x", 1.0)
+
+    def test_family_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.inc("x", family="sim")
+        with pytest.raises(ValueError, match="never mix"):
+            registry.inc("x", family="wall")
+
+    def test_unknown_family_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="unknown metric family"):
+            registry.inc("x", family="cpu")
+
+    def test_histogram_placement(self):
+        hist = Histogram("h", "sim", (1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 5.0, 100.0, 1e6):
+            hist.observe(value)
+        # bisect_right: a value equal to an edge lands past it.
+        assert hist.counts == [1, 2, 0, 2]
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(0.5 + 1.0 + 5.0 + 100.0 + 1e6)
+
+    def test_histogram_boundaries_must_increase(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", "sim", (1.0, 1.0, 2.0))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", "sim", ())
+
+    def test_histogram_redeclare_with_other_boundaries_rejected(self):
+        registry = MetricsRegistry()
+        registry.declare_histogram("h", (1.0, 2.0))
+        registry.declare_histogram("h", (1.0, 2.0))  # idempotent
+        with pytest.raises(ValueError, match="already declared"):
+            registry.declare_histogram("h", (1.0, 3.0))
+
+    def test_observe_defaults_time_boundaries(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", 1e6)
+        assert registry.get("lat").boundaries == TIME_BOUNDARIES_NS
+
+    def test_observe_on_counter_rejected(self):
+        registry = MetricsRegistry()
+        registry.inc("x")
+        with pytest.raises(ValueError, match="not a histogram"):
+            registry.observe("x", 1.0)
+
+    def test_quantile_estimates_are_monotone(self):
+        registry = MetricsRegistry()
+        for value in range(1, 200):
+            registry.observe("h", float(value), boundaries=SIZE_BOUNDARIES)
+        hist = registry.get("h")
+        q50, q90, q99 = (
+            hist.quantile(0.5), hist.quantile(0.9), hist.quantile(0.99)
+        )
+        assert 0.0 < q50 <= q90 <= q99
+        assert Histogram("e", "sim", (1.0,)).quantile(0.5) == 0.0
+
+    def test_marks_snapshot_sim_scalars_only(self):
+        registry = MetricsRegistry()
+        registry.inc("a", 2.0)
+        registry.set_gauge("g", 7.0)
+        registry.observe("h", 1.0)
+        registry.inc("w", 1.0, family="wall")
+        registry.mark(123.0, label="epoch 1")
+        (mark,) = registry.marks
+        assert mark.ts == 123.0
+        assert mark.label == "epoch 1"
+        assert mark.values == {"a": 2.0, "g": 7.0}
+
+    def test_merge_counts_and_prefix_filter(self):
+        registry = MetricsRegistry()
+        registry.inc("cache.graph_npz.hit", 2)
+        registry.merge_counts({"cache.graph_npz.hit": 1.0, "other": 4.0})
+        assert registry.counter_values("cache.") == {
+            "cache.graph_npz.hit": 3.0
+        }
+        assert registry.counter_values()["other"] == 4.0
+
+    def test_percentile_summary_shape(self):
+        summary = percentile_summary([])
+        assert summary == {"p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+        summary = percentile_summary([1.0, 2.0, 3.0, 4.0])
+        assert summary["p50"] == pytest.approx(2.5)
+        assert summary["max"] == 4.0
+
+    def test_attach_counts_runtimes(self):
+        registry = MetricsRegistry()
+        with observing(registry):
+            SimRuntime()
+            SimRuntime()
+        assert registry.attached == 2
+
+
+# ----------------------------------------------------------------------
+# The observational law: metrics change nothing
+# ----------------------------------------------------------------------
+class TestObservationalLaw:
+    def test_ledger_identical_with_and_without_registry(self):
+        graph = grid_2d(24, 24)
+        plain = ParallelKCore().decompose(graph)
+        registry = MetricsRegistry()
+        observed = ParallelKCore().decompose(graph, registry=registry)
+        assert (plain.coreness == observed.coreness).all()
+        assert (
+            plain.metrics.to_stable_dict()
+            == observed.metrics.to_stable_dict()
+        )
+        assert registry.value("runtime.rounds") > 0
+
+    def test_batch_dynamic_identical_with_registry(self):
+        graph = grid_2d(12, 12)
+        registry = MetricsRegistry()
+        plain = BatchDynamicKCore(graph)
+        observed = BatchDynamicKCore(graph, registry=registry)
+        for engine in (plain, observed):
+            engine.apply_batch(insertions=[(0, 25), (3, 40)])
+            engine.apply_batch(deletions=[(0, 25)])
+        assert (plain.coreness == observed.coreness).all()
+        assert plain.metrics.to_stable_dict() == (
+            observed.metrics.to_stable_dict()
+        )
+        assert registry.value("dyn.batches") == 2.0
+        assert registry.value("dyn.insertions.applied") == 2.0
+        assert registry.value("dyn.deletions.applied") == 1.0
+        assert registry.get("dyn.batch_size").count == 2
+
+    def test_snapshot_is_byte_deterministic(self):
+        def one_run() -> str:
+            graph = grid_2d(16, 16)
+            registry = MetricsRegistry("det")
+            with observing(registry):
+                ParallelKCore().decompose(graph)
+                events = generate_stream(
+                    graph, "steady", batches=3, batch_size=4, seed=1
+                )
+                run_service(graph, events, registry=registry)
+            return render_json(registry)
+
+        assert one_run() == one_run()
+
+    def test_write_snapshot_round_trips(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        path = tmp_path / "obs.json"
+        write_snapshot(registry, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["obs_schema_version"] == OBS_SCHEMA_VERSION
+        assert loaded["families"]["sim"]["counters"]["a"]["value"] == 1.0
+
+
+class TestGoldensWithMetrics:
+    """The observational guarantee against the blessed files.
+
+    Runs every grid-24 matrix case under a process-wide active registry
+    and requires the payloads to match the committed goldens bit-exactly
+    — metrics on must equal metrics off, which the full-matrix goldens
+    test pins (the goldens are never re-blessed for observability).
+    """
+
+    @pytest.mark.parametrize(
+        "case", select_cases("grid-24"), ids=lambda c: c.case_id
+    )
+    def test_observed_case_matches_blessed_golden(self, case):
+        blessed = read_golden(case.engine)
+        assert blessed is not None, f"no golden for {case.engine}"
+        with observing(MetricsRegistry(label=case.case_id)) as registry:
+            payload = run_case(case)
+        assert payload == blessed[case.entry_key]
+        assert registry.counter_values()  # the registry saw the run
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+def observed_serve(graph=None):
+    graph = graph if graph is not None else grid_2d(12, 12)
+    registry = MetricsRegistry("serve-test")
+    events = generate_stream(
+        graph, "steady", batches=4, batch_size=4,
+        queries_per_batch=3, seed=0,
+    )
+    service = CoreService(graph, registry=registry)
+    service.replay(events)
+    return registry, service
+
+
+class TestPrometheusExport:
+    def test_exposition_format(self):
+        registry, _ = observed_serve()
+        text = render_prometheus(registry)
+        lines = text.splitlines()
+        assert text.endswith("\n")
+        # Counters: HELP/TYPE pair, _total suffix.
+        assert "# TYPE repro_sim_serve_queries_total counter" in lines
+        assert any(
+            line.startswith("repro_sim_serve_queries_total ")
+            for line in lines
+        )
+        # Histograms: cumulative buckets ending at +Inf == _count.
+        assert "# TYPE repro_sim_serve_staleness_ns histogram" in lines
+        buckets = [
+            int(line.rsplit(" ", 1)[1])
+            for line in lines
+            if line.startswith("repro_sim_serve_staleness_ns_bucket")
+        ]
+        assert buckets == sorted(buckets)
+        count = next(
+            int(line.rsplit(" ", 1)[1])
+            for line in lines
+            if line.startswith("repro_sim_serve_staleness_ns_count")
+        )
+        assert buckets[-1] == count
+        inf_lines = [
+            line for line in lines if 'le="+Inf"' in line
+            and line.startswith("repro_sim_serve_staleness_ns_bucket")
+        ]
+        assert len(inf_lines) == 1
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_exposition_deterministic(self):
+        first = render_prometheus(observed_serve()[0])
+        second = render_prometheus(observed_serve()[0])
+        assert first == second
+
+
+class TestDashboard:
+    def test_dashboard_lists_metrics(self):
+        registry, _ = observed_serve()
+        text = render_dashboard(registry)
+        assert "== metrics: serve-test" in text
+        assert "[sim]" in text
+        assert "serve.queries" in text
+        assert "~p50=" in text
+
+    def test_epoch_table_rows(self):
+        registry, _ = observed_serve()
+        text = render_epoch_table(registry)
+        assert "epoch 1" in text
+        assert "dyn.batches+1" in text
+        assert render_epoch_table(MetricsRegistry()) == (
+            "(no epoch marks recorded)"
+        )
+
+
+class TestPerfettoCounterTracks:
+    def test_no_registry_is_byte_identical(self):
+        graph = grid_2d(12, 12)
+
+        def traced() -> Tracer:
+            tracer = Tracer(label="t")
+            ParallelKCore().decompose(graph, tracer=tracer)
+            return tracer
+
+        assert render_perfetto(traced()) == render_perfetto(
+            traced(), registry=None
+        )
+
+    def test_marks_become_counter_tracks(self):
+        graph = grid_2d(12, 12)
+        registry = MetricsRegistry()
+        tracer = Tracer(label="serve")
+        events = generate_stream(
+            graph, "steady", batches=3, batch_size=4, seed=0
+        )
+        with tracing(tracer):
+            service = CoreService(graph, registry=registry)
+            service.replay(events)
+        doc = to_perfetto(tracer, registry=registry)
+        obs_events = [
+            e for e in doc["traceEvents"]
+            if e["name"].startswith("obs/")
+        ]
+        assert obs_events
+        assert all(e["ph"] == "C" for e in obs_events)
+        batch_samples = [
+            e["args"]["value"]
+            for e in obs_events
+            if e["name"] == "obs/dyn.batches"
+        ]
+        # One sample per epoch mark plus the final snapshot.
+        assert batch_samples == [1.0, 2.0, 3.0, 3.0]
+        ts = [e["ts"] for e in obs_events]
+        assert ts == sorted(ts)
+
+
+# ----------------------------------------------------------------------
+# Instrumented subsystems: kernels, caches, bench matrix
+# ----------------------------------------------------------------------
+class TestSubsystemCounters:
+    def test_kernel_mode_counters(self, monkeypatch):
+        from repro.perf import kernel_mode
+
+        monkeypatch.setenv("REPRO_KERNELS", "vectorized")
+        registry = MetricsRegistry()
+        with observing(registry):
+            kernel_mode()
+            kernel_mode()
+        assert registry.value("kernel.mode.vectorized") == 2.0
+
+    def test_graph_cache_counters(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_GRAPH_CACHE", str(tmp_path))
+        registry = MetricsRegistry()
+        with observing(registry):
+            suite.load.cache_clear()
+            suite.load("GRID", size="tiny")
+            suite.load.cache_clear()
+            suite.load("GRID", size="tiny")
+        suite.load.cache_clear()
+        assert registry.value("cache.graph_npz.miss") == 1.0
+        assert registry.value("cache.graph_npz.hit") == 1.0
+
+    def test_bench_summary_caches_section(self, tmp_path):
+        cache = DiskCache(str(tmp_path / "bench"))
+        cells = [
+            BenchCell("ours", "GRID", size="tiny", kernels="vectorized")
+        ]
+        registry = MetricsRegistry()
+        with observing(registry):
+            cold = execute(cells, cache=cache)
+        assert cold["schema_version"] == 4
+        caches = cold["summary"]["caches"]
+        assert caches["bench_cell"] == {"miss": 1}
+        warm = execute(cells, cache=cache)
+        assert warm["summary"]["caches"]["bench_cell"] == {"hit": 1}
+        assert registry.value("cache.bench_cell.miss") == 1.0
+
+    def test_cached_payloads_identical_with_metrics(self, tmp_path):
+        cells = [
+            BenchCell("bz", "GRID", size="tiny", kernels="vectorized")
+        ]
+        plain = execute(cells, cache=DiskCache(str(tmp_path / "a")))
+        with observing(MetricsRegistry()):
+            observed = execute(cells, cache=DiskCache(str(tmp_path / "b")))
+        strip = (
+            lambda rep: [
+                {
+                    k: v
+                    for k, v in cell.items()
+                    if k not in ("wall_s", "max_rss_kb")
+                }
+                for cell in rep["cells"]
+            ]
+        )
+        assert strip(plain) == strip(observed)
+
+
+# ----------------------------------------------------------------------
+# The trend gate
+# ----------------------------------------------------------------------
+def make_report(walls: dict[tuple[str, str], float], size="tiny",
+                kernels="vectorized") -> dict:
+    return {
+        "schema_version": 4,
+        "cells": [
+            {
+                "engine": engine,
+                "graph": graph,
+                "size": size,
+                "kernels": kernels,
+                "wall_s": wall,
+            }
+            for (engine, graph), wall in sorted(walls.items())
+        ],
+    }
+
+
+def write_report(tmp_path, name: str, report: dict) -> str:
+    path = tmp_path / name
+    path.write_text(json.dumps(report))
+    return str(path)
+
+
+class TestTrendGate:
+    BASE = {
+        ("ours", "GRID"): 1.0,
+        ("ours", "HPL"): 2.0,
+        ("bz", "GRID"): 4.0,
+    }
+
+    def test_clean_diff_ok(self):
+        result = diff_reports(
+            make_report(self.BASE), make_report(self.BASE)
+        )
+        assert result["ok"] is True
+        assert result["cells_matched"] == 3
+        assert result["regressions"] == []
+        assert result["overall"]["ratio"] == 1.0
+
+    def test_seeded_regression_caught(self):
+        slower = {**self.BASE, ("ours", "GRID"): 2.0}
+        result = diff_reports(
+            make_report(self.BASE), make_report(slower)
+        )
+        assert result["ok"] is False
+        levels = {reg["level"] for reg in result["regressions"]}
+        assert "cell" in levels
+        cell = next(
+            r for r in result["regressions"] if r["level"] == "cell"
+        )
+        assert (cell["engine"], cell["graph"]) == ("ours", "GRID")
+        assert cell["ratio"] == 2.0
+
+    def test_threshold_edge(self):
+        at_edge = {key: wall * DEFAULT_MAX_REGRESS
+                   for key, wall in self.BASE.items()}
+        result = diff_reports(
+            make_report(self.BASE), make_report(at_edge)
+        )
+        assert result["ok"] is True  # ratio == max_regress passes
+        past = {key: wall * (DEFAULT_MAX_REGRESS + 0.01)
+                for key, wall in self.BASE.items()}
+        result = diff_reports(make_report(self.BASE), make_report(past))
+        assert result["ok"] is False
+
+    def test_noise_floor_skips_tiny_cells(self):
+        old = {("ours", "GRID"): 0.004}
+        new = {("ours", "GRID"): 0.008}  # 2x, but both sub-floor
+        result = diff_reports(make_report(old), make_report(new))
+        assert result["ok"] is True
+        assert result["cells"][0]["compared"] is False
+        # ... unless the new side blows past 10x the floor.
+        blown = {("ours", "GRID"): 0.6}
+        result = diff_reports(make_report(old), make_report(blown))
+        assert result["ok"] is False
+
+    def test_kernel_mode_relaxed_matching(self):
+        old = make_report(self.BASE, kernels="native")
+        new = make_report(self.BASE, kernels="vectorized")
+        result = diff_reports(old, new)
+        assert result["cells_matched"] == 3
+
+    def test_no_overlap_raises(self):
+        old = make_report({("ours", "GRID"): 1.0})
+        new = make_report({("ours", "HPL"): 1.0})
+        with pytest.raises(TrendError, match="no cells match"):
+            diff_reports(old, new)
+
+    def test_render_trend_mentions_regression(self):
+        slower = {**self.BASE, ("ours", "GRID"): 3.0}
+        result = diff_reports(
+            make_report(self.BASE), make_report(slower)
+        )
+        text = render_trend(result)
+        assert "REGRESSION [ours/GRID/tiny]" in text
+        clean = diff_reports(make_report(self.BASE), make_report(self.BASE))
+        assert "trend: OK" in render_trend(clean)
+
+
+class TestTrendCli:
+    def test_clean_exit_zero(self, tmp_path, capsys):
+        old = write_report(tmp_path, "a.json", make_report(TestTrendGate.BASE))
+        new = write_report(tmp_path, "b.json", make_report(TestTrendGate.BASE))
+        assert obs_main(["trend", old, new]) == 0
+        assert "trend: OK" in capsys.readouterr().out
+
+    def test_regression_exit_one(self, tmp_path, capsys):
+        old = write_report(tmp_path, "a.json", make_report(TestTrendGate.BASE))
+        slower = {**TestTrendGate.BASE, ("ours", "GRID"): 2.0}
+        new = write_report(tmp_path, "b.json", make_report(slower))
+        assert obs_main(["trend", old, new]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_max_regress_flag(self, tmp_path, capsys):
+        old = write_report(tmp_path, "a.json", make_report(TestTrendGate.BASE))
+        slower = {key: wall * 1.5 for key, wall in TestTrendGate.BASE.items()}
+        new = write_report(tmp_path, "b.json", make_report(slower))
+        assert obs_main(["trend", old, new, "--max-regress", "2.0"]) == 0
+        capsys.readouterr()
+        assert obs_main(["trend", old, new, "--max-regress", "1.4"]) == 1
+
+    def test_json_output(self, tmp_path, capsys):
+        old = write_report(tmp_path, "a.json", make_report(TestTrendGate.BASE))
+        new = write_report(tmp_path, "b.json", make_report(TestTrendGate.BASE))
+        assert obs_main(["trend", old, new, "--json"]) == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["ok"] is True
+        assert result["cells_matched"] == 3
+
+    def test_unreadable_report_exit_two(self, tmp_path, capsys):
+        old = write_report(tmp_path, "a.json", make_report(TestTrendGate.BASE))
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert obs_main(["trend", old, str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert obs_main(["trend", old, str(tmp_path / "nope.json")]) == 2
+
+    def test_old_schema_rejected(self, tmp_path, capsys):
+        report = make_report(TestTrendGate.BASE)
+        report["schema_version"] = 1
+        old = write_report(tmp_path, "a.json", report)
+        new = write_report(tmp_path, "b.json", make_report(TestTrendGate.BASE))
+        assert obs_main(["trend", old, new]) == 2
+        assert "schema_version" in capsys.readouterr().err
+
+    def test_committed_baseline_is_readable(self, tmp_path):
+        from repro.obs.trend import load_report
+
+        baseline = str(
+            Path(__file__).resolve().parents[1]
+            / "BENCH_wallclock_tiny.json"
+        )
+        report = load_report(baseline)
+        assert report["cells"]
+        path = write_report(tmp_path, "same.json", report)
+        assert obs_main(["trend", baseline, path]) == 0
+
+
+# ----------------------------------------------------------------------
+# Serve CLI metrics flags
+# ----------------------------------------------------------------------
+class TestServeCliMetrics:
+    def test_metrics_flags(self, tmp_path, capsys):
+        snapshot = tmp_path / "obs.json"
+        prom = tmp_path / "metrics.prom"
+        status = serve_main(
+            [
+                "--tiny",
+                "--graph", "GRID",
+                "--metrics",
+                "--metrics-output", str(snapshot),
+                "--prom", str(prom),
+                "--output", str(tmp_path / "report.json"),
+            ]
+        )
+        assert status == 0
+        err = capsys.readouterr().err
+        assert "== metrics:" in err
+        assert "per-epoch counters" in err
+        loaded = json.loads(snapshot.read_text())
+        assert loaded["obs_schema_version"] == OBS_SCHEMA_VERSION
+        assert "serve.queries" in loaded["families"]["sim"]["counters"]
+        assert len(loaded["marks"]) == 12  # one per committed epoch
+        text = prom.read_text()
+        assert "# TYPE repro_sim_serve_queries_total counter" in text
+
+    def test_metrics_snapshot_deterministic(self, tmp_path):
+        paths = []
+        for name in ("a.json", "b.json"):
+            path = tmp_path / name
+            status = serve_main(
+                [
+                    "--tiny", "--graph", "GRID", "--seed", "5",
+                    "--metrics-output", str(path),
+                    "--output", str(tmp_path / ("r-" + name)),
+                ]
+            )
+            assert status == 0
+            paths.append(path)
+        assert paths[0].read_bytes() == paths[1].read_bytes()

@@ -182,10 +182,23 @@ def test_same_seed_identical_report(small_er, profile):
 
 def test_report_schema(small_er):
     report = serve_report(small_er)
-    assert report["schema"] == SERVE_SCHEMA_VERSION
+    assert report["schema"] == SERVE_SCHEMA_VERSION == 2
     assert report["stream"] == {"profile": "steady", "seed": 0}
-    for section in ("events", "throughput", "latency", "epochs"):
+    for section in (
+        "events", "throughput", "latency", "histograms", "epochs"
+    ):
         assert section in report, section
+    # v2: registry-sourced histogram views next to the exact percentiles.
+    hists = report["histograms"]
+    assert hists["obs_schema_version"] == 1
+    assert hists["staleness_ns"]["count"] == report["events"]["queries"]
+    assert hists["batch_size"]["count"] == report["events"]["batches"]
+    assert (
+        hists["commit_latency_ns"]["count"] == report["events"]["batches"]
+    )
+    assert len(hists["staleness_ns"]["counts"]) == (
+        len(hists["staleness_ns"]["boundaries"]) + 1
+    )
     assert report["events"]["batches"] == 10
     assert report["epochs"]["committed"] == 10
     assert report["throughput"]["sim_duration_ns"] > 0
