@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint lint-changed bench bench-large bench-figures bench-updates bench-trend examples clean loc regress regress-bless oracle oracle-updates serve-smoke obs-smoke trace
+.PHONY: install test lint lint-changed bench bench-large bench-figures bench-updates bench-trend bench-shard examples clean loc regress regress-bless oracle oracle-updates oracle-shard serve-smoke obs-smoke shard-smoke trace
 
 install:
 	$(PYTHON) setup.py develop
@@ -35,6 +35,20 @@ oracle:
 oracle-updates:
 	PYTHONPATH=src $(PYTHON) -m repro.regress oracle-updates
 
+# Shard counts {1,2,3,4,7} vs the single-process oracle: bit-equal
+# coreness and identical simulated ledger on the whole generator suite.
+oracle-shard:
+	PYTHONPATH=src $(PYTHON) -m repro.regress oracle-shard
+
+# One sharded decomposition at three worker counts; the reports must be
+# byte-identical (the worker-count invariance contract).
+shard-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.shard GRID --tiny --workers 1 \
+		--output shard-smoke-w1.json
+	PYTHONPATH=src $(PYTHON) -m repro.shard GRID --tiny --workers 2 \
+		--output shard-smoke-w2.json
+	cmp shard-smoke-w1.json shard-smoke-w2.json
+
 serve-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.serve --tiny
 
@@ -60,6 +74,9 @@ bench-large:
 
 bench-updates:
 	PYTHONPATH=src $(PYTHON) -m repro.bench --updates
+
+bench-shard:
+	PYTHONPATH=src REPRO_GRAPH_CACHE=.graph_cache $(PYTHON) -m repro.bench --shard --large
 
 trace:
 	PYTHONPATH=src $(PYTHON) -m repro.trace ours LJ-S --flame LJ-S.folded

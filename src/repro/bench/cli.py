@@ -8,29 +8,53 @@ Typical invocations::
     python -m repro.bench --tiny --assert-all-hits   # warm-cache check
     python -m repro.bench --compare-kernels   # cold kernel A/B/C evidence
     python -m repro.bench --updates           # batch-vs-per-edge replay
+    python -m repro.bench --shard --large     # multi-process scaling curve
 
-The report is written to ``--output`` (default ``BENCH_wallclock.json``,
-or ``BENCH_updates.json`` with ``--updates``) and a one-line summary is
-printed to stdout.
+The report is written to ``--output`` (default ``BENCH_wallclock.json``;
+``BENCH_updates.json`` with ``--updates``, ``BENCH_shard.json`` with
+``--shard``) and a one-line summary is printed to stdout.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import os
 import sys
 
 from repro.bench.cache import DiskCache
 from repro.bench.runner import compare_kernels_all, default_matrix, execute
+from repro.bench.wallclock import available_cpus
 from repro.perf import NATIVE, REFERENCE, VECTORIZED
 
 DEFAULT_OUTPUT = "BENCH_wallclock.json"
 DEFAULT_UPDATES_OUTPUT = "BENCH_updates.json"
+DEFAULT_SHARD_OUTPUT = "BENCH_shard.json"
 
 
 def _csv(value: str) -> list[str]:
     return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def _jobs(value: str) -> int:
+    """``--jobs`` parser: a positive integer, or ``auto`` for the CPUs
+    actually available to this process (cgroup/affinity aware)."""
+    if value == "auto":
+        return available_cpus()
+    jobs = int(value)
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be positive or 'auto', got {value!r}"
+        )
+    return jobs
+
+
+def _worker_counts(value: str) -> tuple[int, ...]:
+    counts = tuple(int(item) for item in _csv(value))
+    if not counts or any(count < 1 for count in counts):
+        raise argparse.ArgumentTypeError(
+            f"--shard-workers needs positive counts, got {value!r}"
+        )
+    return counts
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -51,9 +75,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--jobs",
-        type=int,
-        default=os.cpu_count() or 1,
-        help="process-pool width for cache misses (default: CPU count)",
+        type=_jobs,
+        default=None,
+        help="process-pool width for cache misses: a count or 'auto' "
+        "(default: auto — the CPUs available to this process)",
     )
     parser.add_argument(
         "--engines",
@@ -129,6 +154,21 @@ def build_parser() -> argparse.ArgumentParser:
         "per-edge replay on the flagship graphs "
         f"(writes {DEFAULT_UPDATES_OUTPUT})",
     )
+    parser.add_argument(
+        "--shard",
+        action="store_true",
+        help="run the shard tier instead: multi-process scaling curve "
+        "vs the best exact single-process engine on the flagship "
+        f"graphs (writes {DEFAULT_SHARD_OUTPUT})",
+    )
+    parser.add_argument(
+        "--shard-workers",
+        type=_worker_counts,
+        default=None,
+        metavar="COUNTS",
+        help="comma-separated worker counts for the --shard curve "
+        "(default: 1,2,4,7)",
+    )
     return parser
 
 
@@ -167,10 +207,53 @@ def _run_updates(args: argparse.Namespace) -> int:
     return status
 
 
+def _run_shard(args: argparse.Namespace) -> int:
+    from repro.bench.shard import run_shard_bench
+
+    size = "tiny" if args.tiny else ("large" if args.large else "full")
+    report = run_shard_bench(
+        graphs=args.graphs,
+        size=size,
+        workers=args.shard_workers,
+        progress=not args.no_progress,
+    )
+    status = 0
+    for name, entry in report["graphs"].items():
+        best = entry["best_exact"]
+        print(
+            f"  {name:8s} best exact {best['engine']}: "
+            f"{best['wall_s']:.3f}s"
+        )
+        for count, run in entry["shard"].items():
+            agree = "ok" if run["agreement"] else "DISAGREE"
+            print(
+                f"    shard x{count}: {run['wall_s']:.3f}s  "
+                f"{run['speedup_vs_best_exact']:5.2f}x  "
+                f"({run['rounds']} rounds)  [{agree}]"
+            )
+            if not run["agreement"]:
+                status = 1
+    output = (
+        DEFAULT_SHARD_OUTPUT
+        if args.output == DEFAULT_OUTPUT
+        else args.output
+    )
+    if output != "-":
+        with open(output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {output}")
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.jobs is None:
+        args.jobs = available_cpus()
     if args.updates:
         return _run_updates(args)
+    if args.shard:
+        return _run_shard(args)
     cache = DiskCache(args.cache_dir)
     size = "tiny" if args.tiny else ("large" if args.large else "full")
     cells = default_matrix(

@@ -15,11 +15,32 @@ and is reported as such (see docs/PERFORMANCE.md).
 
 from __future__ import annotations
 
+import os
 import resource
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
+
+
+def available_cpus() -> int:
+    """CPUs actually usable by this process, cgroup/affinity aware.
+
+    ``os.cpu_count()`` reports the machine, not the container: under a
+    cgroup CPU limit or a restricted affinity mask it overstates what a
+    worker pool can use.  ``sched_getaffinity(0)`` reflects the real
+    mask where the platform provides it (Linux); elsewhere this falls
+    back to ``cpu_count()``.  Host-environment reads live here with the
+    clock reads — one sanctioned boundary for everything the simulated
+    results must never depend on.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return max(1, len(getaffinity(0)))  # lint: disable=R003
+        except OSError:  # pragma: no cover - degenerate platform
+            pass
+    return max(1, os.cpu_count() or 1)  # lint: disable=R003
 
 
 @dataclass

@@ -61,7 +61,7 @@ GENERATORS = {
     "er": lambda args: erdos_renyi(args.n, args.avg_degree, seed=args.seed),
     "road": lambda args: road_like(args.n, seed=args.seed),
     "knn": lambda args: knn_graph(args.n, args.k, seed=args.seed),
-    "hcns": lambda args: hcns(args.kmax),
+    "hcns": lambda args: hcns(args.kmax, width=args.width),
 }
 
 
@@ -282,6 +282,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("--avg-degree", type=float, default=8.0)
     p_gen.add_argument("--k", type=int, default=5)
     p_gen.add_argument("--kmax", type=int, default=128)
+    p_gen.add_argument("--width", type=int, default=1)
     p_gen.add_argument("--seed", type=int, default=0)
     p_gen.set_defaults(func=cmd_generate)
 

@@ -15,7 +15,7 @@ import numpy as np
 from repro.graphs.csr import CSRGraph
 
 
-def hcns(kmax: int, name: str = "") -> CSRGraph:
+def hcns(kmax: int, width: int = 1, name: str = "") -> CSRGraph:
     """High-coreness synthetic graph with maximum coreness ``kmax``.
 
     Construction: a clique on ``kmax + 1`` vertices (each member has
@@ -23,11 +23,21 @@ def hcns(kmax: int, name: str = "") -> CSRGraph:
     vertices ``c_1 .. c_{kmax-1}`` where ``c_i`` connects to ``i`` clique
     members and therefore has coreness exactly ``i``.
     ``n = 2 * kmax`` vertices.
+
+    ``width > 1`` generalizes the chain: every coreness level
+    ``1 <= i < kmax`` gets ``width`` independent witnesses, each attached
+    to ``i`` clique members at a copy-specific round-robin offset.  The
+    coreness histogram keeps one bin per level (now ``width`` deep), the
+    peel schedule still walks all ``kmax`` levels, but the chain carries
+    ``width`` times the edge mass — the wide-chain adversary of the
+    shard bench tier (suite entry ``HCNSW``).
     """
     if kmax < 2:
         raise ValueError(f"kmax must be >= 2, got {kmax}")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
     clique_size = kmax + 1
-    chain_size = kmax - 1
+    chain_size = (kmax - 1) * width
     n = clique_size + chain_size
 
     members = np.arange(clique_size, dtype=np.int64)
@@ -36,23 +46,27 @@ def hcns(kmax: int, name: str = "") -> CSRGraph:
     src = [cs[mask].ravel()]
     dst = [cd[mask].ravel()]
 
+    vertex = clique_size
     for i in range(1, kmax):
-        chain_vertex = clique_size + i - 1
-        src.append(np.full(i, chain_vertex, dtype=np.int64))
-        # Attach to i distinct clique members (round-robin start to spread
-        # the chain load over the clique).
-        start = (i * 7) % clique_size
-        picks = (start + np.arange(i, dtype=np.int64)) % clique_size
-        dst.append(picks)
+        for copy in range(width):
+            src.append(np.full(i, vertex, dtype=np.int64))
+            # Attach to i distinct clique members (round-robin start to
+            # spread the chain load over the clique; copies of the same
+            # level start at different offsets).
+            start = (i * 7 + copy * 13) % clique_size
+            picks = (start + np.arange(i, dtype=np.int64)) % clique_size
+            dst.append(picks)
+            vertex += 1
 
     edges = np.stack([np.concatenate(src), np.concatenate(dst)], axis=1)
-    return CSRGraph.from_edges(n, edges, name=name or f"hcns-{kmax}")
+    default = f"hcns-{kmax}" if width == 1 else f"hcns-{kmax}x{width}"
+    return CSRGraph.from_edges(n, edges, name=name or default)
 
 
-def expected_hcns_coreness(kmax: int) -> np.ndarray:
+def expected_hcns_coreness(kmax: int, width: int = 1) -> np.ndarray:
     """Ground-truth coreness of :func:`hcns` (for tests)."""
     clique_size = kmax + 1
-    chain = np.arange(1, kmax, dtype=np.int64)
+    chain = np.repeat(np.arange(1, kmax, dtype=np.int64), width)
     return np.concatenate(
         [np.full(clique_size, kmax, dtype=np.int64), chain]
     )

@@ -252,6 +252,16 @@ SUITE: dict[str, GraphSpec] = {
               dict(kmax=96),
               dict(kmax=1024),
               dict(kmax=2048)),
+        # The wide-chain variant: every coreness level gets `width`
+        # witnesses, so the chain carries most of the edge mass while the
+        # peel schedule still walks all kmax levels.  The second flagship
+        # of the shard bench tier (few H-index rounds, heavy per-round
+        # kernels, long sequential peel).
+        _spec("HCNSW", "other", "High-coreness synthetic, wide chain",
+              True, "hcns",
+              dict(kmax=64, width=3),
+              dict(kmax=384, width=3),
+              dict(kmax=1024, width=3)),
         # BA's max degree shrinks with n; graft scale-appropriate hubs so
         # the scaled graph keeps the huge-hub property that drives the
         # paper's sampling experiments on HPL.

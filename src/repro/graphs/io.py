@@ -189,20 +189,28 @@ def save_npz(
         _save_npz_aligned(path, arrays)
 
 
-def load_npz(path: str | os.PathLike, mmap: bool = False) -> CSRGraph:
+def load_npz(
+    path: str | os.PathLike, mmap: bool = False, strict: bool = False
+) -> CSRGraph:
     """Read a graph written by :func:`save_npz`.
 
     With ``mmap=True``, uncompressed members are memory-mapped read-only
     instead of copied into fresh arrays — the graph cache's large-tier
     loads touch only the pages a run actually reads.  Compressed files
     (or any container the mapper cannot handle) silently fall back to a
-    normal load, so the flag is always safe to pass.
+    normal load, so the flag is always safe to pass.  ``strict=True``
+    disables that fallback and propagates the mapper's error instead:
+    the shard workers require a true mapping (a silently-copying load
+    would defeat page-cache sharing) and must fail loudly on corrupt or
+    unaligned cache files rather than diverge from their siblings.
     """
     if mmap:
         try:
             return _load_npz_mmap(path)
         except (OSError, ValueError, KeyError, zipfile.BadZipFile):
-            pass
+            if strict:
+                raise
+
     with np.load(path, allow_pickle=False) as data:
         try:
             indptr = data["indptr"]

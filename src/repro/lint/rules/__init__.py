@@ -14,4 +14,5 @@ from repro.lint.rules import (  # noqa: F401
     r006_trace_side_effect,
     r007_native_parity,
     r008_metrics_side_effect,
+    r009_shard_determinism,
 )

@@ -210,6 +210,67 @@ void scan_peel(
     counters[0] = tp;
 }
 
+/* One Jacobi H-index round over the active set (paper Sec. 2 locality:
+ * kappa(v) = H({kappa(u) : u in N(v)})), shared by the shard workers
+ * and the inline coordinator.  Estimates start at the degree bound and
+ * only decrease, so clipping neighbor values at the vertex's own
+ * estimate e bounds both the suffix scan and the histogram reset by
+ * O(deg(v)) -- the histogram stays all-zero between vertices.  Reads
+ * est as a snapshot (out is disjoint), which is what makes the round
+ * partition-independent. */
+void hindex_round(
+    const int64_t *indptr,
+    const int64_t *indices,
+    const int64_t *est,
+    const int64_t *active,
+    int64_t n_active,
+    int64_t *out,             /* capacity >= n_active */
+    int64_t *hist)            /* all-zero, capacity >= max(est) + 2 */
+{
+    for (int64_t i = 0; i < n_active; i++) {
+        int64_t v = active[i];
+        int64_t e = est[v];
+        if (e <= 0) {
+            out[i] = 0;
+            continue;
+        }
+        int64_t end = indptr[v + 1];
+        for (int64_t p = indptr[v]; p < end; p++) {
+            int64_t c = est[indices[p]];
+            if (c > e)
+                c = e;
+            hist[c]++;
+        }
+        int64_t total = 0, h = e;
+        for (; h > 0; h--) {
+            total += hist[h];
+            if (total >= h)
+                break;
+        }
+        out[i] = h;
+        for (int64_t c = 0; c <= e; c++)
+            hist[c] = 0;
+    }
+}
+
+/* Mark every neighbor of a changed vertex dirty: the push half of the
+ * push-on-change schedule.  Out-of-range marks are harmless (callers
+ * scan only their own vertex range for the next active set). */
+void mark_dirty(
+    const int64_t *indptr,
+    const int64_t *indices,
+    const int64_t *changed,
+    int64_t n_changed,
+    uint8_t *dirty)           /* capacity >= n */
+{
+    for (int64_t i = 0; i < n_changed; i++) {
+        int64_t v = changed[i];
+        int64_t end = indptr[v + 1];
+        for (int64_t p = indptr[v]; p < end; p++)
+            dirty[indices[p]] = 1;
+    }
+}
+
 /* The full-array frontier scan of the scan-based baselines: pack every
  * unpeeled vertex with dtilde <= k, ascending (np.nonzero order). */
 void scan_frontier(
@@ -323,6 +384,8 @@ def _load() -> ctypes.CDLL | None:
         pkc = lib.pkc_chain_drain
         peel = lib.scan_peel
         scan = lib.scan_frontier
+        hind = lib.hindex_round
+        dirty = lib.mark_dirty
     except (OSError, AttributeError):
         _available = False
         return None
@@ -342,6 +405,14 @@ def _load() -> ctypes.CDLL | None:
     scan.argtypes = [ctypes.c_void_p] * 2 + [ctypes.c_int64] * 2 + [
         ctypes.c_void_p
     ] * 2
+    hind.restype = None
+    hind.argtypes = [ctypes.c_void_p] * 4 + [ctypes.c_int64] * 1 + [
+        ctypes.c_void_p
+    ] * 2
+    dirty.restype = None
+    dirty.argtypes = [ctypes.c_void_p] * 3 + [ctypes.c_int64] * 1 + [
+        ctypes.c_void_p
+    ] * 1
     _lib = lib
     _available = True
     return _lib
@@ -603,3 +674,54 @@ def run_scan_frontier(
         _ptr(counters),
     )
     return out[: int(counters[0])].copy()
+
+
+def run_hindex_round(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    est: np.ndarray,
+    active: np.ndarray,
+    out: np.ndarray,
+    hist: np.ndarray,
+) -> np.ndarray:
+    """One Jacobi H-index round over ``active`` in the compiled kernel.
+
+    Reads ``est`` as a snapshot and writes the new estimate of
+    ``active[i]`` to ``out[i]``; ``hist`` is an all-zero scratch of
+    capacity ``max(est) + 2`` that the kernel leaves all-zero.  All
+    arrays are contiguous int64 (mmap-backed views included).
+    """
+    lib = _load()
+    if lib is None:  # pragma: no cover - callers check available() first
+        raise RuntimeError("native kernel unavailable")
+    active = np.ascontiguousarray(active, dtype=np.int64)
+    lib.hindex_round(
+        _ptr(indptr),
+        _ptr(indices),
+        _ptr(est),
+        _ptr(active),
+        int(active.size),
+        _ptr(out),
+        _ptr(hist),
+    )
+    return out[: active.size]
+
+
+def run_mark_dirty(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    changed: np.ndarray,
+    dirty: np.ndarray,
+) -> None:
+    """Mark every neighbor of ``changed`` in the uint8 ``dirty`` mask."""
+    lib = _load()
+    if lib is None:  # pragma: no cover - callers check available() first
+        raise RuntimeError("native kernel unavailable")
+    changed = np.ascontiguousarray(changed, dtype=np.int64)
+    lib.mark_dirty(
+        _ptr(indptr),
+        _ptr(indices),
+        _ptr(changed),
+        int(changed.size),
+        _ptr(dirty),
+    )

@@ -166,6 +166,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the (slow) per-edge DynamicKCore cross-check",
     )
 
+    shard = sub.add_parser(
+        "oracle-shard",
+        help="differential worker-count sweep of the shard engine",
+    )
+    shard.add_argument(
+        "--graphs",
+        default=None,
+        help="comma-separated suite graph names (default: full suite)",
+    )
+    shard.add_argument(
+        "--small",
+        action="store_true",
+        help="sweep only the SMALL graph set (CI smoke)",
+    )
+    shard.add_argument(
+        "--workers",
+        default=None,
+        help="comma-separated worker counts to prove "
+        "(default: 1,2,3,4,7)",
+    )
+    shard.add_argument(
+        "--size",
+        default="tiny",
+        help="suite tier to sweep (default: tiny)",
+    )
+    shard.add_argument(
+        "--dump-dir",
+        type=Path,
+        default=None,
+        help="directory for divergence reproducer dumps",
+    )
+    shard.add_argument(
+        "--no-minimize",
+        action="store_true",
+        help="skip ddmin minimization of divergence witnesses",
+    )
+
     sub.add_parser("list", help="print the pinned matrix cases")
     return parser
 
@@ -281,6 +318,45 @@ def cmd_oracle_updates(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_oracle_shard(args: argparse.Namespace) -> int:
+    from repro.generators.suite import SUITE
+    from repro.regress.shard_oracle import (
+        SHARD_WORKER_COUNTS,
+        run_shard_oracle,
+    )
+
+    if args.graphs:
+        names = args.graphs.split(",")
+    elif args.small:
+        names = list(SMALL)
+    else:
+        names = None
+    worker_counts = (
+        tuple(int(w) for w in args.workers.split(","))
+        if args.workers
+        else SHARD_WORKER_COUNTS
+    )
+    findings = run_shard_oracle(
+        graph_names=names,
+        size=args.size,
+        worker_counts=worker_counts,
+        minimize=not args.no_minimize,
+        dump_dir=args.dump_dir,
+    )
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} shard-oracle divergences")
+        return 1
+    swept = len(names) if names is not None else len(SUITE)
+    counts = ",".join(str(w) for w in worker_counts)
+    print(
+        f"OK: shard bit-equal coreness and ledger vs the single-process "
+        f"oracle across {swept} graphs x workers {{{counts}}}"
+    )
+    return 0
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     for case in select_cases(None):
         print(case.case_id)
@@ -299,6 +375,7 @@ COMMANDS = {
     "bless": cmd_bless,
     "oracle": cmd_oracle,
     "oracle-updates": cmd_oracle_updates,
+    "oracle-shard": cmd_oracle_shard,
     "list": cmd_list,
 }
 

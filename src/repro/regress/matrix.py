@@ -49,8 +49,22 @@ def _approx(graph: CSRGraph, model: CostModel) -> CorenessResult:
     return approximate_coreness(graph, eps=APPROX_EPS, model=model)
 
 
-#: Engines under regression: the Table 2 roster plus the approximate engine.
-ENGINES: dict[str, Runner] = dict(ALGORITHMS) | {"approx": _approx}
+def _shard(graph: CSRGraph, model: CostModel) -> CorenessResult:
+    # Late import: the shard package pulls in multiprocessing plumbing
+    # that the matrix's other consumers never need.
+    from repro.shard import shard_coreness
+
+    return shard_coreness(graph, model)
+
+
+#: Engines under regression: the Table 2 roster plus the approximate and
+#: sharded engines.  The shard runner uses its default (real) worker
+#: pool; its ledger is worker-count independent by construction, which
+#: is exactly what pins its goldens.
+ENGINES: dict[str, Runner] = dict(ALGORITHMS) | {
+    "approx": _approx,
+    "shard": _shard,
+}
 
 #: Pinned regression graphs — name -> seeded zero-argument builder.
 GRAPH_BUILDERS: dict[str, Callable[[], CSRGraph]] = {

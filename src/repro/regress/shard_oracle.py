@@ -1,0 +1,198 @@
+"""The shard differential oracle: worker-count sweep vs the inline path.
+
+``repro.shard``'s contract is stronger than coreness agreement: for any
+worker count, the pooled run must reproduce the single-process (inline)
+run **bit-for-bit** — the same coreness array *and* the same simulated
+ledger (``RunMetrics.to_stable_dict``), since the coordinator charges
+from canonical per-round aggregates that must not depend on the
+partition.  This module sweeps the worker counts {1, 2, 3, 4, 7}
+against the inline oracle across the generator suite, checks the inline
+oracle itself against Batagelj–Zaversnik, and on any divergence ddmins
+the witness graph with the PR 2 reduction machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.sequential import bz_core
+from repro.generators import suite
+from repro.graphs.csr import CSRGraph
+from repro.regress.reduce import dump_reproducer, minimize_graph
+from repro.runtime.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.shard import shard_coreness
+
+#: Worker counts the differential sweep proves bit-equal (an exact
+#: power of two, odd counts, and more workers than balance can use).
+SHARD_WORKER_COUNTS: tuple[int, ...] = (1, 2, 3, 4, 7)
+
+
+@dataclass
+class ShardFinding:
+    """One divergence between a pooled run and the single-process oracle."""
+
+    graph_name: str
+    workers: int  # 0 == the inline oracle itself (checked against BZ)
+    kind: str  # "bz" | "coreness" | "ledger"
+    detail: str
+    reproducer: CSRGraph | None = None
+    reproducer_path: Path | None = None
+
+    def __str__(self) -> str:
+        where = (
+            f", reproducer n={self.reproducer.n} at {self.reproducer_path}"
+            if self.reproducer is not None
+            else ""
+        )
+        subject = (
+            "inline oracle vs BZ"
+            if self.workers == 0
+            else f"workers={self.workers} vs inline"
+        )
+        return (
+            f"SHARD MISMATCH [{self.kind}] on {self.graph_name} "
+            f"({subject}): {self.detail}{where}"
+        )
+
+
+def _ledger_diff(base: dict, got: dict) -> str:
+    """The first differing ledger entry, for the finding's detail line."""
+    for key in base:
+        if base[key] != got.get(key):
+            return f"{key}: inline={base[key]!r} pooled={got.get(key)!r}"
+    extra = sorted(set(got) - set(base))
+    return f"extra ledger keys {extra}" if extra else "ledgers differ"
+
+
+def _runs_equal(
+    left, right, model: CostModel
+) -> tuple[bool, str]:
+    """Whether two shard results are bit-identical (coreness + ledger)."""
+    if not np.array_equal(left.coreness, right.coreness):
+        bad = np.nonzero(left.coreness != right.coreness)[0]
+        return False, (
+            f"{bad.size} vertices diverge (first: {bad[:10].tolist()})"
+        )
+    base = left.metrics.to_stable_dict(model)
+    got = right.metrics.to_stable_dict(model)
+    if base != got:
+        return False, _ledger_diff(base, got)
+    return True, ""
+
+
+def minimize_shard_mismatch(
+    graph: CSRGraph,
+    workers: int,
+    model: CostModel = DEFAULT_COST_MODEL,
+    budget: int | None = None,
+) -> CSRGraph:
+    """ddmin the witness while the pooled run still diverges from inline.
+
+    ``workers=0`` minimizes the inline-vs-BZ disagreement instead.
+    """
+
+    def failing(candidate: CSRGraph) -> bool:
+        inline = shard_coreness(candidate, model, workers=0)
+        if workers == 0:
+            expected = bz_core(candidate, model).coreness
+            return not np.array_equal(expected, inline.coreness)
+        pooled = shard_coreness(candidate, model, workers=workers)
+        equal, _ = _runs_equal(inline, pooled, model)
+        return not equal
+
+    kwargs = {} if budget is None else {"budget": budget}
+    return minimize_graph(graph, failing, **kwargs)
+
+
+def check_shard(
+    graph: CSRGraph,
+    model: CostModel = DEFAULT_COST_MODEL,
+    worker_counts: Iterable[int] = SHARD_WORKER_COUNTS,
+) -> list[ShardFinding]:
+    """Findings for one graph (empty == bit-equal everywhere)."""
+    findings: list[ShardFinding] = []
+    inline = shard_coreness(graph, model, workers=0)
+    expected = bz_core(graph, model).coreness
+    if not np.array_equal(expected, inline.coreness):
+        bad = np.nonzero(expected != inline.coreness)[0]
+        findings.append(
+            ShardFinding(
+                graph_name=graph.name,
+                workers=0,
+                kind="bz",
+                detail=(
+                    f"{bad.size} vertices disagree with BZ "
+                    f"(first: {bad[:10].tolist()})"
+                ),
+            )
+        )
+    for workers in worker_counts:
+        pooled = shard_coreness(graph, model, workers=workers)
+        equal, detail = _runs_equal(inline, pooled, model)
+        if equal:
+            continue
+        kind = "coreness" if "diverge" in detail else "ledger"
+        findings.append(
+            ShardFinding(
+                graph_name=graph.name,
+                workers=workers,
+                kind=kind,
+                detail=detail,
+            )
+        )
+    return findings
+
+
+def run_shard_oracle(
+    graph_names: Iterable[str] | None = None,
+    model: CostModel = DEFAULT_COST_MODEL,
+    size: str = "tiny",
+    worker_counts: Iterable[int] = SHARD_WORKER_COUNTS,
+    minimize: bool = True,
+    dump_dir: str | Path | None = None,
+) -> list[ShardFinding]:
+    """Sweep worker counts vs the inline oracle across the suite.
+
+    Args:
+        graph_names: Suite names to sweep (default: the full suite).
+        model: Cost model for every run.
+        size: Suite tier ("tiny" is the default — bit-equality is about
+            the merge schedule, which tiny graphs already exercise).
+        worker_counts: Pool sizes to prove (default {1, 2, 3, 4, 7}).
+        minimize: Shrink each divergence witness to a reproducer.
+        dump_dir: Where to write reproducer JSON dumps (None: no dumps).
+    """
+    names = (
+        list(graph_names) if graph_names is not None else list(suite.SUITE)
+    )
+    worker_counts = tuple(worker_counts)
+    findings: list[ShardFinding] = []
+    for name in names:
+        graph = suite.load(name, size=size)
+        for finding in check_shard(graph, model, worker_counts):
+            finding.graph_name = name
+            if minimize:
+                finding.reproducer = minimize_shard_mismatch(
+                    graph, finding.workers, model
+                )
+            if dump_dir is not None:
+                witness = (
+                    finding.reproducer
+                    if finding.reproducer is not None
+                    else graph
+                )
+                inline = shard_coreness(witness, model, workers=0)
+                finding.reproducer_path = dump_reproducer(
+                    witness,
+                    Path(dump_dir)
+                    / f"shard-{finding.workers}w-{name}.json",
+                    engine="shard",
+                    expected=bz_core(witness, model).coreness,
+                    got=inline.coreness,
+                )
+            findings.append(finding)
+    return findings

@@ -1,0 +1,38 @@
+"""Sharded multi-process k-core decomposition over shared mmap graphs.
+
+The package partitions the CSR into degree-balanced contiguous vertex
+ranges (:mod:`repro.shard.partition`), runs frontier-synchronous Jacobi
+H-index rounds per shard in a persistent pool of worker processes that
+memory-map the same cached ``.npz`` (:mod:`repro.shard.pool`), and
+merges the per-round ``(vertex, new_estimate)`` deltas canonically in
+the coordinator (:mod:`repro.shard.engine`).  The result — coreness,
+simulated ledger, round trajectory — is bit-identical for every worker
+count and kernel mode; ``python -m repro.regress oracle-shard`` sweeps
+exactly that, and ``python -m repro.shard`` emits a worker-count
+invariant report for CI's byte-identity check.
+
+See docs/SHARDING.md for the protocol and the exactness argument.
+"""
+
+from __future__ import annotations
+
+from repro.shard.engine import (
+    default_workers,
+    resolve_graph_path,
+    shard_coreness,
+)
+from repro.shard.partition import ShardPlan, partition_ranges
+from repro.shard.pool import ShardPool, ShardWorkerError, graph_digest
+from repro.shard.rounds import RoundKernels
+
+__all__ = [
+    "RoundKernels",
+    "ShardPlan",
+    "ShardPool",
+    "ShardWorkerError",
+    "default_workers",
+    "graph_digest",
+    "partition_ranges",
+    "resolve_graph_path",
+    "shard_coreness",
+]

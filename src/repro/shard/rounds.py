@@ -1,0 +1,158 @@
+"""Kernel-mode dispatch for the shard engine's Jacobi H-index rounds.
+
+One round recomputes each active vertex's estimate as ``min(est[v],
+H({est[u] : u in N(v)}))`` from a snapshot of the estimates — the
+Montresor locality update (see :mod:`repro.core.locality`).  The
+snapshot read is what makes the round *partition-independent*: the same
+global active set produces the same new estimates whether one process
+computes it or seven workers each compute a contiguous slice, which is
+the invariant ``oracle-shard`` enforces bit-for-bit.
+
+Three implementations, selected by the ``REPRO_KERNELS`` switch and
+bit-exact with each other:
+
+* ``native`` — the compiled ``hindex_round`` / ``mark_dirty`` kernels
+  (:mod:`repro.perf.native`), a clipped-histogram H-index whose reset
+  and suffix scans are bounded by ``O(deg(v))`` because estimates start
+  at the degree bound and only decrease;
+* ``vectorized`` — flat NumPy over the concatenated active
+  neighborhoods (sort-rank H-index: ``H = #{j : sorted_desc[j] > j}``);
+* ``reference`` — the straight-line Python loop over
+  :func:`repro.core.locality.h_index`, kept as the equivalence oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.locality import h_index
+from repro.perf import NATIVE, REFERENCE, kernel_mode
+
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+
+def _flat_neighborhoods(
+    indptr: np.ndarray, indices: np.ndarray, vertices: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenated neighbor lists of ``vertices`` plus segment shape.
+
+    Returns ``(neighbors, seg_starts, counts)`` where ``neighbors`` is
+    the concatenation of each vertex's adjacency row and segment ``i``
+    occupies ``[seg_starts[i], seg_starts[i] + counts[i])``.
+    """
+    starts = indptr[vertices]
+    counts = indptr[vertices + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return _EMPTY, np.zeros(vertices.size, dtype=np.int64), counts
+    seg_ends = np.cumsum(counts)
+    seg_starts = seg_ends - counts
+    flat = np.arange(total, dtype=np.int64) + np.repeat(
+        starts - seg_starts, counts
+    )
+    return np.asarray(indices[flat], dtype=np.int64), seg_starts, counts
+
+
+class RoundKernels:
+    """Per-process round state: resolved kernel mode plus scratch buffers.
+
+    Both the coordinator's inline path and every pool worker hold one of
+    these over their (possibly mmap-backed) CSR arrays.  ``hist_size``
+    must cover the largest initial estimate (``max degree + 2``); the
+    dirty mask covers all ``n`` vertices because the compiled
+    ``mark_dirty`` marks out-of-range neighbors too (harmlessly — the
+    caller scans only its own range).
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        hist_size: int,
+        mode: str | None = None,
+    ):
+        self.indptr = indptr
+        self.indices = indices
+        self.mode = kernel_mode() if mode is None else mode
+        self.dirty = np.zeros(int(indptr.size) - 1, dtype=np.uint8)
+        self._hist = (
+            np.zeros(max(int(hist_size), 1), dtype=np.int64)
+            if self.mode == NATIVE
+            else None
+        )
+
+    def hindex_round(
+        self, est: np.ndarray, active: np.ndarray
+    ) -> np.ndarray:
+        """New estimates of ``active``, from a snapshot of ``est``."""
+        if active.size == 0:
+            return _EMPTY
+        if self.mode == NATIVE:
+            from repro.perf.native import run_hindex_round
+
+            out = np.empty(active.size, dtype=np.int64)
+            return run_hindex_round(
+                self.indptr, self.indices, est, active, out, self._hist
+            )
+        if self.mode == REFERENCE:
+            return self._round_reference(est, active)
+        return self._round_vectorized(est, active)
+
+    def _round_reference(
+        self, est: np.ndarray, active: np.ndarray
+    ) -> np.ndarray:
+        out = np.empty(active.size, dtype=np.int64)
+        for i, v in enumerate(active):
+            v = int(v)
+            nbrs = np.asarray(
+                self.indices[self.indptr[v] : self.indptr[v + 1]]
+            )
+            out[i] = min(int(est[v]), h_index(est[nbrs]))
+        return out
+
+    def _round_vectorized(
+        self, est: np.ndarray, active: np.ndarray
+    ) -> np.ndarray:
+        neighbors, seg_starts, counts = _flat_neighborhoods(
+            self.indptr, self.indices, active
+        )
+        if neighbors.size == 0:
+            return np.minimum(np.asarray(est[active], dtype=np.int64), 0)
+        vals = est[neighbors]
+        clipped = np.minimum(vals, np.repeat(est[active], counts))
+        seg_ids = np.repeat(
+            np.arange(active.size, dtype=np.int64), counts
+        )
+        # Sort each segment descending; H = #{j : sorted_desc[j] > j}.
+        order = np.lexsort((-clipped, seg_ids))
+        ranks = np.arange(neighbors.size, dtype=np.int64) - np.repeat(
+            seg_starts, counts
+        )
+        hits = clipped[order] > ranks
+        return np.bincount(
+            seg_ids[hits], minlength=active.size
+        ).astype(np.int64)
+
+    def next_active(
+        self, changed: np.ndarray, lo: int, hi: int
+    ) -> np.ndarray:
+        """In-range neighbors of ``changed``, ascending (push-on-change)."""
+        self.dirty[:] = 0
+        if changed.size:
+            if self.mode == NATIVE:
+                from repro.perf.native import run_mark_dirty
+
+                run_mark_dirty(
+                    self.indptr, self.indices, changed, self.dirty
+                )
+            elif self.mode == REFERENCE:
+                for v in changed:
+                    v = int(v)
+                    row = self.indices[self.indptr[v] : self.indptr[v + 1]]
+                    self.dirty[np.asarray(row)] = 1
+            else:
+                neighbors, _, _ = _flat_neighborhoods(
+                    self.indptr, self.indices, changed
+                )
+                self.dirty[neighbors] = 1
+        return lo + np.nonzero(self.dirty[lo:hi])[0].astype(np.int64)

@@ -98,10 +98,19 @@ def to_perfetto(tracer: Tracer, registry=None) -> dict:
         _meta(SIM_PID, TID_SUBROUNDS, "thread_name", "subrounds"),
         _meta(SIM_PID, TID_STEPS, "thread_name", "steps"),
     ]
+    host_tids: dict[str, int] = {}
     if tracer.host_spans:
+        # Track "bench" is always tid 1; further tracks (the shard
+        # engine's per-worker wall tracks) get tids in first-appearance
+        # order, so the single-track layout is byte-identical to before.
+        host_tids["bench"] = 1
+        for host in tracer.host_spans:
+            if host.track not in host_tids:
+                host_tids[host.track] = len(host_tids) + 1
         events.append(_meta(HOST_PID, None, "process_name",
                             "host wall-clock"))
-        events.append(_meta(HOST_PID, 1, "thread_name", "bench"))
+        for track, tid in host_tids.items():
+            events.append(_meta(HOST_PID, tid, "thread_name", track))
 
     for span in tracer.spans:
         tid = TID_ROUNDS if span.kind == "round" else TID_SUBROUNDS
@@ -173,22 +182,27 @@ def to_perfetto(tracer: Tracer, registry=None) -> dict:
     if registry is not None:
         events.extend(_registry_counter_events(registry, tracer.clock))
 
-    host_ts = 0.0
+    host_cursor: dict[str, float] = {}
     for host in tracer.host_spans:
         dur_us = host.wall_s * 1e6
+        ts = (
+            host.start_s * 1e6
+            if host.start_s is not None
+            else host_cursor.get(host.track, 0.0)
+        )
         events.append(
             {
                 "name": host.name,
                 "cat": "host",
                 "ph": "X",
-                "ts": host_ts,
+                "ts": ts,
                 "dur": dur_us,
                 "pid": HOST_PID,
-                "tid": 1,
+                "tid": host_tids[host.track],
                 "args": dict(host.args, wall_s=host.wall_s),
             }
         )
-        host_ts += dur_us
+        host_cursor[host.track] = ts + dur_us
 
     return {
         "traceEvents": events,

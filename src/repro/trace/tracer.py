@@ -85,11 +85,19 @@ class CounterSample:
 
 @dataclass
 class HostSpan:
-    """A host wall-clock span injected by the caller (never read here)."""
+    """A host wall-clock span injected by the caller (never read here).
+
+    ``track`` names the host thread the span renders on (the default
+    single ``bench`` track preserves the original layout); ``start_s``
+    optionally places the span at an explicit offset on its track —
+    the shard engine uses both for per-worker wall tracks.
+    """
 
     name: str
     wall_s: float
     args: dict
+    track: str = "bench"
+    start_s: float | None = None
 
 
 @dataclass
@@ -303,14 +311,24 @@ class Tracer:
     # ------------------------------------------------------------------
     # Caller-facing API
     # ------------------------------------------------------------------
-    def host_span(self, name: str, wall_s: float, **args: object) -> None:
+    def host_span(
+        self,
+        name: str,
+        wall_s: float,
+        track: str = "bench",
+        start_s: float | None = None,
+        **args: object,
+    ) -> None:
         """Record a *host* wall-clock span measured by the caller.
 
         The tracer itself never reads a clock (R006); benchmark code
         measures with :func:`repro.bench.wallclock.measure` and hands the
-        elapsed seconds in.
+        elapsed seconds in.  ``track`` / ``start_s`` choose the host
+        thread and an explicit offset on it (per-worker wall tracks).
         """
-        self.host_spans.append(HostSpan(name, float(wall_s), dict(args)))
+        self.host_spans.append(
+            HostSpan(name, float(wall_s), dict(args), track, start_s)
+        )
 
     def finish(self) -> None:
         """Close any open spans; idempotent."""

@@ -58,6 +58,30 @@ class TestCorrectness:
         assert np.all(result.coreness == 0)
 
 
+class TestStreamingWriter:
+    @pytest.mark.parametrize("chunk_edges", [1, 7, 64, 1 << 16])
+    def test_chunked_write_byte_identical(self, tmp_path, chunk_edges):
+        """The streaming writer must reproduce the monolithic encoding."""
+        from repro.graphs.transform import all_edges
+
+        g = power_law_with_hub(500, 4, hub_count=2, hub_degree=120, seed=5)
+        reference = all_edges(g).astype("<i8").tobytes()
+        path = tmp_path / "edges.bin"
+        written = write_edge_file(g, path, chunk_edges=chunk_edges)
+        assert path.read_bytes() == reference
+        assert written == g.num_edges
+
+    def test_empty_graph_writes_empty_file(self, tmp_path):
+        path = tmp_path / "edges.bin"
+        assert write_edge_file(empty_graph(5), path, chunk_edges=3) == 0
+        assert path.read_bytes() == b""
+
+    def test_nonpositive_chunk_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_edge_file(erdos_renyi(20, 3.0, seed=6),
+                            tmp_path / "edges.bin", chunk_edges=0)
+
+
 class TestStreaming:
     def test_small_chunks_agree(self, tmp_path):
         """Chunk size must not change the answer (pure streaming)."""

@@ -132,6 +132,27 @@ class TestHCNS:
         with pytest.raises(ValueError):
             hcns(1)
 
+    def test_wide_chain_sizes(self):
+        g = hcns(20, width=3)
+        assert g.n == 21 + 19 * 3  # clique 21 + three witnesses per level
+
+    def test_wide_chain_ground_truth(self):
+        for kmax, width in ((6, 2), (12, 3), (30, 2)):
+            g = hcns(kmax, width=width)
+            assert np.array_equal(
+                reference_coreness(g),
+                expected_hcns_coreness(kmax, width=width),
+            )
+
+    def test_wide_chain_witnesses_per_level(self):
+        kappa = reference_coreness(hcns(16, width=4))
+        counts = np.bincount(kappa)
+        assert np.all(counts[1:16] == 4)
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            hcns(8, width=0)
+
 
 class TestKNN:
     def test_out_degree(self):

@@ -40,11 +40,11 @@ def rule_ids(findings) -> list[str]:
 # Registry
 # ----------------------------------------------------------------------
 class TestRegistry:
-    def test_all_eight_rules_registered(self):
+    def test_all_nine_rules_registered(self):
         ids = [rule.rule_id for rule in all_rules()]
         assert ids == [
             "R001", "R002", "R003", "R004", "R005", "R006", "R007",
-            "R008",
+            "R008", "R009",
         ]
 
     def test_rules_have_names_and_summaries(self):
@@ -756,6 +756,105 @@ class TestR008MetricsSideEffect:
                 return self.registry.counter_values("cache.")
             """,
             select=["R008"],
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# R009 shard-determinism
+# ----------------------------------------------------------------------
+SHARD_PATH = "src/repro/shard/snippet.py"
+
+
+class TestR009ShardDeterminism:
+    def test_charge_inside_as_completed_loop_is_flagged(self):
+        findings = lint(
+            """
+            from concurrent.futures import as_completed
+
+            def merge(runtime, futures, model):
+                for future in as_completed(futures):
+                    ids, costs = future.result()
+                    runtime.parallel_for(model.scan_op, count=len(ids),
+                                         barriers=1, tag="shard_exchange")
+            """,
+            path=SHARD_PATH,
+            select=["R009"],
+        )
+        assert rule_ids(findings) == ["R009"]
+        assert "completion order" in findings[0].message
+
+    def test_registry_hook_inside_imap_unordered_is_flagged(self):
+        findings = lint(
+            """
+            def merge(pool, registry, chunks):
+                for reply in pool.imap_unordered(work, chunks):
+                    if registry is not None:
+                        registry.inc("shard.deltas", reply.count)
+            """,
+            path=SHARD_PATH,
+            select=["R009"],
+        )
+        assert rule_ids(findings) == ["R009"]
+
+    def test_wrapped_unordered_source_is_flagged(self):
+        findings = lint(
+            """
+            from concurrent.futures import as_completed
+
+            def merge(runtime, futures, model):
+                for index, future in enumerate(as_completed(futures)):
+                    runtime.sequential(model.scan_op, tag="shard_merge")
+            """,
+            path=SHARD_PATH,
+            select=["R009"],
+        )
+        assert rule_ids(findings) == ["R009"]
+
+    def test_collect_then_sorted_fold_is_clean(self):
+        findings = lint(
+            """
+            from concurrent.futures import as_completed
+
+            def merge(runtime, futures, model):
+                replies = {}
+                for future in as_completed(futures):
+                    shard, ids = future.result()
+                    replies[shard] = ids
+                for shard in sorted(replies):
+                    runtime.parallel_for(model.scan_op,
+                                         count=len(replies[shard]),
+                                         barriers=1, tag="shard_exchange")
+            """,
+            path=SHARD_PATH,
+            select=["R009"],
+        )
+        assert findings == []
+
+    def test_fixed_order_loop_is_clean(self):
+        findings = lint(
+            """
+            def merge(runtime, workers, model):
+                for worker in workers:
+                    reply = worker.recv()
+                    runtime.sequential(model.scan_op, tag="shard_merge")
+            """,
+            path=SHARD_PATH,
+            select=["R009"],
+        )
+        assert findings == []
+
+    def test_rule_is_scoped_to_the_shard_package(self):
+        findings = lint(
+            """
+            from concurrent.futures import as_completed
+
+            def merge(runtime, futures, model):
+                for future in as_completed(futures):
+                    runtime.sequential(model.scan_op, tag="merge")
+            """,
+            path=CORE_PATH,
+            select=["R009"],
         )
         assert findings == []
 

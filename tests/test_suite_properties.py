@@ -56,6 +56,13 @@ class TestFamilies:
         counts = np.bincount(kappa)
         assert np.all(counts[1:1024] == 1)  # one vertex per level
 
+    def test_hcnsw_structure(self):
+        g = _graph("HCNSW")
+        kappa = reference_coreness(g)
+        assert kappa.max() == 384
+        counts = np.bincount(kappa)
+        assert np.all(counts[1:384] == 3)  # three witnesses per level
+
     def test_meshes_are_planarish(self):
         for name in ("TRCE-S", "BBL-S"):
             g = _graph(name)
